@@ -1,0 +1,106 @@
+// Command whatsup-bench regenerates the tables and figures of the paper's
+// evaluation section. Each experiment prints rows mirroring the paper's; use
+// -run to select experiments and -scale to trade fidelity for speed
+// (1.0 = the workload sizes of Table I).
+//
+// Usage:
+//
+//	whatsup-bench -run all -scale 0.5
+//	whatsup-bench -run table3,fig4 -scale 1 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"whatsup/internal/core"
+	"whatsup/internal/experiments"
+)
+
+func main() {
+	var (
+		runList  = flag.String("run", "all", "comma-separated experiments: table1,table2,table3,table4,table5,table6,fig3,fig4,fig5,fig6,fig7,fig8,fig9,fig10,fig11,ablations or 'all'")
+		scale    = flag.Float64("scale", 0.5, "dataset scale (1.0 = paper sizes)")
+		seed     = flag.Int64("seed", 1, "experiment seed")
+		workers  = flag.Int("workers", 0, "parallel sweep points (0 = NumCPU)")
+		skipLive = flag.Bool("skip-live", false, "skip the live (ModelNet/PlanetLab) runs in fig8")
+	)
+	flag.Parse()
+
+	o := experiments.Options{Seed: *seed, Scale: *scale, Workers: *workers}
+	selected := map[string]bool{}
+	for _, name := range strings.Split(*runList, ",") {
+		selected[strings.TrimSpace(name)] = true
+	}
+	all := selected["all"]
+	want := func(name string) bool { return all || selected[name] }
+
+	fmt.Printf("whatsup-bench scale=%.2f seed=%d\n\n", *scale, *seed)
+	ran := 0
+	run := func(name string, fn func() fmt.Stringer) {
+		if !want(name) {
+			return
+		}
+		ran++
+		start := time.Now()
+		result := fn()
+		fmt.Printf("%s\n  [%s in %v]\n\n", result, name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("table1", func() fmt.Stringer { return experiments.Table1(o) })
+	run("table2", func() fmt.Stringer { return table2{} })
+	run("table3", func() fmt.Stringer { return experiments.Table3(o) })
+	run("table4", func() fmt.Stringer { return experiments.Table4(o) })
+	run("table5", func() fmt.Stringer { return experiments.Table5(o) })
+	run("table6", func() fmt.Stringer { return experiments.Table6(o) })
+	run("fig3", func() fmt.Stringer {
+		var b strings.Builder
+		for _, name := range []string{"synthetic", "digg", "survey"} {
+			b.WriteString(experiments.Fig3(name, o).String())
+		}
+		return stringer(b.String())
+	})
+	run("fig4", func() fmt.Stringer { return experiments.Fig4(o) })
+	run("fig5", func() fmt.Stringer { return experiments.Fig5(o) })
+	run("fig6", func() fmt.Stringer { return experiments.Fig6(o) })
+	run("fig7", func() fmt.Stringer { return experiments.Fig7(o, experiments.Fig7Config{}) })
+	run("fig8", func() fmt.Stringer {
+		return experiments.Fig8(o, experiments.Fig8Config{SkipLive: *skipLive})
+	})
+	run("fig9", func() fmt.Stringer { return experiments.Fig9(o) })
+	run("fig10", func() fmt.Stringer { return experiments.Fig10(o) })
+	run("fig11", func() fmt.Stringer { return experiments.Fig11(o) })
+	run("ablations", func() fmt.Stringer {
+		var b strings.Builder
+		b.WriteString(experiments.AblationWUPViewSize(o).String())
+		b.WriteString(experiments.AblationProfileWindow(o).String())
+		b.WriteString(experiments.AblationRPSViewSize(o).String())
+		return stringer(b.String())
+	})
+
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matched -run=%s\n", *runList)
+		os.Exit(2)
+	}
+}
+
+type stringer string
+
+func (s stringer) String() string { return string(s) }
+
+// table2 prints the static parameter table of the paper.
+type table2 struct{}
+
+func (table2) String() string {
+	cfg := core.Config{}.WithDefaults()
+	return fmt.Sprintf(`Table II: WhatsUp parameters - on each node
+  RPSvs           size of the random sample        %d
+  RPSf            frequency of gossip in the RPS   1 cycle
+  WUPvs           size of the social network       2·fLIKE = %d
+  Profile window  news item TTL                    %d cycles
+  BEEP TTL        dissemination TTL for dislike    %d`,
+		cfg.RPSViewSize, cfg.WUPViewSize, cfg.ProfileWindow, cfg.DislikeTTL)
+}

@@ -1,0 +1,55 @@
+// Command whatsup-node runs a fleet of WhatsUp nodes over real TCP loopback
+// sockets — the deployment configuration of the paper's PlanetLab experiment
+// on a single machine. Every node is a goroutine with its own listener;
+// gossip and news travel as gob-encoded TCP messages, and a configurable
+// fraction of nodes is "overloaded" with tiny inbound queues.
+//
+// Usage:
+//
+//	whatsup-node -nodes 120 -cycles 60 -cycle-length 100ms -fanout 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"whatsup/internal/core"
+	"whatsup/internal/dataset"
+	"whatsup/internal/live"
+	"whatsup/internal/metrics"
+)
+
+func main() {
+	var (
+		nodes       = flag.Int("nodes", 120, "fleet size (scales the survey workload)")
+		cycles      = flag.Int("cycles", 60, "gossip cycles to run")
+		cycleLength = flag.Duration("cycle-length", 100*time.Millisecond, "gossip period (the prototype used 30s)")
+		fanout      = flag.Int("fanout", 8, "fLIKE")
+		seed        = flag.Int64("seed", 1, "seed")
+		slowEvery   = flag.Int("slow-every", 4, "every n-th node is overloaded (0 = none)")
+	)
+	flag.Parse()
+
+	// Size the survey workload to the requested fleet (480 users at scale 1).
+	scale := float64(*nodes) / 480
+	ds := dataset.Survey(dataset.SurveyConfig{Seed: *seed, Scale: scale, Cycles: *cycles})
+	fmt.Printf("whatsup-node: %d TCP nodes, %d cycles of %v, fLIKE=%d\n",
+		ds.Users, *cycles, *cycleLength, *fanout)
+
+	start := time.Now()
+	runner := live.NewRunner(live.Config{
+		Seed:        *seed,
+		Cycles:      *cycles,
+		CycleLength: *cycleLength,
+		NodeConfig:  core.Config{FLike: *fanout},
+	}, ds, live.NewTCPNet(live.TCPNetConfig{SlowEvery: *slowEvery}))
+	runner.Run()
+
+	col := runner.Collector()
+	fmt.Printf("finished in %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  precision %.3f  recall %.3f  f1 %.3f\n", col.Precision(), col.Recall(), col.F1())
+	fmt.Printf("  messages: beep=%d gossip=%d total=%d\n",
+		col.Messages(metrics.MsgBeep), col.GossipMessages(), col.TotalMessages())
+	fmt.Printf("  bytes: beep=%d gossip=%d\n", col.Bytes(metrics.MsgBeep), col.GossipBytes())
+}

@@ -1,0 +1,61 @@
+// Command whatsup-sim runs a single deterministic simulation point: one
+// algorithm on one workload at one fanout, and prints the user and system
+// metrics.
+//
+// Usage:
+//
+//	whatsup-sim -dataset survey -alg whatsup -fanout 10 -scale 0.5
+//	whatsup-sim -dataset digg -alg cf-cos -fanout 25 -loss 0.2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"whatsup/internal/experiments"
+	"whatsup/internal/metrics"
+)
+
+func main() {
+	var (
+		dsName = flag.String("dataset", "survey", "workload: synthetic, digg, survey")
+		alg    = flag.String("alg", "whatsup", "algorithm: whatsup, whatsup-cos, cf-wup, cf-cos, gossip")
+		fanout = flag.Int("fanout", 10, "fLIKE / k / f depending on the algorithm")
+		scale  = flag.Float64("scale", 0.5, "dataset scale (1.0 = paper sizes)")
+		seed   = flag.Int64("seed", 1, "seed")
+		loss   = flag.Float64("loss", 0, "uniform message-loss rate")
+		ttl    = flag.Int("ttl", 0, "dislike TTL (0 = default 4, negative = 0)")
+	)
+	flag.Parse()
+
+	algorithms := map[string]experiments.Algorithm{
+		"whatsup":     experiments.WhatsUp,
+		"whatsup-cos": experiments.WhatsUpCos,
+		"cf-wup":      experiments.CFWup,
+		"cf-cos":      experiments.CFCos,
+		"gossip":      experiments.PlainGossip,
+	}
+	a, ok := algorithms[*alg]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *alg)
+		os.Exit(2)
+	}
+
+	o := experiments.Options{Seed: *seed, Scale: *scale}.WithDefaults()
+	ds := experiments.DatasetByName(*dsName, o)
+	out := experiments.Run(experiments.RunConfig{
+		Dataset: ds, Alg: a, Fanout: *fanout, Seed: *seed, Loss: *loss, TTL: *ttl,
+	})
+	col := out.Col
+	g := out.Engine.WUPGraph()
+
+	fmt.Printf("%s on %s (users=%d items=%d cycles=%d fanout=%d loss=%.0f%%)\n",
+		a, ds.Name, ds.Users, len(ds.Items), out.Cycles, *fanout, *loss*100)
+	fmt.Printf("  precision %.3f  recall %.3f  f1 %.3f\n", col.Precision(), col.Recall(), col.F1())
+	fmt.Printf("  messages: beep=%d gossip=%d total=%d (%.1f/user)\n",
+		col.Messages(metrics.MsgBeep), col.GossipMessages(), col.TotalMessages(),
+		float64(col.TotalMessages())/float64(ds.Users))
+	fmt.Printf("  overlay: lscc=%.2f clustering-coefficient=%.2f weak-components=%d\n",
+		g.LargestSCCFraction(), g.ClusteringCoefficient(), g.WeakComponents())
+}

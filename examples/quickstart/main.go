@@ -1,0 +1,34 @@
+// Quickstart: simulate a WhatsUp fleet on the survey workload and print the
+// paper's headline metrics. This is the smallest end-to-end use of the
+// public API.
+package main
+
+import (
+	"fmt"
+
+	"whatsup"
+)
+
+func main() {
+	// A quarter-scale survey workload: ~120 users, ~250 news items, rated
+	// along topic lines as in the paper's user study.
+	ds := whatsup.SurveyDataset(1, 0.25)
+	fmt.Printf("workload: %s\n", ds.Summary())
+
+	// One WhatsUp node per user; fLIKE=10 is the paper's sweet spot
+	// (Table III). All other parameters take the Table II defaults.
+	sim := whatsup.NewSimulation(ds, whatsup.SimulationConfig{
+		Node: whatsup.Config{FLike: 10},
+		Seed: 42,
+	})
+	sim.Run()
+
+	r := sim.Results()
+	fmt.Printf("precision %.2f  recall %.2f  f1 %.2f\n", r.Precision, r.Recall, r.F1)
+	fmt.Printf("messages: %d (%.0f per user)\n", r.Messages, float64(r.Messages)/float64(ds.Users))
+
+	// Inspect one node's implicit social network.
+	node := sim.Node(0)
+	fmt.Printf("node 0: %d profile entries, %d WUP neighbours, %d RPS neighbours\n",
+		node.UserProfile().Len(), node.WUP().View().Len(), node.RPS().View().Len())
+}

@@ -1,0 +1,123 @@
+package baselines
+
+import (
+	"math/rand"
+
+	"whatsup/internal/cluster"
+	"whatsup/internal/core"
+	"whatsup/internal/news"
+	"whatsup/internal/profile"
+	"whatsup/internal/rps"
+)
+
+// CF is a decentralized collaborative-filtering peer based on the
+// nearest-neighbour technique (Section IV-B): it maintains its k closest
+// neighbours with the same two-layer gossip substrate as WhatsUp, and when
+// it *likes* an item it forwards it to all k of them. It takes no action on
+// disliked items and does not use item profiles — that is precisely the
+// orientation and amplification machinery of BEEP it lacks.
+//
+// With metric profile.WUP it is the paper's CF-WUP; with profile.Cosine it
+// is CF-Cos.
+type CF struct {
+	id       news.NodeID
+	k        int
+	user     *profile.Profile
+	rps      *rps.Protocol
+	knn      *cluster.Protocol
+	opinions core.Opinions
+	seen     map[news.ID]struct{}
+	window   int64
+}
+
+// NewCF builds a decentralized CF peer keeping the k most similar
+// neighbours under the given metric.
+func NewCF(id news.NodeID, k, rpsViewSize int, window int64, metric profile.Metric, opinions core.Opinions, rng *rand.Rand) *CF {
+	if rpsViewSize <= 0 {
+		rpsViewSize = core.DefaultRPSViewSize
+	}
+	if window <= 0 {
+		window = core.DefaultProfileWindow
+	}
+	if metric == nil {
+		metric = profile.WUP{}
+	}
+	return &CF{
+		id:       id,
+		k:        k,
+		user:     profile.New(),
+		rps:      rps.New(id, "", rpsViewSize, rng),
+		knn:      cluster.New(id, "", k, metric, rng),
+		opinions: opinions,
+		seen:     make(map[news.ID]struct{}),
+		window:   window,
+	}
+}
+
+// ID implements sim.Peer.
+func (c *CF) ID() news.NodeID { return c.id }
+
+// RPS implements sim.Peer.
+func (c *CF) RPS() *rps.Protocol { return c.rps }
+
+// WUP implements sim.Peer: the kNN view is maintained by the standard
+// clustering protocol, so the engine gossips it like WhatsUp's.
+func (c *CF) WUP() *cluster.Protocol { return c.knn }
+
+// UserProfile implements sim.Peer.
+func (c *CF) UserProfile() *profile.Profile { return c.user }
+
+// BeginCycle implements sim.Peer: CF profiles use the same sliding window.
+func (c *CF) BeginCycle(now int64) {
+	c.user.PurgeOlderThan(now - c.window)
+}
+
+// InjectRPSCandidates implements sim.Peer.
+func (c *CF) InjectRPSCandidates() {
+	c.knn.Merge(c.rps.View().Entries(), c.user)
+}
+
+// Publish implements sim.Peer: the source likes its item and forwards it to
+// all k neighbours.
+func (c *CF) Publish(item news.Item, now int64) []core.Send {
+	if _, dup := c.seen[item.ID]; dup {
+		return nil
+	}
+	c.seen[item.ID] = struct{}{}
+	c.user.Set(item.ID, item.Created, 1)
+	return c.spread(item, 1)
+}
+
+// Receive implements sim.Peer: forward to the k closest neighbours when
+// liked, drop silently when disliked.
+func (c *CF) Receive(msg core.ItemMessage, now int64) (core.Delivery, []core.Send) {
+	d := core.Delivery{Node: c.id, Item: msg.Item.ID, Hops: msg.Hops}
+	if _, dup := c.seen[msg.Item.ID]; dup {
+		d.Duplicate = true
+		return d, nil
+	}
+	c.seen[msg.Item.ID] = struct{}{}
+	liked := c.opinions.Likes(c.id, msg.Item.ID)
+	d.Liked = liked
+	if !liked {
+		c.user.Set(msg.Item.ID, msg.Item.Created, 0)
+		return d, nil // no dislike mechanism in plain CF
+	}
+	c.user.Set(msg.Item.ID, msg.Item.Created, 1)
+	return d, c.spread(msg.Item, msg.Hops+1)
+}
+
+func (c *CF) spread(item news.Item, hops int) []core.Send {
+	entries := c.knn.View().Entries()
+	if len(entries) == 0 {
+		return nil
+	}
+	sends := make([]core.Send, 0, len(entries))
+	for _, t := range entries {
+		sends = append(sends, core.Send{
+			To:  t.Node,
+			Msg: core.ItemMessage{Item: item, Hops: hops},
+		})
+	}
+	return sends
+}

@@ -1,0 +1,116 @@
+// Package baselines implements the competitors of the evaluation
+// (paper Section IV-B): standard homogeneous gossip, decentralized
+// collaborative filtering with either metric (CF-WUP / CF-Cos), explicit
+// cascading over a social graph, the ideal centralized topic-based
+// publish/subscribe system (C-Pub/Sub), and the centralized variant of
+// WhatsUp with global knowledge (C-WhatsUp).
+//
+// Gossip and CF are sim.Peer implementations driven by the same engine as
+// WhatsUp; cascading, C-Pub/Sub and C-WhatsUp are centralized computations
+// that feed the same metrics collector.
+package baselines
+
+import (
+	"math/rand"
+
+	"whatsup/internal/cluster"
+	"whatsup/internal/core"
+	"whatsup/internal/news"
+	"whatsup/internal/profile"
+	"whatsup/internal/rps"
+)
+
+// Gossip is a standard homogeneous SIR gossip peer (Table III, row
+// "Gossip"): on first receipt of an item it forwards it to Fanout random
+// members of its RPS view, regardless of the user's opinion. It maintains no
+// clustering layer and no item profiles. Opinions are still recorded so
+// precision can be measured.
+type Gossip struct {
+	id       news.NodeID
+	fanout   int
+	user     *profile.Profile
+	rps      *rps.Protocol
+	opinions core.Opinions
+	rng      *rand.Rand
+	seen     map[news.ID]struct{}
+}
+
+// NewGossip builds a homogeneous gossip peer with the given fanout and RPS
+// view size.
+func NewGossip(id news.NodeID, fanout, rpsViewSize int, opinions core.Opinions, rng *rand.Rand) *Gossip {
+	if rpsViewSize <= 0 {
+		rpsViewSize = core.DefaultRPSViewSize
+	}
+	return &Gossip{
+		id:       id,
+		fanout:   fanout,
+		user:     profile.New(),
+		rps:      rps.New(id, "", rpsViewSize, rng),
+		opinions: opinions,
+		rng:      rng,
+		seen:     make(map[news.ID]struct{}),
+	}
+}
+
+// ID implements sim.Peer.
+func (g *Gossip) ID() news.NodeID { return g.id }
+
+// RPS implements sim.Peer.
+func (g *Gossip) RPS() *rps.Protocol { return g.rps }
+
+// WUP implements sim.Peer; homogeneous gossip has no clustering layer.
+func (g *Gossip) WUP() *cluster.Protocol { return nil }
+
+// UserProfile implements sim.Peer.
+func (g *Gossip) UserProfile() *profile.Profile { return g.user }
+
+// BeginCycle implements sim.Peer; plain gossip keeps no windowed state.
+func (g *Gossip) BeginCycle(int64) {}
+
+// InjectRPSCandidates implements sim.Peer; there is no clustering layer to
+// feed.
+func (g *Gossip) InjectRPSCandidates() {}
+
+// Publish implements sim.Peer: infect-and-forward like any other receipt.
+func (g *Gossip) Publish(item news.Item, now int64) []core.Send {
+	if _, dup := g.seen[item.ID]; dup {
+		return nil
+	}
+	g.seen[item.ID] = struct{}{}
+	g.user.Set(item.ID, item.Created, 1)
+	return g.spread(item, 1)
+}
+
+// Receive implements sim.Peer: SIR with homogeneous fanout and uniform
+// random targets; the user's opinion influences nothing but the records.
+func (g *Gossip) Receive(msg core.ItemMessage, now int64) (core.Delivery, []core.Send) {
+	d := core.Delivery{Node: g.id, Item: msg.Item.ID, Hops: msg.Hops}
+	if _, dup := g.seen[msg.Item.ID]; dup {
+		d.Duplicate = true
+		return d, nil
+	}
+	g.seen[msg.Item.ID] = struct{}{}
+	liked := g.opinions.Likes(g.id, msg.Item.ID)
+	d.Liked = liked
+	score := 0.0
+	if liked {
+		score = 1
+	}
+	g.user.Set(msg.Item.ID, msg.Item.Created, score)
+	return d, g.spread(msg.Item, msg.Hops+1)
+}
+
+func (g *Gossip) spread(item news.Item, hops int) []core.Send {
+	targets := g.rps.View().RandomSample(g.rng, g.fanout)
+	if len(targets) == 0 {
+		return nil
+	}
+	sends := make([]core.Send, 0, len(targets))
+	for _, t := range targets {
+		sends = append(sends, core.Send{
+			To:  t.Node,
+			Msg: core.ItemMessage{Item: item, Hops: hops},
+		})
+	}
+	return sends
+}

@@ -1,0 +1,128 @@
+// Package cluster implements the upper gossip layer of WUP (paper
+// Section II): a clustering protocol in the style of Voulgaris & van Steen's
+// Vicinity that keeps, for each node, the WUPvs neighbours whose profiles
+// are most similar to its own according to a pluggable metric (the WUP
+// metric in WhatsUp, cosine in the WhatsUp-Cos and CF-Cos baselines).
+//
+// Periodically a node selects the view entry with the oldest timestamp and
+// sends it its profile together with its *entire* view (unlike the RPS,
+// which sends half). The receiver keeps, from the union of its own and the
+// received view, the entries whose profiles are closest to its own. The
+// layer additionally pulls candidates from the RPS view each cycle, which is
+// what lets interests discovered by random sampling enter the social
+// network.
+//
+// Protocol state is not goroutine-safe; engines serialize access per node.
+package cluster
+
+import (
+	"math/rand"
+
+	"whatsup/internal/news"
+	"whatsup/internal/overlay"
+	"whatsup/internal/profile"
+)
+
+// Protocol is the per-node clustering state machine.
+type Protocol struct {
+	self   news.NodeID
+	addr   string
+	metric profile.Metric
+	view   *overlay.View
+	rng    *rand.Rand
+}
+
+// New returns a clustering instance for node self with the given view size
+// (WUPvs, set to 2·fLIKE in the paper) and similarity metric.
+func New(self news.NodeID, addr string, viewSize int, metric profile.Metric, rng *rand.Rand) *Protocol {
+	return &Protocol{
+		self:   self,
+		addr:   addr,
+		metric: metric,
+		view:   overlay.NewView(viewSize),
+		rng:    rng,
+	}
+}
+
+// Self returns the node this protocol instance belongs to.
+func (p *Protocol) Self() news.NodeID { return p.self }
+
+// Metric returns the similarity metric in use.
+func (p *Protocol) Metric() profile.Metric { return p.metric }
+
+// View exposes the underlying view; descriptors are immutable.
+func (p *Protocol) View() *overlay.View { return p.view }
+
+// Seed bootstraps the view (initial random graph, or the inherited view of a
+// cold-starting node, Section II-D). Entries are kept by similarity to own.
+func (p *Protocol) Seed(descs []overlay.Descriptor, own *profile.Profile) {
+	p.view.InsertAll(descs, p.self)
+	p.view.TrimBySimilarity(p.rng, p.metric, own)
+}
+
+// Descriptor builds the node's own fresh descriptor with a profile snapshot.
+func (p *Protocol) Descriptor(now int64, prof *profile.Profile) overlay.Descriptor {
+	return overlay.Descriptor{Node: p.self, Addr: p.addr, Stamp: now, Profile: prof.Clone()}
+}
+
+// SelectPeer returns the view entry with the oldest timestamp.
+func (p *Protocol) SelectPeer() (overlay.Descriptor, bool) {
+	return p.view.Oldest()
+}
+
+// MakePush assembles the request payload: the node's fresh descriptor plus
+// its entire view (Section II: "its entire view for WUP").
+func (p *Protocol) MakePush(self overlay.Descriptor) []overlay.Descriptor {
+	push := make([]overlay.Descriptor, 0, p.view.Len()+1)
+	push = append(push, self)
+	push = append(push, p.view.Entries()...)
+	return push
+}
+
+// AcceptPush handles an exchange request at the responder: it builds the
+// symmetric reply (own descriptor + entire view, taken before merging) and
+// merges the received entries, keeping the most similar ones.
+func (p *Protocol) AcceptPush(push []overlay.Descriptor, self overlay.Descriptor, own *profile.Profile) (reply []overlay.Descriptor) {
+	reply = p.MakePush(self)
+	p.Merge(push, own)
+	return reply
+}
+
+// AcceptReply merges the responder's entries at the initiator.
+func (p *Protocol) AcceptReply(reply []overlay.Descriptor, own *profile.Profile) {
+	p.Merge(reply, own)
+}
+
+// Merge folds candidate descriptors into the view, keeping the capacity
+// entries most similar to the node's own profile. Used both for gossip
+// replies and for the per-cycle injection of RPS candidates.
+func (p *Protocol) Merge(candidates []overlay.Descriptor, own *profile.Profile) {
+	p.view.InsertAll(candidates, p.self)
+	p.view.TrimBySimilarity(p.rng, p.metric, own)
+}
+
+// RandomTargets returns up to fanout distinct random members of the view —
+// BEEP's amplification step for liked items picks targets randomly from the
+// WUP view rather than the closest ones, to avoid over-clustering
+// (Algorithm 2 line 31).
+func (p *Protocol) RandomTargets(fanout int) []overlay.Descriptor {
+	return p.view.RandomSample(p.rng, fanout)
+}
+
+// AverageSimilarity reports the mean similarity between the given profile
+// and the current view members, the convergence measure of Figure 7.
+func (p *Protocol) AverageSimilarity(own *profile.Profile) float64 {
+	if p.view.Len() == 0 {
+		return 0
+	}
+	var sum float64
+	for _, d := range p.view.Entries() {
+		sum += p.metric.Similarity(own, d.Profile)
+	}
+	return sum / float64(p.view.Len())
+}
+
+// Crash clears the view for failure-injection tests.
+func (p *Protocol) Crash() {
+	p.view = overlay.NewView(p.view.Capacity())
+}

@@ -1,0 +1,75 @@
+// Package core implements the WhatsUp node: the integration of the WUP
+// implicit social network (paper Section II) with the BEEP biased epidemic
+// dissemination protocol (Section III). This is the paper's primary
+// contribution.
+//
+// A Node is engine-agnostic: message handlers receive a message and return
+// the sends it triggers. The deterministic simulator (internal/sim) and the
+// concurrent live runtimes (internal/live) both drive the same Node code.
+package core
+
+import "whatsup/internal/profile"
+
+// Default parameter values from Table II of the paper.
+const (
+	DefaultRPSViewSize   = 30 // RPSvs: size of the random sample
+	DefaultFLike         = 10 // fLIKE: amplification fanout (best survey trade-off, Table III)
+	DefaultDislikeTTL    = 4  // BEEP TTL: dissemination TTL for disliked items
+	DefaultProfileWindow = 13 // profile window in gossip cycles (1/5 of the experiment)
+)
+
+// Config collects the per-node parameters of Table II.
+type Config struct {
+	// RPSViewSize is RPSvs, the size of the random peer sample (default 30).
+	RPSViewSize int
+	// WUPViewSize is WUPvs, the size of the social network view. Zero means
+	// the paper's setting of 2·FLike, the best precision/recall trade-off
+	// (Section IV-D).
+	WUPViewSize int
+	// FLike is BEEP's amplification fanout for liked items.
+	FLike int
+	// DislikeTTL bounds how many times a disliked item may be forwarded
+	// along the dislike path. Zero means the default of 4; use a negative
+	// value for an explicit TTL of zero (no dislike forwarding at all), as
+	// in the Figure 5 sweep.
+	DislikeTTL int
+	// ProfileWindow is the sliding window, in cycles (simulation) or
+	// milliseconds (live), beyond which profile entries are purged.
+	ProfileWindow int64
+	// Metric ranks clustering candidates and orients disliked items.
+	// Nil means the WUP metric; the WhatsUp-Cos variant of the evaluation
+	// sets profile.Cosine.
+	Metric profile.Metric
+	// ColdStartRatings is the number of popular items a joining node rates
+	// to build its initial profile (3 in Section II-D).
+	ColdStartRatings int
+}
+
+// WithDefaults returns a copy of c with unset fields replaced by the
+// paper's defaults (Table II).
+func (c Config) WithDefaults() Config {
+	if c.RPSViewSize <= 0 {
+		c.RPSViewSize = DefaultRPSViewSize
+	}
+	if c.FLike <= 0 {
+		c.FLike = DefaultFLike
+	}
+	if c.WUPViewSize <= 0 {
+		c.WUPViewSize = 2 * c.FLike
+	}
+	if c.DislikeTTL < 0 {
+		c.DislikeTTL = 0
+	} else if c.DislikeTTL == 0 {
+		c.DislikeTTL = DefaultDislikeTTL
+	}
+	if c.ProfileWindow <= 0 {
+		c.ProfileWindow = DefaultProfileWindow
+	}
+	if c.Metric == nil {
+		c.Metric = profile.WUP{}
+	}
+	if c.ColdStartRatings <= 0 {
+		c.ColdStartRatings = 3
+	}
+	return c
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"whatsup/internal/news"
+	"whatsup/internal/profile"
+)
+
+// ItemMessage is one BEEP dissemination message: the item, the item profile
+// copy carried along this path, and the dislike counter d_I. Hops and
+// ViaDislike are measurement fields used by the evaluation (Figure 6,
+// Table IV); the protocols never read them.
+type ItemMessage struct {
+	Item     news.Item
+	Profile  *profile.Profile // item profile P_I; owned by the receiver
+	Dislikes int              // dislike counter d_I
+	Hops     int              // hop distance from the source (instrumentation)
+	// ViaDislike records whether the *sender* forwarded this copy because it
+	// disliked the item (instrumentation for Figure 6).
+	ViaDislike bool
+}
+
+// WireSize approximates the on-wire size of the message for bandwidth
+// accounting (Figure 8b): item content plus the item profile entries. The
+// item id itself is not transmitted (II-A).
+func (m ItemMessage) WireSize() int {
+	size := m.Item.WireSize()
+	if m.Profile != nil {
+		size += m.Profile.WireSize()
+	}
+	return size
+}
+
+// Send is an outgoing BEEP message produced by a handler.
+type Send struct {
+	To  news.NodeID
+	Msg ItemMessage
+}
+
+// Delivery reports the outcome of receiving an item at a node, consumed by
+// the metrics collector.
+type Delivery struct {
+	Node       news.NodeID
+	Item       news.ID
+	Liked      bool // the receiving user's opinion
+	Duplicate  bool // item already seen: dropped, nothing else recorded
+	Hops       int  // hop distance from source at delivery
+	Dislikes   int  // d_I when the item arrived (Table IV)
+	ViaDislike bool // the copy was forwarded by a disliker (Figure 6)
+}
+
+// Opinions supplies user opinions: whether a node likes an item. Workloads
+// implement it from their trace; it stands in for the like/dislike button of
+// the WhatsUp user interface.
+type Opinions interface {
+	Likes(node news.NodeID, item news.ID) bool
+}
+
+// OpinionFunc adapts a function to the Opinions interface.
+type OpinionFunc func(node news.NodeID, item news.ID) bool
+
+// Likes implements Opinions.
+func (f OpinionFunc) Likes(node news.NodeID, item news.ID) bool { return f(node, item) }

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"math/rand"
+
+	"whatsup/internal/cluster"
+	"whatsup/internal/news"
+	"whatsup/internal/overlay"
+	"whatsup/internal/profile"
+	"whatsup/internal/rps"
+)
+
+// Node is a WhatsUp peer: a user profile, the two WUP gossip layers and the
+// BEEP dissemination logic. Node methods are not goroutine-safe; engines
+// serialize access per node.
+type Node struct {
+	id       news.NodeID
+	cfg      Config
+	rng      *rand.Rand
+	user     *profile.Profile // P̃, the user profile
+	rps      *rps.Protocol
+	wup      *cluster.Protocol
+	opinions Opinions
+	seen     map[news.ID]struct{} // SIR "infected or removed" set
+}
+
+// NewNode builds a WhatsUp node. addr is the transport address used by live
+// runtimes (empty under simulation). opinions supplies the user's
+// like/dislike reactions; rng drives all of the node's randomness.
+func NewNode(id news.NodeID, addr string, cfg Config, opinions Opinions, rng *rand.Rand) *Node {
+	cfg = cfg.WithDefaults()
+	return &Node{
+		id:       id,
+		cfg:      cfg,
+		rng:      rng,
+		user:     profile.New(),
+		rps:      rps.New(id, addr, cfg.RPSViewSize, rng),
+		wup:      cluster.New(id, addr, cfg.WUPViewSize, cfg.Metric, rng),
+		opinions: opinions,
+		seen:     make(map[news.ID]struct{}),
+	}
+}
+
+// ID returns the node identifier.
+func (n *Node) ID() news.NodeID { return n.id }
+
+// Config returns the node's effective configuration (defaults applied).
+func (n *Node) Config() Config { return n.cfg }
+
+// UserProfile returns the node's user profile P̃. Callers must not mutate it
+// concurrently with node handlers.
+func (n *Node) UserProfile() *profile.Profile { return n.user }
+
+// RPS returns the random-peer-sampling layer, driven by the engine.
+func (n *Node) RPS() *rps.Protocol { return n.rps }
+
+// WUP returns the clustering layer, driven by the engine.
+func (n *Node) WUP() *cluster.Protocol { return n.wup }
+
+// Seen reports whether the node has already received the item.
+func (n *Node) Seen(id news.ID) bool {
+	_, ok := n.seen[id]
+	return ok
+}
+
+// SeedViews bootstraps both views (engine-provided initial random graph).
+func (n *Node) SeedViews(descs []overlay.Descriptor) {
+	n.rps.Seed(descs)
+	n.wup.Seed(descs, n.user)
+}
+
+// BeginCycle runs the periodic maintenance that precedes gossiping: purging
+// the user profile of entries older than the profile window (Section II-E).
+func (n *Node) BeginCycle(now int64) {
+	n.user.PurgeOlderThan(now - n.cfg.ProfileWindow)
+}
+
+// InjectRPSCandidates feeds the current RPS view into the clustering layer,
+// which is how randomly sampled nodes become social-network candidates
+// (Section II: the clustering protocol "uses this overlay to provide nodes
+// with the most similar candidates").
+func (n *Node) InjectRPSCandidates() {
+	n.wup.Merge(n.rps.View().Entries(), n.user)
+}
+
+// ColdStart implements the joining procedure of Section II-D: the node
+// inherits the RPS and WUP views of a random contact and builds a fresh
+// profile by liking the most popular items found in the inherited RPS view.
+func (n *Node) ColdStart(inheritedRPS, inheritedWUP []overlay.Descriptor, now int64) {
+	n.rps.Seed(inheritedRPS)
+	popular := profile.MostPopular(n.rps.View().Profiles(), n.cfg.ColdStartRatings)
+	for _, id := range popular {
+		n.user.Set(id, now, 1)
+	}
+	n.wup.Seed(inheritedWUP, n.user)
+}
+
+// Publish creates a news item at this node (generateNewsItem, Algorithm 1
+// lines 12-17): the source likes its own item, initializes the item profile
+// from its user profile, and hands the item to BEEP as a liked item.
+func (n *Node) Publish(item news.Item, now int64) []Send {
+	if _, dup := n.seen[item.ID]; dup {
+		return nil
+	}
+	n.seen[item.ID] = struct{}{}
+	n.user.Set(item.ID, item.Created, 1) // line 14: add <idI, tI, 1> to P̃
+	itemProfile := profile.New()
+	n.user.ForEach(func(e profile.Entry) { // lines 15-16
+		itemProfile.AverageIn(e.Item, e.Stamp, e.Score)
+	})
+	msg := ItemMessage{Item: item, Profile: itemProfile, Dislikes: 0, Hops: 0}
+	return n.forward(msg, true, now)
+}
+
+// Receive processes an incoming item (Algorithm 1 lines 1-11 followed by
+// Algorithm 2). It returns the delivery record and the sends BEEP produces.
+// Duplicate receipts are dropped per the SIR model (Section III).
+func (n *Node) Receive(msg ItemMessage, now int64) (Delivery, []Send) {
+	d := Delivery{
+		Node:       n.id,
+		Item:       msg.Item.ID,
+		Hops:       msg.Hops,
+		Dislikes:   msg.Dislikes,
+		ViaDislike: msg.ViaDislike,
+	}
+	if _, dup := n.seen[msg.Item.ID]; dup {
+		d.Duplicate = true
+		return d, nil
+	}
+	n.seen[msg.Item.ID] = struct{}{}
+
+	liked := n.opinions.Likes(n.id, msg.Item.ID)
+	d.Liked = liked
+	if liked {
+		// Lines 3-4: aggregate the user profile as it was *before* rating
+		// this item into the item profile, then line 5: record the like.
+		n.user.ForEach(func(e profile.Entry) {
+			msg.Profile.AverageIn(e.Item, e.Stamp, e.Score)
+		})
+		n.user.Set(msg.Item.ID, msg.Item.Created, 1)
+	} else {
+		// Line 7: record the dislike; the item profile is left untouched.
+		n.user.Set(msg.Item.ID, msg.Item.Created, 0)
+	}
+	// Lines 8-10: purge non-recent entries from the item profile before
+	// handing it to BEEP.
+	msg.Profile.PurgeOlderThan(now - n.cfg.ProfileWindow)
+
+	return d, n.forward(msg, liked, now)
+}
+
+// forward implements BEEP (Algorithm 2). For a liked item it amplifies:
+// fLIKE targets picked at random from the WUP view (orientation towards the
+// social network, randomness against over-clustering). For a disliked item
+// it forwards a single copy to the RPS neighbour whose profile is most
+// similar to the *item profile*, while the dislike counter is below the TTL
+// (orientation towards potential likers, serendipity with fanout 1).
+func (n *Node) forward(msg ItemMessage, liked bool, now int64) []Send {
+	var targets []overlay.Descriptor
+	if !liked {
+		if msg.Dislikes >= n.cfg.DislikeTTL {
+			return nil // line 29: TTL reached, drop
+		}
+		msg.Dislikes++ // line 26
+		if t, ok := n.rps.View().MostSimilar(n.cfg.Metric, msg.Profile); ok {
+			targets = []overlay.Descriptor{t} // line 27
+		}
+	} else {
+		targets = n.wup.RandomTargets(n.cfg.FLike) // line 31
+	}
+	if len(targets) == 0 {
+		return nil
+	}
+	sends := make([]Send, 0, len(targets))
+	for i, t := range targets {
+		p := msg.Profile
+		if i < len(targets)-1 {
+			p = msg.Profile.Clone() // each path carries its own copy (II-B)
+		}
+		sends = append(sends, Send{
+			To: t.Node,
+			Msg: ItemMessage{
+				Item:       msg.Item,
+				Profile:    p,
+				Dislikes:   msg.Dislikes,
+				Hops:       msg.Hops + 1,
+				ViaDislike: !liked,
+			},
+		})
+	}
+	return sends
+}
+
+// Crash wipes the node's volatile overlay state (views), modelling a restart
+// for failure-injection tests; the user profile survives as it is local
+// durable state in the prototype.
+func (n *Node) Crash() {
+	n.rps.Crash()
+	n.wup.Crash()
+}

@@ -1,0 +1,115 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"whatsup/internal/news"
+)
+
+// SurveyConfig parameterizes the survey-like workload (Section IV-A). At
+// Scale 1 it matches Table I: 120 base users × 250 base items over a handful
+// of RSS topics, replicated ×4 into 480 users and 1000 items. Every user
+// rates every item, as in the paper's survey where all participants saw the
+// same news list.
+type SurveyConfig struct {
+	Seed  int64
+	Scale float64
+	// Topics overrides the number of RSS topics (default 8: culture,
+	// politics, people, sports, ...).
+	Topics int
+	// Replicas overrides the ×4 instance replication (default 4).
+	Replicas int
+	// Cycles overrides the experiment length (default 65).
+	Cycles int
+}
+
+func (c SurveyConfig) withDefaults() SurveyConfig {
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	if c.Topics <= 0 {
+		c.Topics = 8
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 4
+	}
+	if c.Cycles <= 0 {
+		c.Cycles = 65
+	}
+	return c
+}
+
+// Survey generates the survey-like workload: items carry one of a few
+// topics; each base user has a per-topic affinity (a mixture of a couple of
+// strong interests and background curiosity) and rates every item by a
+// Bernoulli draw on the affinity. Base users and items are then replicated,
+// reproducing the paper's ×4 scaling including its acknowledged bias (the
+// replicas rate identically).
+func Survey(cfg SurveyConfig) *Dataset {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	baseUsers := max(5, int(120*cfg.Scale))
+	baseItems := max(10, int(250*cfg.Scale))
+	users := baseUsers * cfg.Replicas
+	items := baseItems * cfg.Replicas
+
+	// Per-user topic affinities: 2-3 favourite topics liked with high
+	// probability, the rest with low background curiosity. The bimodal
+	// shape mirrors the paper's survey, where participants reacted strongly
+	// along topic lines (precision ≈0.5 at recall ≈0.8 is only achievable
+	// with well-defined audiences).
+	affinity := make([][]float64, baseUsers)
+	for u := range affinity {
+		affinity[u] = make([]float64, cfg.Topics)
+		for t := range affinity[u] {
+			affinity[u][t] = 0.02 + 0.05*rng.Float64() // background curiosity
+		}
+		favs := 2 + rng.Intn(2)
+		for f := 0; f < favs; f++ {
+			affinity[u][rng.Intn(cfg.Topics)] = 0.75 + 0.2*rng.Float64()
+		}
+	}
+
+	// Base rating matrix: every base user rates every base item.
+	itemTopic := make([]int, baseItems)
+	baseLikes := make([][]bool, baseUsers)
+	for u := range baseLikes {
+		baseLikes[u] = make([]bool, baseItems)
+	}
+	for i := range itemTopic {
+		itemTopic[i] = rng.Intn(cfg.Topics)
+		for u := 0; u < baseUsers; u++ {
+			baseLikes[u][i] = rng.Float64() < affinity[u][itemTopic[i]]
+		}
+	}
+
+	d := newDataset("survey", users, items, cfg.Cycles, cfg.Topics)
+	k := 0
+	for rep := 0; rep < cfg.Replicas; rep++ {
+		for i := 0; i < baseItems; i++ {
+			title := fmt.Sprintf("survey-%d-%d", rep, i)
+			it := news.New(title, fmt.Sprintf("topic %d", itemTopic[i]), "rss://"+title, 0, 0)
+			it.Community = itemTopic[i]
+			cycle := spreadCycle(k, items, cfg.Cycles)
+			it.Created = cycle
+			idx := d.addItem(it, cycle, itemTopic[i])
+			var interested []int
+			for ur := 0; ur < cfg.Replicas; ur++ {
+				for u := 0; u < baseUsers; u++ {
+					if baseLikes[u][i] {
+						user := ur*baseUsers + u
+						d.setLike(user, idx)
+						interested = append(interested, user)
+					}
+				}
+			}
+			if len(interested) > 0 {
+				d.setSource(idx, news.NodeID(interested[rng.Intn(len(interested))]))
+			}
+			k++
+		}
+	}
+	d.finalize()
+	return d
+}

@@ -1,0 +1,266 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// tiny returns fast options for tests: small scale, fixed seed.
+func tiny() Options { return Options{Seed: 3, Scale: 0.08, Workers: 2} }
+
+func TestTable1(t *testing.T) {
+	r := Table1(tiny())
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows=%d want 3", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Users == 0 || row.News == 0 {
+			t.Fatalf("empty workload row: %+v", row)
+		}
+	}
+	if r.String() == "" {
+		t.Fatal("empty rendering")
+	}
+}
+
+func TestTable3ShapeHolds(t *testing.T) {
+	r := Table3(tiny())
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows=%d want 5", len(r.Rows))
+	}
+	gossip := r.Row("Gossip")
+	whatsup := r.Row("WhatsUp")
+	cfwup := r.Row("CF-Wup")
+	if gossip == nil || whatsup == nil || cfwup == nil {
+		t.Fatal("missing rows")
+	}
+	// Homogeneous gossip floods: highest recall, low precision.
+	if gossip.Recall < whatsup.Recall-0.05 {
+		t.Fatalf("gossip recall %v must be at least WhatsUp's %v", gossip.Recall, whatsup.Recall)
+	}
+	if gossip.Precision > whatsup.Precision {
+		t.Fatalf("gossip precision %v must not beat WhatsUp %v", gossip.Precision, whatsup.Precision)
+	}
+	// WhatsUp's headline: competitive F1 at the lowest message budget among
+	// the similarity-driven competitors (gossip at f=4 can be cheaper at
+	// tiny test scales; at paper scale it costs ~2× WhatsUp).
+	for _, name := range []string{"CF-Cos", "CF-Wup", "WhatsUp-Cos"} {
+		row := r.Row(name)
+		if whatsup.MsgsPerUser > row.MsgsPerUser {
+			t.Fatalf("WhatsUp (%0.f msgs/user) must be cheapest, %s costs %0.f",
+				whatsup.MsgsPerUser, name, row.MsgsPerUser)
+		}
+	}
+}
+
+func TestTable4DislikePathContributes(t *testing.T) {
+	r := Table4(tiny())
+	if len(r.Fractions) != 5 {
+		t.Fatalf("fractions=%d want 5", len(r.Fractions))
+	}
+	if r.Fractions[0] < 0.3 {
+		t.Fatalf("most liked deliveries arrive without dislike forwards, got %v", r.Fractions[0])
+	}
+	if r.ViaDislikeShare() <= 0 {
+		t.Fatal("the dislike path must contribute some deliveries")
+	}
+}
+
+func TestTable5Shapes(t *testing.T) {
+	r := Table5(tiny())
+	pubsub := r.Row("survey", "C-Pub/Sub")
+	wuSurvey := r.Row("survey", "WhatsUp")
+	cascade := r.Row("digg", "Cascade")
+	wuDigg := r.Row("digg", "WhatsUp")
+	if pubsub == nil || wuSurvey == nil || cascade == nil || wuDigg == nil {
+		t.Fatal("missing Table V rows")
+	}
+	if pubsub.Recall < 0.999 {
+		t.Fatalf("C-Pub/Sub recall must be 1, got %v", pubsub.Recall)
+	}
+	if pubsub.Messages >= wuSurvey.Messages {
+		t.Fatal("C-Pub/Sub must be cheaper than WhatsUp")
+	}
+	if cascade.Recall >= wuDigg.Recall {
+		t.Fatalf("cascade recall %v must trail WhatsUp %v", cascade.Recall, wuDigg.Recall)
+	}
+}
+
+func TestTable6LossShape(t *testing.T) {
+	r := Table6(tiny())
+	if len(r.Cells) != len(Table6LossRates)*len(Table6Fanouts) {
+		t.Fatalf("cells=%d", len(r.Cells))
+	}
+	clean6 := r.Cell(0, 6)
+	mid6 := r.Cell(0.20, 6)
+	heavy6 := r.Cell(0.50, 6)
+	if clean6 == nil || mid6 == nil || heavy6 == nil {
+		t.Fatal("missing cells")
+	}
+	// Robustness headline: 20% loss barely moves F1 at fanout 6; 50% hurts.
+	if mid6.F1 < clean6.F1-0.15 {
+		t.Fatalf("20%% loss should be mostly absorbed: clean=%v lossy=%v", clean6.F1, mid6.F1)
+	}
+	if heavy6.F1 >= clean6.F1 {
+		t.Fatalf("50%% loss must hurt: clean=%v heavy=%v", clean6.F1, heavy6.F1)
+	}
+}
+
+func TestFig3SeriesComplete(t *testing.T) {
+	r := Fig3("survey", tiny())
+	if len(r.Series) != 4 {
+		t.Fatalf("series=%d want 4", len(r.Series))
+	}
+	for _, s := range r.Series {
+		if len(s.Points) != len(fig3Fanouts("survey")) {
+			t.Fatalf("%s has %d points", s.Alg, len(s.Points))
+		}
+		if _, best := s.BestF1(); best == 0 {
+			t.Fatalf("%s never scores", s.Alg)
+		}
+	}
+}
+
+func TestFig4LSCCGrowsWithFanout(t *testing.T) {
+	r := Fig4(tiny())
+	for _, s := range r.Series {
+		first, last := s.Points[0], s.Points[len(s.Points)-1]
+		if last.LSCC < first.LSCC-0.1 {
+			t.Fatalf("%s connectivity should not shrink with fanout: %v -> %v", s.Alg, first.LSCC, last.LSCC)
+		}
+	}
+}
+
+func TestFig5TTLRecallMonotoneish(t *testing.T) {
+	r := Fig5(tiny())
+	if len(r.Points) != len(Fig5TTLs) {
+		t.Fatalf("points=%d", len(r.Points))
+	}
+	ttl0, ttl4 := r.Points[0], r.Points[3]
+	if ttl4.Recall < ttl0.Recall-0.02 {
+		t.Fatalf("recall with TTL4 (%v) must not trail TTL0 (%v)", ttl4.Recall, ttl0.Recall)
+	}
+}
+
+func TestFig6BellShape(t *testing.T) {
+	r := Fig6(tiny())
+	if r.MeanInfectionHops <= 0 {
+		t.Fatal("mean infection hops must be positive")
+	}
+	if len(r.InfectionByLike) == 0 {
+		t.Fatal("no like infections recorded")
+	}
+	if r.MaxHop() == 0 {
+		t.Fatal("dissemination must travel beyond the source")
+	}
+}
+
+func TestFig7JoinerConverges(t *testing.T) {
+	o := tiny()
+	r := Fig7(o, Fig7Config{Trials: 1, EventCycle: 15, TotalCycles: 40, Window: 10})
+	if r.WhatsUp.JoinConvergence < 0 {
+		t.Fatal("joiner must converge under the WUP metric in the test horizon")
+	}
+	if len(r.WhatsUp.RefSim) != 40 || len(r.Cosine.RefSim) != 40 {
+		t.Fatal("per-cycle samples missing")
+	}
+	if r.String() == "" {
+		t.Fatal("empty rendering")
+	}
+}
+
+func TestFig8SimulationOnly(t *testing.T) {
+	o := tiny()
+	r := Fig8(o, Fig8Config{Fanouts: []int{3, 6}, Cycles: 20, SkipLive: true})
+	if len(r.Points) != 2 {
+		t.Fatalf("points=%d", len(r.Points))
+	}
+	for _, p := range r.Points {
+		if p.TotalKbps <= 0 {
+			t.Fatalf("bandwidth must be accounted: %+v", p)
+		}
+		if p.BEEPKbps+p.WUPKbps != p.TotalKbps {
+			t.Fatal("bandwidth decomposition must sum")
+		}
+	}
+	if r.Points[1].TotalKbps <= r.Points[0].TotalKbps {
+		t.Fatal("bandwidth must grow with fanout")
+	}
+}
+
+func TestFig8WithLiveRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live runs in -short mode")
+	}
+	o := tiny()
+	r := Fig8(o, Fig8Config{Fanouts: []int{4}, Cycles: 15, CycleLength: 3 * time.Millisecond})
+	p := r.Points[0]
+	if p.ModelNet == 0 && p.PlanetLab == 0 {
+		t.Fatal("live runs must deliver something")
+	}
+}
+
+func TestFig9CentralizedUpperBound(t *testing.T) {
+	r := Fig9(tiny())
+	if len(r.Series) != 3 {
+		t.Fatalf("series=%d", len(r.Series))
+	}
+	central := r.Series[0]
+	if central.Name != "Centralized" {
+		t.Fatal("first series must be the centralized variant")
+	}
+	if central.Best().F1 == 0 {
+		t.Fatal("centralized must score")
+	}
+}
+
+func TestFig10PopularityBuckets(t *testing.T) {
+	r := Fig10(tiny())
+	nonEmpty := 0
+	for _, b := range r.WhatsUp {
+		if b.Count > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty == 0 {
+		t.Fatal("popularity buckets all empty")
+	}
+}
+
+func TestFig11SociabilityTrend(t *testing.T) {
+	r := Fig11(tiny())
+	if len(r.Buckets) == 0 {
+		t.Fatal("no sociability buckets")
+	}
+	if r.Correlation <= -0.5 {
+		t.Fatalf("sociability correlation strongly negative: %v", r.Correlation)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	o := tiny()
+	for _, r := range []AblationResult{
+		AblationWUPViewSize(o),
+		AblationProfileWindow(o),
+		AblationRPSViewSize(o),
+	} {
+		if len(r.Points) < 3 {
+			t.Fatalf("%s: too few points", r.Name)
+		}
+		for _, p := range r.Points {
+			if p.F1 == 0 {
+				t.Fatalf("%s %s: zero F1", r.Name, p.Label)
+			}
+		}
+	}
+}
+
+func TestRunDeterministicAcrossCalls(t *testing.T) {
+	o := tiny()
+	ds := datasetByName("survey", o)
+	a := Run(RunConfig{Dataset: ds, Alg: WhatsUp, Fanout: 6, Seed: 5})
+	b := Run(RunConfig{Dataset: ds, Alg: WhatsUp, Fanout: 6, Seed: 5})
+	if a.Col.F1() != b.Col.F1() || a.Col.TotalMessages() != b.Col.TotalMessages() {
+		t.Fatal("identical configs must reproduce identical outcomes")
+	}
+}

@@ -1,0 +1,263 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"whatsup/internal/core"
+	"whatsup/internal/dataset"
+	"whatsup/internal/metrics"
+	"whatsup/internal/news"
+	"whatsup/internal/profile"
+	"whatsup/internal/sim"
+)
+
+// Fig7Curve is one metric variant's dynamics: per-cycle averages (over
+// trials) of the WUP-view similarity of the reference, joining and changing
+// nodes (Figures 7a/7b) and of the number of liked news items they receive
+// per cycle (Figure 7c).
+type Fig7Curve struct {
+	Metric      string
+	Cycles      []int64
+	RefSim      []float64
+	JoinSim     []float64
+	ChangeSim   []float64
+	RefLiked    []float64
+	JoinLiked   []float64
+	ChangeLiked []float64
+	// JoinConvergence / ChangeConvergence: cycles after the event until the
+	// node's view similarity first sustains ≥90% of the reference node's.
+	JoinConvergence   int
+	ChangeConvergence int
+}
+
+// Fig7Result reproduces Figure 7: cold start and interest dynamics, for the
+// WUP metric and for cosine. The WUP metric should converge several times
+// faster (paper: ~20 vs >100 cycles for joining, ~40 vs >100 for changing).
+type Fig7Result struct {
+	EventCycle int64
+	TotalCycle int64
+	Trials     int
+	WhatsUp    Fig7Curve
+	Cosine     Fig7Curve
+}
+
+// Fig7Config tunes the dynamics experiment.
+type Fig7Config struct {
+	// Trials to average over (the paper used 100; default 5).
+	Trials int
+	// EventCycle is when the join and the interest swap happen (default 100).
+	EventCycle int64
+	// TotalCycles is the run length (default 200).
+	TotalCycles int
+	// Window is the profile window (default 40 cycles, Section V-C).
+	Window int64
+	// Fanout is fLIKE (default 10).
+	Fanout int
+}
+
+func (c Fig7Config) withDefaults() Fig7Config {
+	if c.Trials <= 0 {
+		c.Trials = 5
+	}
+	if c.EventCycle <= 0 {
+		c.EventCycle = 100
+	}
+	if c.TotalCycles <= 0 {
+		c.TotalCycles = 200
+	}
+	if c.Window <= 0 {
+		c.Window = 40
+	}
+	if c.Fanout <= 0 {
+		c.Fanout = 10
+	}
+	return c
+}
+
+// remapOpinions routes each node's opinions through a mutable identity
+// table, enabling the joining node (same interests as the reference) and
+// the interest swap of the changing-node experiment.
+type remapOpinions struct {
+	ds    *dataset.Dataset
+	remap []news.NodeID
+}
+
+func (r *remapOpinions) Likes(n news.NodeID, item news.ID) bool {
+	return r.ds.Likes(r.remap[n], item)
+}
+
+// Fig7 runs the dynamics experiment with the given options and config.
+func Fig7(o Options, cfg Fig7Config) Fig7Result {
+	o = o.WithDefaults()
+	cfg = cfg.withDefaults()
+	res := Fig7Result{
+		EventCycle: cfg.EventCycle,
+		TotalCycle: int64(cfg.TotalCycles),
+		Trials:     cfg.Trials,
+	}
+	curves := parallel(o.Workers, []func() Fig7Curve{
+		func() Fig7Curve { return fig7Metric(o, cfg, profile.WUP{}) },
+		func() Fig7Curve { return fig7Metric(o, cfg, profile.Cosine{}) },
+	})
+	res.WhatsUp, res.Cosine = curves[0], curves[1]
+	return res
+}
+
+// fig7Metric averages Trials runs for one metric.
+func fig7Metric(o Options, cfg Fig7Config, metric profile.Metric) Fig7Curve {
+	nCycles := cfg.TotalCycles
+	acc := Fig7Curve{Metric: metric.Name()}
+	acc.Cycles = make([]int64, nCycles)
+	for i := range acc.Cycles {
+		acc.Cycles[i] = int64(i + 1)
+	}
+	for _, field := range []*[]float64{&acc.RefSim, &acc.JoinSim, &acc.ChangeSim, &acc.RefLiked, &acc.JoinLiked, &acc.ChangeLiked} {
+		*field = make([]float64, nCycles)
+	}
+
+	trials := make([]func() Fig7Curve, cfg.Trials)
+	for t := 0; t < cfg.Trials; t++ {
+		seed := o.Seed + int64(t)*7919
+		trials[t] = func() Fig7Curve { return fig7Trial(o, cfg, metric, seed) }
+	}
+	results := parallel(o.Workers, trials)
+	for _, tr := range results {
+		for i := 0; i < nCycles; i++ {
+			acc.RefSim[i] += tr.RefSim[i] / float64(cfg.Trials)
+			acc.JoinSim[i] += tr.JoinSim[i] / float64(cfg.Trials)
+			acc.ChangeSim[i] += tr.ChangeSim[i] / float64(cfg.Trials)
+			acc.RefLiked[i] += tr.RefLiked[i] / float64(cfg.Trials)
+			acc.JoinLiked[i] += tr.JoinLiked[i] / float64(cfg.Trials)
+			acc.ChangeLiked[i] += tr.ChangeLiked[i] / float64(cfg.Trials)
+		}
+	}
+	acc.JoinConvergence = convergenceCycles(acc.JoinSim, acc.RefSim, int(cfg.EventCycle), 0.9)
+	acc.ChangeConvergence = convergenceCycles(acc.ChangeSim, acc.RefSim, int(cfg.EventCycle), 0.9)
+	return acc
+}
+
+// convergenceCycles returns how many cycles after the event the candidate
+// curve first reaches the threshold fraction of the reference curve.
+// Returns -1 if never.
+func convergenceCycles(candidate, reference []float64, event int, threshold float64) int {
+	for i := event; i < len(candidate); i++ {
+		if reference[i] <= 0 {
+			continue
+		}
+		if candidate[i] >= threshold*reference[i] {
+			return i - event
+		}
+	}
+	return -1
+}
+
+// fig7Trial runs one seeded trial and returns its per-cycle samples.
+func fig7Trial(o Options, cfg Fig7Config, metric profile.Metric, seed int64) Fig7Curve {
+	ds := dataset.Survey(dataset.SurveyConfig{Seed: o.Seed, Scale: o.Scale, Cycles: cfg.TotalCycles})
+	op := &remapOpinions{ds: ds, remap: make([]news.NodeID, ds.Users+1)}
+	for i := range op.remap {
+		op.remap[i] = news.NodeID(i) // identity; entry ds.Users is the joiner
+	}
+
+	nodeCfg := core.Config{
+		FLike:         cfg.Fanout,
+		Metric:        metric,
+		ProfileWindow: cfg.Window,
+	}
+	peers := make([]sim.Peer, ds.Users)
+	nodes := make([]*core.Node, ds.Users)
+	for i := 0; i < ds.Users; i++ {
+		n := core.NewNode(news.NodeID(i), "", nodeCfg, op, nodeRNG(seed, i))
+		nodes[i] = n
+		peers[i] = n
+	}
+
+	// Trial-specific role assignment.
+	roleRNG := nodeRNG(seed, 1<<20)
+	ref := nodes[roleRNG.Intn(ds.Users)]
+	changing := nodes[roleRNG.Intn(ds.Users)]
+	for changing == ref {
+		changing = nodes[roleRNG.Intn(ds.Users)]
+	}
+	swapWith := news.NodeID(roleRNG.Intn(ds.Users))
+	joinID := news.NodeID(ds.Users)
+	op.remap[joinID] = ref.ID() // the joiner shares the reference's interests
+
+	nCycles := cfg.TotalCycles
+	tr := Fig7Curve{Metric: metric.Name()}
+	for _, field := range []*[]float64{&tr.RefSim, &tr.JoinSim, &tr.ChangeSim, &tr.RefLiked, &tr.JoinLiked, &tr.ChangeLiked} {
+		*field = make([]float64, nCycles)
+	}
+
+	var joiner *core.Node
+	col := metrics.NewCollector()
+	register(ds, col)
+	e := sim.New(sim.Config{
+		Seed:         seed,
+		Cycles:       nCycles,
+		Publications: publications(ds),
+		OnDelivery: func(d core.Delivery, now int64) {
+			if !d.Liked || now < 1 || now > int64(nCycles) {
+				return
+			}
+			switch d.Node {
+			case ref.ID():
+				tr.RefLiked[now-1]++
+			case joinID:
+				tr.JoinLiked[now-1]++
+			case changing.ID():
+				tr.ChangeLiked[now-1]++
+			}
+		},
+		OnCycleEnd: func(e *sim.Engine, now int64) {
+			i := now - 1
+			tr.RefSim[i] = ref.WUP().AverageSimilarity(ref.UserProfile())
+			tr.ChangeSim[i] = changing.WUP().AverageSimilarity(changing.UserProfile())
+			if joiner != nil {
+				tr.JoinSim[i] = joiner.WUP().AverageSimilarity(joiner.UserProfile())
+			}
+		},
+	}, peers, col)
+	e.Bootstrap()
+
+	for c := 0; c < nCycles; c++ {
+		if int64(c) == cfg.EventCycle {
+			// Interest change: the changing node swaps identities with a
+			// random node (Section V-C).
+			op.remap[changing.ID()], op.remap[swapWith] = op.remap[swapWith], op.remap[changing.ID()]
+			// Join: cold start from a random host's views.
+			host := nodes[roleRNG.Intn(ds.Users)]
+			joiner = core.NewNode(joinID, "", nodeCfg, op, nodeRNG(seed, 1<<21))
+			joiner.ColdStart(host.RPS().View().Entries(), host.WUP().View().Entries(), e.Now())
+			e.AddPeer(joiner)
+		}
+		e.Step()
+	}
+	return tr
+}
+
+// String summarizes the dynamics result.
+func (r Fig7Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7 (survey, event at cycle %d of %d, %d trials)\n", r.EventCycle, r.TotalCycle, r.Trials)
+	for _, c := range []Fig7Curve{r.WhatsUp, r.Cosine} {
+		fmt.Fprintf(&b, "  metric=%-7s join-convergence=%s change-convergence=%s\n",
+			c.Metric, cyclesOrNever(c.JoinConvergence), cyclesOrNever(c.ChangeConvergence))
+		last := len(c.Cycles) - 1
+		mid := int(r.EventCycle) + 5
+		if mid > last {
+			mid = last
+		}
+		fmt.Fprintf(&b, "    refSim(end)=%.2f joinSim(+5)=%.2f joinSim(end)=%.2f changeSim(end)=%.2f joinLiked(+5)=%.1f\n",
+			c.RefSim[last], c.JoinSim[mid], c.JoinSim[last], c.ChangeSim[last], c.JoinLiked[mid])
+	}
+	return b.String()
+}
+
+func cyclesOrNever(c int) string {
+	if c < 0 {
+		return "never"
+	}
+	return fmt.Sprintf("%d cycles", c)
+}

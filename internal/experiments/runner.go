@@ -1,0 +1,228 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (Section V). Every driver is deterministic given its
+// options and returns a printable result whose rows mirror the paper's.
+// Sweep points (fanouts, loss rates, dataset×algorithm cells) run on a
+// bounded worker pool; each point is an independent deterministic
+// simulation.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"whatsup/internal/baselines"
+	"whatsup/internal/core"
+	"whatsup/internal/dataset"
+	"whatsup/internal/metrics"
+	"whatsup/internal/news"
+	"whatsup/internal/profile"
+	"whatsup/internal/sim"
+
+	"math/rand"
+)
+
+// Algorithm names the gossip-driven systems of the evaluation.
+type Algorithm string
+
+// The gossip-driven algorithms compared throughout Section V.
+const (
+	WhatsUp     Algorithm = "WhatsUp"
+	WhatsUpCos  Algorithm = "WhatsUp-Cos"
+	CFWup       Algorithm = "CF-Wup"
+	CFCos       Algorithm = "CF-Cos"
+	PlainGossip Algorithm = "Gossip"
+)
+
+// Options are shared by all experiment drivers.
+type Options struct {
+	// Seed drives every random choice of the experiment.
+	Seed int64
+	// Scale shrinks the datasets (1.0 = paper scale, Table I).
+	Scale float64
+	// Workers bounds the sweep-point pool (default: NumCPU).
+	Workers int
+}
+
+// WithDefaults fills unset options.
+func (o Options) WithDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.NumCPU()
+	}
+	return o
+}
+
+// RunConfig describes one simulation point.
+type RunConfig struct {
+	Dataset *dataset.Dataset
+	Alg     Algorithm
+	Fanout  int // fLIKE for WhatsUp variants, k for CF, f for gossip
+	Seed    int64
+	Loss    float64
+	// TTL: 0 = paper default (4), negative = explicit 0 (Figure 5 sweep).
+	TTL int
+	// Window overrides the profile window (0 = default 13 cycles).
+	Window int64
+	// WUPViewFactor overrides WUPvs = factor·fLIKE (0 = paper's 2). Used by
+	// the ablation benches.
+	WUPViewFactor int
+	// RPSViewSize overrides RPSvs (0 = paper's 30).
+	RPSViewSize int
+	// Cycles overrides the run length (0 = dataset default).
+	Cycles int
+	// OnCycleEnd/OnDelivery are forwarded to the engine.
+	OnCycleEnd func(e *sim.Engine, now int64)
+	OnDelivery func(d core.Delivery, now int64)
+}
+
+// Outcome bundles a finished run.
+type Outcome struct {
+	Col    *metrics.Collector
+	Engine *sim.Engine
+	Cycles int
+}
+
+// nodeRNG derives a per-node random source from the run seed.
+func nodeRNG(seed int64, node int) *rand.Rand {
+	return rand.New(rand.NewSource(seed*1_000_003 + int64(node)))
+}
+
+// buildPeers constructs the peer population for an algorithm.
+func buildPeers(rc RunConfig) []sim.Peer {
+	ds := rc.Dataset
+	op := ds.Opinions()
+	peers := make([]sim.Peer, ds.Users)
+	window := rc.Window
+	if window == 0 {
+		window = core.DefaultProfileWindow
+	}
+	rpsVS := rc.RPSViewSize
+	for i := 0; i < ds.Users; i++ {
+		id := news.NodeID(i)
+		rng := nodeRNG(rc.Seed, i)
+		switch rc.Alg {
+		case PlainGossip:
+			peers[i] = baselines.NewGossip(id, rc.Fanout, rpsVS, op, rng)
+		case CFWup:
+			peers[i] = baselines.NewCF(id, rc.Fanout, rpsVS, window, profile.WUP{}, op, rng)
+		case CFCos:
+			peers[i] = baselines.NewCF(id, rc.Fanout, rpsVS, window, profile.Cosine{}, op, rng)
+		case WhatsUpCos, WhatsUp:
+			metric := profile.Metric(profile.WUP{})
+			if rc.Alg == WhatsUpCos {
+				metric = profile.Cosine{}
+			}
+			cfg := core.Config{
+				FLike:         rc.Fanout,
+				Metric:        metric,
+				DislikeTTL:    rc.TTL,
+				ProfileWindow: window,
+				RPSViewSize:   rpsVS,
+			}
+			if rc.WUPViewFactor > 0 {
+				cfg.WUPViewSize = rc.WUPViewFactor * rc.Fanout
+			}
+			peers[i] = core.NewNode(id, "", cfg, op, rng)
+		default:
+			panic(fmt.Sprintf("experiments: unknown algorithm %q", rc.Alg))
+		}
+	}
+	return peers
+}
+
+// publications converts the dataset schedule into engine publications.
+func publications(ds *dataset.Dataset) []sim.Publication {
+	pubs := make([]sim.Publication, 0, len(ds.Items))
+	for i := range ds.Items {
+		it := ds.Items[i]
+		pubs = append(pubs, sim.Publication{Cycle: it.Cycle, Source: it.News.Source, Item: it.News})
+	}
+	return pubs
+}
+
+// register declares the workload with a collector. Items published during
+// the initial transient are registered as warm-up: disseminated but not
+// measured.
+func register(ds *dataset.Dataset, col *metrics.Collector) {
+	for i := range ds.Items {
+		if ds.IsWarmup(i) {
+			col.RegisterWarmupItem(ds.Items[i].News.ID, ds.Items[i].Interested)
+		} else {
+			col.RegisterItem(ds.Items[i].News.ID, ds.Items[i].Interested)
+		}
+	}
+	for u := 0; u < ds.Users; u++ {
+		col.RegisterNode(news.NodeID(u), ds.UserInterestCount(news.NodeID(u)))
+	}
+}
+
+// Run executes one simulation point.
+func Run(rc RunConfig) Outcome {
+	ds := rc.Dataset
+	cycles := rc.Cycles
+	if cycles == 0 {
+		cycles = ds.Cycles
+	}
+	peers := buildPeers(rc)
+	col := metrics.NewCollector()
+	register(ds, col)
+	e := sim.New(sim.Config{
+		Seed:         rc.Seed,
+		Cycles:       cycles,
+		LossRate:     rc.Loss,
+		Publications: publications(ds),
+		OnCycleEnd:   rc.OnCycleEnd,
+		OnDelivery:   rc.OnDelivery,
+	}, peers, col)
+	e.Bootstrap()
+	e.Run()
+	return Outcome{Col: col, Engine: e, Cycles: cycles}
+}
+
+// parallel runs jobs on a bounded pool, preserving result order. Each job is
+// independent and deterministic, so concurrency does not affect results.
+func parallel[T any](workers int, jobs []func() T) []T {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	out := make([]T, len(jobs))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, job := range jobs {
+		wg.Add(1)
+		go func(i int, job func() T) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i] = job()
+		}(i, job)
+	}
+	wg.Wait()
+	return out
+}
+
+// DatasetByName builds one of the three workloads ("synthetic", "digg",
+// "survey") at the given options.
+func DatasetByName(name string, o Options) *dataset.Dataset {
+	return datasetByName(name, o)
+}
+
+// datasetByName builds one of the three workloads at the given options.
+func datasetByName(name string, o Options) *dataset.Dataset {
+	switch name {
+	case "synthetic":
+		return dataset.Synthetic(dataset.SyntheticConfig{Seed: o.Seed, Scale: o.Scale})
+	case "digg":
+		return dataset.Digg(dataset.DiggConfig{Seed: o.Seed, Scale: o.Scale})
+	case "survey":
+		return dataset.Survey(dataset.SurveyConfig{Seed: o.Seed, Scale: o.Scale})
+	default:
+		panic(fmt.Sprintf("experiments: unknown dataset %q", name))
+	}
+}

@@ -1,0 +1,89 @@
+package live
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"whatsup/internal/news"
+)
+
+// ChannelNet is the ModelNet stand-in: an in-memory network of buffered Go
+// channels with configurable uniform message loss and delivery latency. Loss
+// applies to every message kind — BEEP and gossip alike — matching the
+// Section V-E experiment.
+type ChannelNet struct {
+	mu      sync.Mutex
+	boxes   map[news.NodeID]chan envelope
+	rng     *rand.Rand
+	loss    float64
+	latency time.Duration
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// NewChannelNet builds a lossy in-memory network.
+func NewChannelNet(seed int64, loss float64, latency time.Duration) *ChannelNet {
+	return &ChannelNet{
+		boxes:   make(map[news.NodeID]chan envelope),
+		rng:     rand.New(rand.NewSource(seed)),
+		loss:    loss,
+		latency: latency,
+	}
+}
+
+// Register implements Network.
+func (c *ChannelNet) Register(id news.NodeID) <-chan envelope {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	box := make(chan envelope, 4096)
+	c.boxes[id] = box
+	return box
+}
+
+// Send implements Network: drops with the configured probability, otherwise
+// delivers after the configured latency. Full inboxes drop (backpressure as
+// loss, like a saturated emulated link).
+func (c *ChannelNet) Send(env envelope) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	drop := c.loss > 0 && c.rng.Float64() < c.loss
+	box := c.boxes[env.To]
+	c.mu.Unlock()
+	if drop || box == nil {
+		return
+	}
+	deliver := func() {
+		defer func() { recover() }() // lost race with Close: treat as loss
+		select {
+		case box <- env:
+		default: // inbox overflow: dropped
+		}
+	}
+	if c.latency <= 0 {
+		deliver()
+		return
+	}
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		time.Sleep(c.latency)
+		deliver()
+	}()
+}
+
+// Close implements Network.
+func (c *ChannelNet) Close() {
+	c.mu.Lock()
+	c.closed = true
+	boxes := c.boxes
+	c.boxes = map[news.NodeID]chan envelope{}
+	c.mu.Unlock()
+	c.wg.Wait()
+	for _, box := range boxes {
+		close(box)
+	}
+}

@@ -1,0 +1,313 @@
+// Package live runs WhatsUp nodes as concurrent goroutines exchanging real
+// messages, reproducing the paper's two deployment settings (Section V-D):
+//
+//   - ModelNet cluster emulation → ChannelNet: an in-memory network of Go
+//     channels with configurable loss and latency injection;
+//   - PlanetLab deployment → TCPNet: real TCP loopback sockets with bounded
+//     per-node inbound queues whose overflow drops model the congestion of
+//     overloaded PlanetLab nodes.
+//
+// Each peer runs in its own goroutine, driven by a cycle ticker; gossip
+// exchanges are asynchronous request/reply messages rather than the
+// simulator's synchronous calls, so the runtime exercises genuine
+// concurrency, reordering and loss. Results are therefore not
+// bit-deterministic — exactly like the testbeds they stand in for.
+package live
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"whatsup/internal/core"
+	"whatsup/internal/dataset"
+	"whatsup/internal/metrics"
+	"whatsup/internal/news"
+	"whatsup/internal/overlay"
+)
+
+// wireKind tags the message types exchanged by live nodes.
+type wireKind uint8
+
+const (
+	wireRPSRequest wireKind = iota
+	wireRPSReply
+	wireWUPRequest
+	wireWUPReply
+	wireItem
+)
+
+// envelope is one message on a live network.
+type envelope struct {
+	Kind  wireKind
+	From  news.NodeID
+	To    news.NodeID
+	Descs []overlay.Descriptor // gossip payload
+	Item  core.ItemMessage     // BEEP payload
+}
+
+// size approximates the wire size for bandwidth accounting.
+func (e envelope) size() int {
+	switch e.Kind {
+	case wireItem:
+		return e.Item.WireSize()
+	default:
+		total := 0
+		for _, d := range e.Descs {
+			total += d.WireSize()
+		}
+		return total
+	}
+}
+
+func (e envelope) kind() metrics.MessageKind {
+	switch e.Kind {
+	case wireRPSRequest:
+		return metrics.MsgRPSRequest
+	case wireRPSReply:
+		return metrics.MsgRPSReply
+	case wireWUPRequest:
+		return metrics.MsgWUPRequest
+	case wireWUPReply:
+		return metrics.MsgWUPReply
+	default:
+		return metrics.MsgBeep
+	}
+}
+
+// Network is a transport for live runs.
+type Network interface {
+	// Register allocates the inbound queue of a node and returns it.
+	Register(id news.NodeID) <-chan envelope
+	// Send delivers (or drops) an envelope asynchronously.
+	Send(env envelope)
+	// Close tears the transport down.
+	Close()
+}
+
+// Config parameterizes a live run.
+type Config struct {
+	// Seed drives workload scheduling and per-node randomness.
+	Seed int64
+	// Cycles to run; CycleLength is the real-time gossip period (the paper
+	// used 30 s on PlanetLab; tests use milliseconds).
+	Cycles      int
+	CycleLength time.Duration
+	// NodeConfig is the WhatsUp parameter set for every node.
+	NodeConfig core.Config
+	// Bootstrap degree for the initial random views.
+	BootstrapDegree int
+	// OnDelivery, if set, observes every non-duplicate delivery. It is
+	// invoked from node goroutines under the collector lock; keep it short.
+	OnDelivery func(d core.Delivery)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Cycles <= 0 {
+		c.Cycles = 30
+	}
+	if c.CycleLength <= 0 {
+		c.CycleLength = 10 * time.Millisecond
+	}
+	if c.BootstrapDegree <= 0 {
+		c.BootstrapDegree = 5
+	}
+	return c
+}
+
+// Runner owns a fleet of live nodes over a Network.
+type Runner struct {
+	cfg   Config
+	ds    *dataset.Dataset
+	net   Network
+	nodes []*liveNode
+	col   *metrics.Collector
+	colMu sync.Mutex
+}
+
+// liveNode wraps a core.Node with its goroutine state. The node's protocol
+// state is only touched by its own goroutine; the collector is shared and
+// locked.
+type liveNode struct {
+	node   *core.Node
+	inbox  <-chan envelope
+	quit   chan struct{}
+	done   chan struct{}
+	runner *Runner
+	rng    *rand.Rand
+	pubs   []dataset.Item // items this node publishes, by cycle
+}
+
+// NewRunner builds a live fleet over the given network.
+func NewRunner(cfg Config, ds *dataset.Dataset, net Network) *Runner {
+	cfg = cfg.withDefaults()
+	r := &Runner{cfg: cfg, ds: ds, net: net, col: metrics.NewCollector()}
+	for i := range ds.Items {
+		if ds.IsWarmup(i) {
+			r.col.RegisterWarmupItem(ds.Items[i].News.ID, ds.Items[i].Interested)
+		} else {
+			r.col.RegisterItem(ds.Items[i].News.ID, ds.Items[i].Interested)
+		}
+	}
+	op := ds.Opinions()
+	for u := 0; u < ds.Users; u++ {
+		id := news.NodeID(u)
+		r.col.RegisterNode(id, ds.UserInterestCount(id))
+		rng := rand.New(rand.NewSource(cfg.Seed*999983 + int64(u)))
+		ln := &liveNode{
+			node:   core.NewNode(id, "", cfg.NodeConfig, op, rng),
+			inbox:  net.Register(id),
+			quit:   make(chan struct{}),
+			done:   make(chan struct{}),
+			runner: r,
+			rng:    rng,
+		}
+		r.nodes = append(r.nodes, ln)
+	}
+	// Assign publications to their source nodes.
+	for i := range ds.Items {
+		src := ds.Items[i].News.Source
+		if src >= 0 && int(src) < len(r.nodes) {
+			r.nodes[src].pubs = append(r.nodes[src].pubs, ds.Items[i])
+		}
+	}
+	// Bootstrap: random initial views.
+	boot := rand.New(rand.NewSource(cfg.Seed))
+	for _, ln := range r.nodes {
+		var descs []overlay.Descriptor
+		for _, j := range boot.Perm(len(r.nodes)) {
+			if news.NodeID(j) == ln.node.ID() {
+				continue
+			}
+			descs = append(descs, overlay.Descriptor{
+				Node:    news.NodeID(j),
+				Stamp:   0,
+				Profile: r.nodes[j].node.UserProfile().Clone(),
+			})
+			if len(descs) == cfg.BootstrapDegree {
+				break
+			}
+		}
+		ln.node.SeedViews(descs)
+	}
+	return r
+}
+
+// Collector returns the shared metrics collector. Safe to read after Run
+// returns.
+func (r *Runner) Collector() *metrics.Collector { return r.col }
+
+// Run starts every node goroutine, lets them gossip for the configured
+// number of cycles, then stops the fleet and returns.
+func (r *Runner) Run() {
+	var wg sync.WaitGroup
+	for _, ln := range r.nodes {
+		wg.Add(1)
+		go func(ln *liveNode) {
+			defer wg.Done()
+			ln.loop()
+		}(ln)
+	}
+	total := time.Duration(r.cfg.Cycles) * r.cfg.CycleLength
+	time.Sleep(total)
+	for _, ln := range r.nodes {
+		close(ln.quit)
+	}
+	wg.Wait()
+	r.net.Close()
+}
+
+// record safely updates the shared collector.
+func (r *Runner) record(fn func(col *metrics.Collector)) {
+	r.colMu.Lock()
+	defer r.colMu.Unlock()
+	fn(r.col)
+}
+
+// send accounts and transmits an envelope.
+func (r *Runner) send(env envelope) {
+	r.record(func(col *metrics.Collector) { col.RecordMessage(env.kind(), env.size()) })
+	r.net.Send(env)
+}
+
+// loop is the node goroutine: a cycle ticker interleaved with inbound
+// message processing.
+func (ln *liveNode) loop() {
+	defer close(ln.done)
+	ticker := time.NewTicker(ln.runner.cfg.CycleLength)
+	defer ticker.Stop()
+	cycle := int64(0)
+	for {
+		select {
+		case <-ln.quit:
+			return
+		case <-ticker.C:
+			cycle++
+			ln.onCycle(cycle)
+		case env, ok := <-ln.inbox:
+			if !ok {
+				return
+			}
+			ln.onMessage(env, cycle)
+		}
+	}
+}
+
+// onCycle runs the periodic protocol actions: window purge, RPS and WUP
+// exchange initiation, and this node's scheduled publications.
+func (ln *liveNode) onCycle(cycle int64) {
+	n := ln.node
+	n.BeginCycle(cycle)
+
+	if target, ok := n.RPS().SelectPeer(); ok {
+		push := n.RPS().MakePush(n.RPS().Descriptor(cycle, n.UserProfile()))
+		ln.runner.send(envelope{Kind: wireRPSRequest, From: n.ID(), To: target.Node, Descs: push})
+	}
+	n.InjectRPSCandidates()
+	if target, ok := n.WUP().SelectPeer(); ok {
+		push := n.WUP().MakePush(n.WUP().Descriptor(cycle, n.UserProfile()))
+		ln.runner.send(envelope{Kind: wireWUPRequest, From: n.ID(), To: target.Node, Descs: push})
+	}
+
+	for _, it := range ln.pubs {
+		if it.Cycle == cycle {
+			for _, s := range n.Publish(it.News, cycle) {
+				ln.runner.send(envelope{Kind: wireItem, From: n.ID(), To: s.To, Item: s.Msg})
+			}
+		}
+	}
+}
+
+// onMessage dispatches one inbound envelope.
+func (ln *liveNode) onMessage(env envelope, cycle int64) {
+	n := ln.node
+	switch env.Kind {
+	case wireRPSRequest:
+		reply := n.RPS().AcceptPush(env.Descs, n.RPS().Descriptor(cycle, n.UserProfile()))
+		ln.runner.send(envelope{Kind: wireRPSReply, From: n.ID(), To: env.From, Descs: reply})
+	case wireRPSReply:
+		n.RPS().AcceptReply(env.Descs)
+	case wireWUPRequest:
+		reply := n.WUP().AcceptPush(env.Descs, n.WUP().Descriptor(cycle, n.UserProfile()), n.UserProfile())
+		ln.runner.send(envelope{Kind: wireWUPReply, From: n.ID(), To: env.From, Descs: reply})
+	case wireWUPReply:
+		n.WUP().AcceptReply(env.Descs, n.UserProfile())
+	case wireItem:
+		d, sends := n.Receive(env.Item, cycle)
+		if d.Duplicate {
+			return
+		}
+		ln.runner.record(func(col *metrics.Collector) {
+			col.RecordDelivery(d)
+			if len(sends) > 0 {
+				col.RecordForward(d.Liked, d.Hops)
+			}
+			if ln.runner.cfg.OnDelivery != nil {
+				ln.runner.cfg.OnDelivery(d)
+			}
+		})
+		for _, s := range sends {
+			ln.runner.send(envelope{Kind: wireItem, From: n.ID(), To: s.To, Item: s.Msg})
+		}
+	}
+}

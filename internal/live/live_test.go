@@ -1,0 +1,148 @@
+package live
+
+import (
+	"testing"
+	"time"
+
+	"whatsup/internal/core"
+	"whatsup/internal/dataset"
+	"whatsup/internal/news"
+	"whatsup/internal/overlay"
+	"whatsup/internal/profile"
+)
+
+func tinySurvey(seed int64) *dataset.Dataset {
+	return dataset.Survey(dataset.SurveyConfig{Seed: seed, Scale: 0.05, Cycles: 25})
+}
+
+func liveConfig(cycles int) Config {
+	return Config{
+		Seed:        1,
+		Cycles:      cycles,
+		CycleLength: 3 * time.Millisecond,
+		NodeConfig:  core.Config{FLike: 4, RPSViewSize: 10, ProfileWindow: 25},
+	}
+}
+
+func TestChannelNetDelivers(t *testing.T) {
+	ds := tinySurvey(1)
+	net := NewChannelNet(7, 0, 0)
+	r := NewRunner(liveConfig(25), ds, net)
+	r.Run()
+	col := r.Collector()
+	if col.Recall() == 0 {
+		t.Fatal("live channel run must deliver liked items")
+	}
+	if col.Messages(0) == 0 && col.TotalMessages() == 0 {
+		t.Fatal("traffic must be accounted")
+	}
+	if col.GossipMessages() == 0 {
+		t.Fatal("gossip traffic must be accounted")
+	}
+}
+
+func TestChannelNetLossReducesTraffic(t *testing.T) {
+	ds := tinySurvey(2)
+	clean := NewRunner(liveConfig(20), ds, NewChannelNet(7, 0, 0))
+	clean.Run()
+	lossy := NewRunner(liveConfig(20), ds, NewChannelNet(7, 0.9, 0))
+	lossy.Run()
+	// With 90% loss recall should collapse relative to the clean run.
+	if lossy.Collector().Recall() >= clean.Collector().Recall() {
+		t.Fatalf("loss must hurt recall: clean=%v lossy=%v",
+			clean.Collector().Recall(), lossy.Collector().Recall())
+	}
+}
+
+func TestChannelNetLatencyStillDelivers(t *testing.T) {
+	ds := tinySurvey(3)
+	net := NewChannelNet(7, 0, time.Millisecond)
+	r := NewRunner(liveConfig(25), ds, net)
+	r.Run()
+	if r.Collector().Recall() == 0 {
+		t.Fatal("latency must delay, not destroy, delivery")
+	}
+}
+
+func TestTCPNetDelivers(t *testing.T) {
+	// Wall-clock-bound: allow a couple of attempts on loaded machines where
+	// TCP dial latency can eat the first cycles.
+	for attempt := 0; attempt < 3; attempt++ {
+		ds := tinySurvey(4 + int64(attempt))
+		net := NewTCPNet(TCPNetConfig{SlowEvery: 0})
+		cfg := liveConfig(40)
+		cfg.CycleLength = 8 * time.Millisecond
+		r := NewRunner(cfg, ds, net)
+		r.Run()
+		delivered := 0
+		for _, id := range r.Collector().NodeIDs() {
+			delivered += r.Collector().Node(id).ReceivedLiked
+		}
+		if delivered > 0 {
+			return
+		}
+	}
+	t.Fatal("TCP runs must deliver liked items")
+}
+
+func TestTCPNetCongestionDropsOverflow(t *testing.T) {
+	// Transport-level check of the PlanetLab congestion model: an
+	// overloaded node with queue capacity 2 must drop the overflow of a
+	// burst instead of backpressuring the sender.
+	net := NewTCPNet(TCPNetConfig{SlowEvery: 1, SlowQueueCap: 2})
+	defer net.Close()
+	box := net.Register(1)
+	it := news.New("t", "d", "l", 1, 0)
+	for i := 0; i < 50; i++ {
+		net.Send(envelope{Kind: wireItem, From: 0, To: 1, Item: core.ItemMessage{Item: it, Profile: profile.New()}})
+	}
+	// Allow the accept/decode pump to fill the queue.
+	time.Sleep(200 * time.Millisecond)
+	got := 0
+drain:
+	for {
+		select {
+		case <-box:
+			got++
+		default:
+			break drain
+		}
+	}
+	if got == 0 {
+		t.Fatal("some messages must arrive")
+	}
+	if got > 2 {
+		t.Fatalf("overflow must be dropped: queue cap 2 but %d delivered", got)
+	}
+}
+
+func TestTCPNetUnknownDestinationIgnored(t *testing.T) {
+	net := NewTCPNet(TCPNetConfig{})
+	defer net.Close()
+	net.Send(envelope{Kind: wireItem, To: 99}) // must not panic
+}
+
+func TestEnvelopeSizeAndKinds(t *testing.T) {
+	p := profile.New()
+	p.Set(1, 1, 1)
+	descs := []overlay.Descriptor{{Node: 1, Stamp: 1, Profile: p}}
+	gossip := envelope{Kind: wireWUPRequest, Descs: descs}
+	if gossip.size() == 0 {
+		t.Fatal("gossip envelope size must count descriptors")
+	}
+	it := news.New("t", "d", "l", 1, 0)
+	item := envelope{Kind: wireItem, Item: core.ItemMessage{Item: it, Profile: p}}
+	if item.size() <= 0 {
+		t.Fatal("item envelope size must be positive")
+	}
+	kinds := map[wireKind]string{
+		wireRPSRequest: "rps-request", wireRPSReply: "rps-reply",
+		wireWUPRequest: "wup-request", wireWUPReply: "wup-reply", wireItem: "beep",
+	}
+	for k, want := range kinds {
+		env := envelope{Kind: k}
+		if env.kind().String() != want {
+			t.Fatalf("kind mapping wrong for %d", k)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package metrics
+
+import (
+	"sort"
+
+	"whatsup/internal/news"
+	"whatsup/internal/profile"
+)
+
+// Bucket is one point of a bucketed curve: the bucket's midpoint on the x
+// axis, the average y value of its members, and the fraction of the
+// population that falls into it.
+type Bucket struct {
+	X        float64
+	Y        float64
+	Fraction float64
+	Count    int
+}
+
+// bucketize averages (x,y) samples into nb equal-width buckets over [0,1].
+func bucketize(xs, ys []float64, nb int) []Bucket {
+	sums := make([]float64, nb)
+	counts := make([]int, nb)
+	for i, x := range xs {
+		b := int(x * float64(nb))
+		if b >= nb {
+			b = nb - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		sums[b] += ys[i]
+		counts[b]++
+	}
+	total := len(xs)
+	out := make([]Bucket, 0, nb)
+	for b := 0; b < nb; b++ {
+		bk := Bucket{X: (float64(b) + 0.5) / float64(nb), Count: counts[b]}
+		if counts[b] > 0 {
+			bk.Y = sums[b] / float64(counts[b])
+		}
+		if total > 0 {
+			bk.Fraction = float64(counts[b]) / float64(total)
+		}
+		out = append(out, bk)
+	}
+	return out
+}
+
+// RecallByPopularity buckets items by popularity (fraction of the population
+// interested in them) and reports average recall per bucket together with
+// the popularity distribution — the two curves of Figure 10.
+func (c *Collector) RecallByPopularity(population int, buckets int) []Bucket {
+	var xs, ys []float64
+	for _, id := range c.sortedItems() {
+		st := c.items[id]
+		if st.Interested == 0 || population == 0 || st.Excluded {
+			continue
+		}
+		xs = append(xs, float64(st.Interested)/float64(population))
+		ys = append(ys, float64(st.ReachedInterested)/float64(st.Interested))
+	}
+	return bucketize(xs, ys, buckets)
+}
+
+// Sociability computes, for every node, its average similarity to the k
+// nodes most similar to it, from the full-trace profiles (Section V-H
+// defines sociability with k = 15).
+func Sociability(profiles []*profile.Profile, metric profile.Metric, k int) []float64 {
+	n := len(profiles)
+	out := make([]float64, n)
+	if n == 0 || k <= 0 {
+		return out
+	}
+	sims := make([]float64, 0, n-1)
+	for i := 0; i < n; i++ {
+		sims = sims[:0]
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			sims = append(sims, metric.Similarity(profiles[i], profiles[j]))
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(sims)))
+		top := k
+		if top > len(sims) {
+			top = len(sims)
+		}
+		var sum float64
+		for _, s := range sims[:top] {
+			sum += s
+		}
+		if top > 0 {
+			out[i] = sum / float64(top)
+		}
+	}
+	return out
+}
+
+// F1BySociability buckets nodes by the given sociability scores and reports
+// average node-level F1 per bucket plus the sociability distribution — the
+// two curves of Figure 11.
+func (c *Collector) F1BySociability(soc map[news.NodeID]float64, buckets int) []Bucket {
+	ids := make([]news.NodeID, 0, len(soc))
+	for id := range soc {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var xs, ys []float64
+	for _, id := range ids {
+		ns := c.nodes[id]
+		if ns == nil {
+			continue
+		}
+		xs = append(xs, soc[id])
+		ys = append(ys, ns.F1())
+	}
+	return bucketize(xs, ys, buckets)
+}
+
+// Merge folds another collector into c (used when sweep workers aggregate
+// repeated runs of the same configuration).
+func (c *Collector) Merge(other *Collector) {
+	for id, st := range other.items {
+		dst := c.items[id]
+		if dst == nil {
+			dst = &ItemStats{}
+			c.items[id] = dst
+		}
+		dst.Interested += st.Interested
+		dst.Reached += st.Reached
+		dst.ReachedInterested += st.ReachedInterested
+		dst.Excluded = dst.Excluded || st.Excluded
+	}
+	for id, ns := range other.nodes {
+		dst := c.nodes[id]
+		if dst == nil {
+			dst = &NodeStats{}
+			c.nodes[id] = dst
+		}
+		dst.Interested += ns.Interested
+		dst.Received += ns.Received
+		dst.ReceivedLiked += ns.ReceivedLiked
+		dst.DislikeDeliveries += ns.DislikeDeliveries
+	}
+	for k := MessageKind(0); k < numMessageKinds; k++ {
+		c.msgCount[k] += other.msgCount[k]
+		c.msgBytes[k] += other.msgBytes[k]
+	}
+	mergeHist := func(dst, src map[int]int) {
+		for k, v := range src {
+			dst[k] += v
+		}
+	}
+	mergeHist(c.ForwardByLike, other.ForwardByLike)
+	mergeHist(c.ForwardByDislike, other.ForwardByDislike)
+	mergeHist(c.InfectionByLike, other.InfectionByLike)
+	mergeHist(c.InfectionByDislike, other.InfectionByDislike)
+	mergeHist(c.DislikesAtLikedArrival, other.DislikesAtLikedArrival)
+}
+
+// KbpsPerNode converts a byte volume into the average per-node bandwidth in
+// kilobits per second, given the experiment length in cycles, the real-time
+// duration of one cycle in seconds (30 s in Section V-D) and the number of
+// nodes.
+func KbpsPerNode(bytes int64, cycles int, cycleSeconds float64, nodes int) float64 {
+	if cycles == 0 || nodes == 0 || cycleSeconds == 0 {
+		return 0
+	}
+	seconds := float64(cycles) * cycleSeconds
+	return float64(bytes) * 8 / 1000 / seconds / float64(nodes)
+}

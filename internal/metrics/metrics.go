@@ -1,0 +1,307 @@
+// Package metrics implements the evaluation metrics of the paper
+// (Section IV-C): the user metrics precision, recall and F1-Score, and the
+// system metrics (message counts, bandwidth, hop distributions), plus the
+// popularity and sociability analyses of Figures 10 and 11.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+
+	"whatsup/internal/core"
+	"whatsup/internal/news"
+)
+
+// MessageKind classifies protocol traffic for the system metrics.
+type MessageKind int
+
+// Message kinds: BEEP item dissemination and the request/reply legs of the
+// two gossip layers.
+const (
+	MsgBeep MessageKind = iota
+	MsgRPSRequest
+	MsgRPSReply
+	MsgWUPRequest
+	MsgWUPReply
+	numMessageKinds
+)
+
+// String implements fmt.Stringer.
+func (k MessageKind) String() string {
+	switch k {
+	case MsgBeep:
+		return "beep"
+	case MsgRPSRequest:
+		return "rps-request"
+	case MsgRPSReply:
+		return "rps-reply"
+	case MsgWUPRequest:
+		return "wup-request"
+	case MsgWUPReply:
+		return "wup-reply"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// ItemStats accumulates per-item dissemination outcomes.
+type ItemStats struct {
+	Interested        int  // users who like the item per the trace
+	Reached           int  // users who received the item (including the source)
+	ReachedInterested int  // reached ∩ interested
+	Excluded          bool // warm-up item: disseminated but not measured
+}
+
+// NodeStats accumulates per-node outcomes for the sociability analysis.
+type NodeStats struct {
+	Interested        int // items this node likes per the trace
+	Received          int // items delivered to this node
+	ReceivedLiked     int // delivered items the node liked
+	DislikeDeliveries int // deliveries that arrived via a dislike-forward
+}
+
+// F1 returns the node-level F1-Score: precision over received items and
+// recall over the node's interests (Figure 11).
+func (ns *NodeStats) F1() float64 {
+	if ns.Received == 0 || ns.Interested == 0 {
+		return 0
+	}
+	p := float64(ns.ReceivedLiked) / float64(ns.Received)
+	r := float64(ns.ReceivedLiked) / float64(ns.Interested)
+	return F1Of(p, r)
+}
+
+// Collector accumulates deliveries, forwards and message traffic for one
+// experiment run. It is not safe for concurrent use; concurrent engines
+// aggregate into per-worker collectors and Merge them.
+type Collector struct {
+	items map[news.ID]*ItemStats
+	nodes map[news.NodeID]*NodeStats
+
+	msgCount [numMessageKinds]int64
+	msgBytes [numMessageKinds]int64
+
+	// Hop histograms for Figure 6, indexed by hop distance.
+	ForwardByLike      map[int]int
+	ForwardByDislike   map[int]int
+	InfectionByLike    map[int]int
+	InfectionByDislike map[int]int
+
+	// DislikesAtLikedArrival[d] counts deliveries liked by the receiver that
+	// had been forwarded d times by dislikers (Table IV).
+	DislikesAtLikedArrival map[int]int
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{
+		items:                  make(map[news.ID]*ItemStats),
+		nodes:                  make(map[news.NodeID]*NodeStats),
+		ForwardByLike:          make(map[int]int),
+		ForwardByDislike:       make(map[int]int),
+		InfectionByLike:        make(map[int]int),
+		InfectionByDislike:     make(map[int]int),
+		DislikesAtLikedArrival: make(map[int]int),
+	}
+}
+
+// RegisterItem declares an item and the number of users interested in it
+// (the recall denominator).
+func (c *Collector) RegisterItem(id news.ID, interested int) {
+	c.items[id] = &ItemStats{Interested: interested}
+}
+
+// RegisterWarmupItem declares an item published during the initial
+// transient: its dissemination feeds profiles and traffic counters but it is
+// excluded from the quality metrics, which measure the steady state.
+func (c *Collector) RegisterWarmupItem(id news.ID, interested int) {
+	c.items[id] = &ItemStats{Interested: interested, Excluded: true}
+}
+
+// RegisterNode declares a node and the number of items it likes in the
+// trace (the per-node recall denominator of the sociability analysis).
+func (c *Collector) RegisterNode(id news.NodeID, interested int) {
+	c.nodes[id] = &NodeStats{Interested: interested}
+}
+
+// RecordDelivery folds a non-duplicate delivery into the per-item and
+// per-node statistics and the Figure 6 / Table IV histograms.
+func (c *Collector) RecordDelivery(d core.Delivery) {
+	if d.Duplicate {
+		return
+	}
+	st := c.items[d.Item]
+	if st == nil {
+		st = &ItemStats{}
+		c.items[d.Item] = st
+	}
+	st.Reached++
+	ns := c.nodes[d.Node]
+	if ns == nil {
+		ns = &NodeStats{}
+		c.nodes[d.Node] = ns
+	}
+	ns.Received++
+	if d.ViaDislike {
+		ns.DislikeDeliveries++
+		c.InfectionByDislike[d.Hops]++
+	} else {
+		c.InfectionByLike[d.Hops]++
+	}
+	if d.Liked {
+		st.ReachedInterested++
+		ns.ReceivedLiked++
+		c.DislikesAtLikedArrival[d.Dislikes]++
+	}
+}
+
+// RecordForward notes a forwarding action by a node at the given hop
+// distance from the source (Figure 6). liked tells whether the forwarding
+// node liked the item.
+func (c *Collector) RecordForward(liked bool, hops int) {
+	if liked {
+		c.ForwardByLike[hops]++
+	} else {
+		c.ForwardByDislike[hops]++
+	}
+}
+
+// RecordMessage accounts one protocol message of the given kind and size.
+func (c *Collector) RecordMessage(kind MessageKind, bytes int) {
+	c.msgCount[kind]++
+	c.msgBytes[kind] += int64(bytes)
+}
+
+// Messages returns the number of messages of one kind.
+func (c *Collector) Messages(kind MessageKind) int64 { return c.msgCount[kind] }
+
+// Bytes returns the traffic volume of one kind in bytes.
+func (c *Collector) Bytes(kind MessageKind) int64 { return c.msgBytes[kind] }
+
+// TotalMessages sums message counts across all kinds.
+func (c *Collector) TotalMessages() int64 {
+	var total int64
+	for _, n := range c.msgCount {
+		total += n
+	}
+	return total
+}
+
+// GossipMessages sums the RPS and WUP exchange legs.
+func (c *Collector) GossipMessages() int64 {
+	return c.msgCount[MsgRPSRequest] + c.msgCount[MsgRPSReply] +
+		c.msgCount[MsgWUPRequest] + c.msgCount[MsgWUPReply]
+}
+
+// GossipBytes sums RPS and WUP traffic volume.
+func (c *Collector) GossipBytes() int64 {
+	return c.msgBytes[MsgRPSRequest] + c.msgBytes[MsgRPSReply] +
+		c.msgBytes[MsgWUPRequest] + c.msgBytes[MsgWUPReply]
+}
+
+// sortedItems returns item ids in ascending order so floating-point
+// aggregation is deterministic across runs (map iteration order is not).
+func (c *Collector) sortedItems() []news.ID {
+	ids := make([]news.ID, 0, len(c.items))
+	for id := range c.items {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Precision is the macro-averaged precision over items that reached at
+// least one user: the fraction of reached users that were interested.
+func (c *Collector) Precision() float64 {
+	var sum float64
+	n := 0
+	for _, id := range c.sortedItems() {
+		st := c.items[id]
+		if st.Reached == 0 || st.Excluded {
+			continue
+		}
+		sum += float64(st.ReachedInterested) / float64(st.Reached)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Recall is the macro-averaged recall over items with at least one
+// interested user: the fraction of interested users that were reached.
+func (c *Collector) Recall() float64 {
+	var sum float64
+	n := 0
+	for _, id := range c.sortedItems() {
+		st := c.items[id]
+		if st.Interested == 0 || st.Excluded {
+			continue
+		}
+		sum += float64(st.ReachedInterested) / float64(st.Interested)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// F1 is the harmonic mean of Precision and Recall (van Rijsbergen).
+func (c *Collector) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// F1Of combines an externally obtained precision/recall pair.
+func F1Of(p, r float64) float64 {
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// ItemCount returns the number of registered or observed items.
+func (c *Collector) ItemCount() int { return len(c.items) }
+
+// Item returns the statistics of one item (nil if unknown).
+func (c *Collector) Item(id news.ID) *ItemStats { return c.items[id] }
+
+// Node returns the statistics of one node (nil if unknown).
+func (c *Collector) Node(id news.NodeID) *NodeStats { return c.nodes[id] }
+
+// NodeIDs returns the registered node ids, sorted.
+func (c *Collector) NodeIDs() []news.NodeID {
+	out := make([]news.NodeID, 0, len(c.nodes))
+	for id := range c.nodes {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DislikeFractions returns the Table IV row: for deliveries that the
+// receiver liked, the fraction that had been forwarded 0,1,…,maxD times by
+// dislikers.
+func (c *Collector) DislikeFractions(maxD int) []float64 {
+	total := 0
+	for _, n := range c.DislikesAtLikedArrival {
+		total += n
+	}
+	out := make([]float64, maxD+1)
+	if total == 0 {
+		return out
+	}
+	for d, n := range c.DislikesAtLikedArrival {
+		i := d
+		if i > maxD {
+			i = maxD
+		}
+		out[i] += float64(n) / float64(total)
+	}
+	return out
+}

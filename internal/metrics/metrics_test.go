@@ -1,0 +1,254 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"whatsup/internal/core"
+	"whatsup/internal/news"
+	"whatsup/internal/profile"
+)
+
+func deliver(c *Collector, node news.NodeID, item news.ID, liked bool, hops, dislikes int, via bool) {
+	c.RecordDelivery(core.Delivery{
+		Node: node, Item: item, Liked: liked, Hops: hops, Dislikes: dislikes, ViaDislike: via,
+	})
+}
+
+func TestPrecisionRecallF1(t *testing.T) {
+	c := NewCollector()
+	c.RegisterItem(1, 4) // 4 interested users
+	deliver(c, 0, 1, true, 1, 0, false)
+	deliver(c, 1, 1, true, 2, 0, false)
+	deliver(c, 2, 1, false, 2, 0, false)
+	// precision = 2/3, recall = 2/4.
+	if p := c.Precision(); math.Abs(p-2.0/3) > 1e-12 {
+		t.Fatalf("precision=%v want 2/3", p)
+	}
+	if r := c.Recall(); math.Abs(r-0.5) > 1e-12 {
+		t.Fatalf("recall=%v want 0.5", r)
+	}
+	want := 2 * (2.0 / 3) * 0.5 / (2.0/3 + 0.5)
+	if f := c.F1(); math.Abs(f-want) > 1e-12 {
+		t.Fatalf("f1=%v want %v", f, want)
+	}
+}
+
+func TestMacroAveragingAcrossItems(t *testing.T) {
+	c := NewCollector()
+	c.RegisterItem(1, 1)
+	c.RegisterItem(2, 2)
+	deliver(c, 0, 1, true, 1, 0, false) // item 1: P=1, R=1
+	deliver(c, 0, 2, false, 1, 0, false)
+	deliver(c, 1, 2, true, 1, 0, false) // item 2: P=1/2, R=1/2
+	if p := c.Precision(); math.Abs(p-0.75) > 1e-12 {
+		t.Fatalf("macro precision=%v want 0.75", p)
+	}
+	if r := c.Recall(); math.Abs(r-0.75) > 1e-12 {
+		t.Fatalf("macro recall=%v want 0.75", r)
+	}
+}
+
+func TestDuplicatesIgnored(t *testing.T) {
+	c := NewCollector()
+	c.RegisterItem(1, 1)
+	c.RecordDelivery(core.Delivery{Node: 0, Item: 1, Liked: true, Duplicate: true})
+	if c.Recall() != 0 {
+		t.Fatal("duplicate deliveries must not count")
+	}
+}
+
+func TestUnregisteredItemStillTracked(t *testing.T) {
+	c := NewCollector()
+	deliver(c, 0, 9, true, 1, 0, false)
+	if st := c.Item(9); st == nil || st.Reached != 1 {
+		t.Fatalf("unregistered item must be tracked on the fly: %+v", st)
+	}
+	// But with Interested unset it contributes nothing to recall.
+	if r := c.Recall(); r != 0 {
+		t.Fatalf("recall=%v want 0", r)
+	}
+}
+
+func TestMessageAccounting(t *testing.T) {
+	c := NewCollector()
+	c.RecordMessage(MsgBeep, 100)
+	c.RecordMessage(MsgBeep, 50)
+	c.RecordMessage(MsgRPSRequest, 10)
+	c.RecordMessage(MsgWUPReply, 20)
+	if c.Messages(MsgBeep) != 2 || c.Bytes(MsgBeep) != 150 {
+		t.Fatal("beep accounting wrong")
+	}
+	if c.TotalMessages() != 4 {
+		t.Fatalf("total=%d want 4", c.TotalMessages())
+	}
+	if c.GossipMessages() != 2 || c.GossipBytes() != 30 {
+		t.Fatal("gossip accounting wrong")
+	}
+}
+
+func TestDislikeFractions(t *testing.T) {
+	c := NewCollector()
+	for i := 0; i < 6; i++ {
+		deliver(c, news.NodeID(i), 1, true, 1, 0, false)
+	}
+	for i := 6; i < 9; i++ {
+		deliver(c, news.NodeID(i), 1, true, 1, 1, true)
+	}
+	deliver(c, 9, 1, true, 1, 7, true) // beyond maxD: folded into last bucket
+	fr := c.DislikeFractions(4)
+	if math.Abs(fr[0]-0.6) > 1e-12 || math.Abs(fr[1]-0.3) > 1e-12 || math.Abs(fr[4]-0.1) > 1e-12 {
+		t.Fatalf("fractions=%v", fr)
+	}
+	var sum float64
+	for _, f := range fr {
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("fractions must sum to 1, got %v", sum)
+	}
+}
+
+func TestNodeStatsAndF1(t *testing.T) {
+	c := NewCollector()
+	c.RegisterNode(5, 4)
+	deliver(c, 5, 1, true, 1, 0, false)
+	deliver(c, 5, 2, false, 1, 0, true)
+	ns := c.Node(5)
+	if ns.Received != 2 || ns.ReceivedLiked != 1 || ns.DislikeDeliveries != 1 {
+		t.Fatalf("node stats wrong: %+v", ns)
+	}
+	// precision 1/2, recall 1/4 → F1 = 1/3.
+	if f := ns.F1(); math.Abs(f-1.0/3) > 1e-12 {
+		t.Fatalf("node F1=%v want 1/3", f)
+	}
+	if (&NodeStats{}).F1() != 0 {
+		t.Fatal("empty node stats must have F1 0")
+	}
+}
+
+func TestRecallByPopularity(t *testing.T) {
+	c := NewCollector()
+	c.RegisterItem(1, 2)                // popularity 0.2 of 10
+	c.RegisterItem(2, 8)                // popularity 0.8
+	deliver(c, 0, 1, true, 1, 0, false) // recall 0.5
+	for i := 0; i < 8; i++ {
+		deliver(c, news.NodeID(i), 2, true, 1, 0, false) // recall 1
+	}
+	bks := c.RecallByPopularity(10, 5)
+	if len(bks) != 5 {
+		t.Fatalf("buckets=%d want 5", len(bks))
+	}
+	// popularity 0.2 → bucket index int(0.2·5)=1; popularity 0.8 → bucket 4.
+	if bks[1].Count != 1 || math.Abs(bks[1].Y-0.5) > 1e-12 {
+		t.Fatalf("low-popularity bucket wrong: %+v", bks[1])
+	}
+	if bks[0].Count != 0 || bks[2].Count != 0 {
+		t.Fatalf("empty buckets must report zero count: %+v %+v", bks[0], bks[2])
+	}
+	if bks[4].Count != 1 || bks[4].Y != 1 {
+		t.Fatalf("high-popularity bucket wrong: %+v", bks[4])
+	}
+}
+
+func TestSociability(t *testing.T) {
+	mk := func(ids ...news.ID) *profile.Profile {
+		p := profile.New()
+		for _, id := range ids {
+			p.Set(id, 0, 1)
+		}
+		return p
+	}
+	profiles := []*profile.Profile{
+		mk(1, 2, 3), mk(1, 2, 3), mk(1, 2), mk(42),
+	}
+	soc := Sociability(profiles, profile.WUP{}, 2)
+	if len(soc) != 4 {
+		t.Fatalf("len=%d", len(soc))
+	}
+	if soc[0] <= soc[3] {
+		t.Fatalf("sociable node must beat loner: %v vs %v", soc[0], soc[3])
+	}
+	if soc[3] != 0 {
+		t.Fatalf("disjoint node sociability=%v want 0", soc[3])
+	}
+	if got := Sociability(nil, profile.WUP{}, 2); len(got) != 0 {
+		t.Fatal("empty input must yield empty output")
+	}
+}
+
+func TestF1BySociability(t *testing.T) {
+	c := NewCollector()
+	c.RegisterNode(0, 2)
+	c.RegisterNode(1, 2)
+	deliver(c, 0, 1, true, 1, 0, false)
+	deliver(c, 0, 2, true, 1, 0, false) // node 0: P=1,R=1 → F1=1
+	deliver(c, 1, 3, false, 1, 0, false)
+	soc := map[news.NodeID]float64{0: 0.9, 1: 0.1}
+	bks := c.F1BySociability(soc, 2)
+	if bks[1].Count != 1 || bks[1].Y != 1 {
+		t.Fatalf("high-sociability bucket wrong: %+v", bks[1])
+	}
+	if bks[0].Count != 1 || bks[0].Y != 0 {
+		t.Fatalf("low-sociability bucket wrong: %+v", bks[0])
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := NewCollector(), NewCollector()
+	a.RegisterItem(1, 2)
+	deliver(a, 0, 1, true, 1, 0, false)
+	deliver(b, 1, 1, true, 2, 1, true)
+	b.RecordMessage(MsgBeep, 10)
+	b.RecordForward(false, 2)
+	a.Merge(b)
+	st := a.Item(1)
+	if st.Reached != 2 || st.ReachedInterested != 2 || st.Interested != 2 {
+		t.Fatalf("merged item stats wrong: %+v", st)
+	}
+	if a.Messages(MsgBeep) != 1 {
+		t.Fatal("merged message counts wrong")
+	}
+	if a.ForwardByDislike[2] != 1 {
+		t.Fatal("merged histograms wrong")
+	}
+	if a.DislikesAtLikedArrival[1] != 1 {
+		t.Fatal("merged dislike histogram wrong")
+	}
+}
+
+func TestKbpsPerNode(t *testing.T) {
+	// 1000 bytes over 10 cycles of 30 s across 2 nodes:
+	// 8000 bits / 300 s / 2 = 13.33 bps = 0.0133 Kbps.
+	got := KbpsPerNode(1000, 10, 30, 2)
+	if math.Abs(got-8.0/300/2) > 1e-9 {
+		t.Fatalf("KbpsPerNode=%v", got)
+	}
+	if KbpsPerNode(1000, 0, 30, 2) != 0 {
+		t.Fatal("zero cycles must yield 0")
+	}
+}
+
+func TestMessageKindString(t *testing.T) {
+	names := map[MessageKind]string{
+		MsgBeep: "beep", MsgRPSRequest: "rps-request", MsgRPSReply: "rps-reply",
+		MsgWUPRequest: "wup-request", MsgWUPReply: "wup-reply",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Fatalf("String(%d)=%q want %q", k, k.String(), want)
+		}
+	}
+	if MessageKind(99).String() == "" {
+		t.Fatal("unknown kind must still render")
+	}
+}
+
+func TestF1Of(t *testing.T) {
+	if F1Of(0, 0) != 0 {
+		t.Fatal("F1Of(0,0)")
+	}
+	if math.Abs(F1Of(1, 1)-1) > 1e-12 {
+		t.Fatal("F1Of(1,1)")
+	}
+}

@@ -1,0 +1,86 @@
+// Package news defines news items and their identifiers as used by the
+// WhatsUp dissemination substrate (paper Section II-A).
+//
+// A news item consists of a title, a short description and a link. The
+// publishing node stamps the item with its creation time and a dislike
+// counter initialised to zero. Nodes identify items by an 8-byte hash that
+// is never transmitted: every node recomputes it locally from the item
+// content when the item is received.
+package news
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+)
+
+// ID is the 8-byte identifier of a news item. It is the FNV-1a hash of the
+// item content, recomputed by receivers rather than transmitted (II-A).
+type ID uint64
+
+// String renders the identifier as fixed-width hex, convenient for logs.
+func (id ID) String() string { return fmt.Sprintf("%016x", uint64(id)) }
+
+// Bytes returns the big-endian 8-byte representation of the identifier.
+func (id ID) Bytes() [8]byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(id))
+	return b
+}
+
+// NodeID identifies a peer. The simulator uses dense indices; the live
+// runtimes map NodeIDs to transport addresses.
+type NodeID int32
+
+// NoNode is the zero-ish sentinel for "no peer".
+const NoNode NodeID = -1
+
+// Item is a news item. Topic and Community carry dataset ground truth used
+// by workloads and metrics; they are not consulted by the protocols
+// themselves (WhatsUp is content-agnostic).
+type Item struct {
+	ID          ID     // 8-byte content hash, computed via Hash
+	Title       string // headline
+	Description string // short description
+	Link        string // link to further information
+	Created     int64  // creation timestamp (gossip cycle in simulation, unix ms live)
+	Source      NodeID // publishing node
+	Topic       int    // dataset topic/category (ground truth, not gossiped)
+	Community   int    // dataset interest community (ground truth, not gossiped)
+}
+
+// Hash computes the 8-byte identifier of an item from its content. Receivers
+// call this instead of trusting a transmitted identifier, which keeps the
+// wire format one hash shorter and prevents identifier spoofing.
+func Hash(title, description, link string) ID {
+	h := fnv.New64a()
+	// Length-prefix each field so ("ab","c") and ("a","bc") differ.
+	var lenBuf [4]byte
+	for _, s := range []string{title, description, link} {
+		binary.BigEndian.PutUint32(lenBuf[:], uint32(len(s)))
+		h.Write(lenBuf[:])
+		h.Write([]byte(s))
+	}
+	return ID(h.Sum64())
+}
+
+// New constructs an item, computing its identifier from the content.
+func New(title, description, link string, created int64, source NodeID) Item {
+	return Item{
+		ID:          Hash(title, description, link),
+		Title:       title,
+		Description: description,
+		Link:        link,
+		Created:     created,
+		Source:      source,
+	}
+}
+
+// WireSize returns the approximate number of bytes the item occupies in a
+// BEEP message: content plus timestamp and dislike counter, without the ID
+// (which is recomputed at the receiver, II-A).
+func (it Item) WireSize() int {
+	const timestampBytes, dislikeCounterBytes = 8, 2
+	return len(it.Title) + len(it.Description) + len(it.Link) +
+		timestampBytes + dislikeCounterBytes
+}

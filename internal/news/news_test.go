@@ -1,0 +1,94 @@
+package news
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHashDeterministic(t *testing.T) {
+	a := Hash("title", "desc", "http://example.org")
+	b := Hash("title", "desc", "http://example.org")
+	if a != b {
+		t.Fatalf("same content hashed to %v and %v", a, b)
+	}
+}
+
+func TestHashFieldBoundaries(t *testing.T) {
+	// Length prefixing must keep field boundaries distinct.
+	a := Hash("ab", "c", "")
+	b := Hash("a", "bc", "")
+	if a == b {
+		t.Fatalf("field boundary collision: %v", a)
+	}
+}
+
+func TestHashDistinctContent(t *testing.T) {
+	seen := make(map[ID]string)
+	titles := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	for _, title := range titles {
+		for _, desc := range titles {
+			id := Hash(title, desc, "l")
+			key := title + "|" + desc
+			if prev, dup := seen[id]; dup {
+				t.Fatalf("collision between %q and %q", prev, key)
+			}
+			seen[id] = key
+		}
+	}
+}
+
+func TestNewComputesID(t *testing.T) {
+	it := New("t", "d", "l", 42, 7)
+	if it.ID != Hash("t", "d", "l") {
+		t.Fatalf("New did not derive ID from content")
+	}
+	if it.Created != 42 || it.Source != 7 {
+		t.Fatalf("New dropped metadata: %+v", it)
+	}
+}
+
+func TestIDString(t *testing.T) {
+	if got := ID(0xdeadbeef).String(); got != "00000000deadbeef" {
+		t.Fatalf("ID.String() = %q", got)
+	}
+	if len(ID(0).String()) != 16 {
+		t.Fatalf("ID string not fixed width: %q", ID(0).String())
+	}
+}
+
+func TestIDBytesRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		b := ID(v).Bytes()
+		var back uint64
+		for _, x := range b {
+			back = back<<8 | uint64(x)
+		}
+		return back == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWireSizeGrowsWithContent(t *testing.T) {
+	small := New("t", "d", "l", 0, 0)
+	big := New("a much longer headline than before", "and a description", "http://example.org/x", 0, 0)
+	if small.WireSize() >= big.WireSize() {
+		t.Fatalf("WireSize small=%d big=%d", small.WireSize(), big.WireSize())
+	}
+	if small.WireSize() <= 0 {
+		t.Fatalf("WireSize must be positive, got %d", small.WireSize())
+	}
+}
+
+func TestHashPropertyNoEasyCollisions(t *testing.T) {
+	f := func(a, b string) bool {
+		if a == b {
+			return true
+		}
+		return Hash(a, "", "") != Hash(b, "", "")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,221 @@
+package overlay
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"whatsup/internal/news"
+	"whatsup/internal/profile"
+)
+
+func desc(node news.NodeID, stamp int64, likedItems ...news.ID) Descriptor {
+	p := profile.New()
+	for _, id := range likedItems {
+		p.Set(id, stamp, 1)
+	}
+	return Descriptor{Node: node, Stamp: stamp, Profile: p}
+}
+
+func TestInsertDeduplicatesKeepingFreshest(t *testing.T) {
+	v := NewView(10)
+	v.Insert(desc(1, 5))
+	v.Insert(desc(1, 9))
+	v.Insert(desc(1, 2))
+	if v.Len() != 1 {
+		t.Fatalf("len=%d want 1", v.Len())
+	}
+	d, _ := v.Get(1)
+	if d.Stamp != 9 {
+		t.Fatalf("kept stamp %d, want freshest 9", d.Stamp)
+	}
+}
+
+func TestInsertAllExcludesSelf(t *testing.T) {
+	v := NewView(10)
+	v.InsertAll([]Descriptor{desc(1, 1), desc(2, 1), desc(3, 1)}, 2)
+	if v.Contains(2) {
+		t.Fatal("InsertAll must skip the excluded node")
+	}
+	if v.Len() != 2 {
+		t.Fatalf("len=%d want 2", v.Len())
+	}
+}
+
+func TestRemoveKeepsIndexConsistent(t *testing.T) {
+	v := NewView(10)
+	for i := news.NodeID(0); i < 5; i++ {
+		v.Insert(desc(i, int64(i)))
+	}
+	v.Remove(2)
+	v.Remove(0)
+	v.Remove(99) // absent: no-op
+	if v.Len() != 3 {
+		t.Fatalf("len=%d want 3", v.Len())
+	}
+	for _, id := range []news.NodeID{1, 3, 4} {
+		d, ok := v.Get(id)
+		if !ok || d.Node != id {
+			t.Fatalf("index broken for node %d", id)
+		}
+	}
+}
+
+func TestOldest(t *testing.T) {
+	v := NewView(10)
+	if _, ok := v.Oldest(); ok {
+		t.Fatal("empty view must have no oldest")
+	}
+	v.Insert(desc(1, 7))
+	v.Insert(desc(2, 3))
+	v.Insert(desc(3, 5))
+	d, ok := v.Oldest()
+	if !ok || d.Node != 2 {
+		t.Fatalf("oldest=%v want node 2", d.Node)
+	}
+	// Tie: smaller node id wins deterministically.
+	v.Insert(desc(0, 3))
+	if d, _ := v.Oldest(); d.Node != 0 {
+		t.Fatalf("tie-break wrong: %v", d.Node)
+	}
+}
+
+func TestTrimRandomRespectsCapacity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	v := NewView(5)
+	for i := news.NodeID(0); i < 20; i++ {
+		v.Insert(desc(i, int64(i)))
+	}
+	v.TrimRandom(rng)
+	if v.Len() != 5 {
+		t.Fatalf("len=%d want 5", v.Len())
+	}
+}
+
+func TestTrimBySimilarityKeepsClosest(t *testing.T) {
+	v := NewView(2)
+	self := profile.New()
+	self.Set(1, 0, 1)
+	self.Set(2, 0, 1)
+	v.Insert(desc(10, 0, 1, 2)) // identical tastes
+	v.Insert(desc(11, 0, 1))    // partial overlap
+	v.Insert(desc(12, 0, 99))   // disjoint
+	v.TrimBySimilarity(rand.New(rand.NewSource(9)), profile.WUP{}, self)
+	if v.Len() != 2 {
+		t.Fatalf("len=%d want 2", v.Len())
+	}
+	if !v.Contains(10) || !v.Contains(11) {
+		t.Fatalf("similarity trim kept wrong nodes: %v", v.Nodes())
+	}
+}
+
+func TestMostSimilar(t *testing.T) {
+	v := NewView(5)
+	if _, ok := v.MostSimilar(profile.WUP{}, profile.New()); ok {
+		t.Fatal("empty view must report no most-similar node")
+	}
+	target := profile.New()
+	target.Set(1, 0, 1)
+	target.Set(2, 0, 1)
+	v.Insert(desc(10, 0, 3)) // disjoint
+	v.Insert(desc(11, 0, 1, 2))
+	d12 := desc(12, 0, 1)
+	d12.Profile.Set(2, 0, 0) // likes 1 but dislikes 2: penalized by ‖sub‖
+	v.Insert(d12)
+	d, ok := v.MostSimilar(profile.WUP{}, target)
+	if !ok || d.Node != 11 {
+		t.Fatalf("most similar = %v, want 11", d.Node)
+	}
+}
+
+func TestMostSimilarAllZeroFallsBackDeterministically(t *testing.T) {
+	v := NewView(5)
+	v.Insert(desc(7, 0, 3))
+	v.Insert(desc(4, 0, 5))
+	target := profile.New()
+	target.Set(99, 0, 1)
+	d, ok := v.MostSimilar(profile.WUP{}, target)
+	if !ok || d.Node != 4 {
+		t.Fatalf("zero-similarity tie must pick smallest node id, got %v", d.Node)
+	}
+}
+
+func TestRandomSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	v := NewView(20)
+	for i := news.NodeID(0); i < 10; i++ {
+		v.Insert(desc(i, 0))
+	}
+	s := v.RandomSample(rng, 4)
+	if len(s) != 4 {
+		t.Fatalf("sample size %d want 4", len(s))
+	}
+	seen := map[news.NodeID]bool{}
+	for _, d := range s {
+		if seen[d.Node] {
+			t.Fatal("sample must be distinct")
+		}
+		seen[d.Node] = true
+	}
+	if got := v.RandomSample(rng, 50); len(got) != 10 {
+		t.Fatalf("oversized sample must return all entries, got %d", len(got))
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	v := NewView(5)
+	v.Insert(desc(1, 1))
+	c := v.Clone()
+	c.Insert(desc(2, 1))
+	c.Remove(1)
+	if !v.Contains(1) || v.Contains(2) {
+		t.Fatal("clone mutations leaked into original")
+	}
+}
+
+func TestViewPropertyInvariant(t *testing.T) {
+	// After arbitrary insert/remove/trim sequences the index must exactly
+	// mirror the entries and capacity must be respected post-trim.
+	f := func(ops []uint8, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := NewView(6)
+		for _, op := range ops {
+			node := news.NodeID(op % 17)
+			switch op % 4 {
+			case 0, 1:
+				v.Insert(desc(node, int64(op)))
+			case 2:
+				v.Remove(node)
+			case 3:
+				v.TrimRandom(rng)
+			}
+		}
+		v.TrimRandom(rng)
+		if v.Len() > 6 {
+			return false
+		}
+		for _, d := range v.Entries() {
+			got, ok := v.Get(d.Node)
+			if !ok || got.Node != d.Node {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWireSize(t *testing.T) {
+	d := desc(1, 1, 1, 2, 3)
+	if d.WireSize() <= 20 {
+		t.Fatalf("descriptor wire size too small: %d", d.WireSize())
+	}
+	v := NewView(5)
+	v.Insert(d)
+	v.Insert(desc(2, 1))
+	if v.WireSize() != d.WireSize()+desc(2, 1).WireSize() {
+		t.Fatal("view wire size must sum entries")
+	}
+}

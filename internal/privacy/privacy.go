@@ -1,0 +1,95 @@
+// Package privacy implements the obfuscation mechanism sketched in the
+// paper's concluding remarks: WhatsUp gossips user profiles in the clear,
+// so Section VII proposes hiding exact tastes by perturbing the profiles
+// that leave a node, trading recommendation quality for disclosure. This
+// package provides that trade-off knob: an Obfuscator rewrites the profile
+// snapshots embedded in outgoing gossip descriptors, while the node's
+// private profile (used to rate and to rank incoming candidates) stays
+// exact.
+//
+// Two complementary mechanisms are provided, both score-preserving in
+// expectation so the WUP metric keeps working on the blurred vectors:
+//
+//   - dropout: each real entry is omitted with probability Dropout,
+//     hiding which items the user actually rated;
+//   - noise: fake entries with random scores are added for items drawn
+//     from a decoy pool (e.g. recently seen ids), hiding which of the
+//     remaining entries are real.
+package privacy
+
+import (
+	"math/rand"
+
+	"whatsup/internal/news"
+	"whatsup/internal/profile"
+)
+
+// Obfuscator perturbs outgoing profile snapshots.
+type Obfuscator struct {
+	// Dropout is the probability of omitting each real entry (0 = keep all).
+	Dropout float64
+	// NoiseEntries is the number of decoy entries added per snapshot.
+	NoiseEntries int
+	// DecoyPool supplies plausible item ids for decoys; typically the ids
+	// the node has seen recently. Empty pool disables noise.
+	DecoyPool []news.ID
+	// Rng drives the perturbation; it must be owned by the node.
+	Rng *rand.Rand
+}
+
+// Obfuscate returns a perturbed copy of p. The original is never modified.
+func (o *Obfuscator) Obfuscate(p *profile.Profile) *profile.Profile {
+	out := profile.WithCapacity(p.Len() + o.NoiseEntries)
+	p.ForEach(func(e profile.Entry) {
+		if o.Dropout > 0 && o.Rng.Float64() < o.Dropout {
+			return
+		}
+		out.Set(e.Item, e.Stamp, e.Score)
+	})
+	for i := 0; i < o.NoiseEntries && len(o.DecoyPool) > 0; i++ {
+		id := o.DecoyPool[o.Rng.Intn(len(o.DecoyPool))]
+		if out.Has(id) || p.Has(id) {
+			continue // never overwrite a real opinion with a decoy
+		}
+		stamp := int64(0)
+		if e, ok := p.Get(id); ok {
+			stamp = e.Stamp
+		}
+		out.Set(id, maxStamp(stamp, latestStamp(p)), float64(o.Rng.Intn(2)))
+	}
+	return out
+}
+
+func latestStamp(p *profile.Profile) int64 {
+	var latest int64
+	p.ForEach(func(e profile.Entry) {
+		if e.Stamp > latest {
+			latest = e.Stamp
+		}
+	})
+	return latest
+}
+
+func maxStamp(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Disclosure measures how much of the true profile an observer of the
+// obfuscated snapshot learns: the fraction of real entries present in the
+// snapshot with their true score. 1 means full disclosure, 0 means nothing
+// reliable leaks.
+func Disclosure(real, snapshot *profile.Profile) float64 {
+	if real.Len() == 0 {
+		return 0
+	}
+	matched := 0
+	real.ForEach(func(e profile.Entry) {
+		if se, ok := snapshot.Get(e.Item); ok && se.Score == e.Score {
+			matched++
+		}
+	})
+	return float64(matched) / float64(real.Len())
+}

@@ -1,0 +1,104 @@
+package privacy
+
+import (
+	"math/rand"
+	"testing"
+
+	"whatsup/internal/news"
+	"whatsup/internal/profile"
+)
+
+func realProfile(n int) *profile.Profile {
+	p := profile.New()
+	for i := 0; i < n; i++ {
+		p.Set(news.ID(i), int64(i), float64(i%2))
+	}
+	return p
+}
+
+func TestNoObfuscationIsIdentity(t *testing.T) {
+	p := realProfile(10)
+	o := &Obfuscator{Rng: rand.New(rand.NewSource(1))}
+	q := o.Obfuscate(p)
+	if !p.Equal(q) {
+		t.Fatal("zero-config obfuscation must be the identity")
+	}
+	if Disclosure(p, q) != 1 {
+		t.Fatal("identity snapshot must fully disclose")
+	}
+}
+
+func TestObfuscateNeverMutatesOriginal(t *testing.T) {
+	p := realProfile(20)
+	before := p.Clone()
+	o := &Obfuscator{Dropout: 0.5, NoiseEntries: 10, DecoyPool: []news.ID{100, 101, 102}, Rng: rand.New(rand.NewSource(2))}
+	o.Obfuscate(p)
+	if !p.Equal(before) {
+		t.Fatal("obfuscation must not touch the private profile")
+	}
+}
+
+func TestDropoutReducesDisclosure(t *testing.T) {
+	p := realProfile(200)
+	o := &Obfuscator{Dropout: 0.5, Rng: rand.New(rand.NewSource(3))}
+	q := o.Obfuscate(p)
+	d := Disclosure(p, q)
+	if d > 0.7 || d < 0.3 {
+		t.Fatalf("dropout 0.5 should disclose ≈half, got %v", d)
+	}
+}
+
+func TestNoiseAddsDecoysWithoutOverwriting(t *testing.T) {
+	p := realProfile(10)
+	pool := []news.ID{5, 6, 100, 101, 102, 103}
+	o := &Obfuscator{NoiseEntries: 50, DecoyPool: pool, Rng: rand.New(rand.NewSource(4))}
+	q := o.Obfuscate(p)
+	// Real entries intact.
+	p.ForEach(func(e profile.Entry) {
+		qe, ok := q.Get(e.Item)
+		if !ok || qe.Score != e.Score {
+			t.Fatalf("real entry %v corrupted", e.Item)
+		}
+	})
+	// Some decoys present, only from the pool's non-real ids.
+	decoys := 0
+	q.ForEach(func(e profile.Entry) {
+		if !p.Has(e.Item) {
+			decoys++
+			if e.Item < 100 {
+				t.Fatalf("decoy %v not from the pool", e.Item)
+			}
+		}
+	})
+	if decoys == 0 {
+		t.Fatal("no decoys injected")
+	}
+}
+
+func TestDisclosureEdgeCases(t *testing.T) {
+	if Disclosure(profile.New(), profile.New()) != 0 {
+		t.Fatal("empty real profile must disclose 0")
+	}
+	p := realProfile(4)
+	if Disclosure(p, profile.New()) != 0 {
+		t.Fatal("empty snapshot must disclose 0")
+	}
+}
+
+func TestObfuscationPreservesSimilaritySignal(t *testing.T) {
+	// The trade-off of Section VII: with moderate obfuscation, similar users
+	// must still look more alike than dissimilar ones.
+	rng := rand.New(rand.NewSource(5))
+	a := realProfile(60)
+	b := realProfile(60) // identical tastes
+	c := profile.New()   // disjoint tastes
+	for i := 0; i < 60; i++ {
+		c.Set(news.ID(1000+i), int64(i), 1)
+	}
+	o := &Obfuscator{Dropout: 0.3, NoiseEntries: 10, DecoyPool: []news.ID{2000, 2001, 2002}, Rng: rng}
+	m := profile.WUP{}
+	oa, ob, oc := o.Obfuscate(a), o.Obfuscate(b), o.Obfuscate(c)
+	if m.Similarity(oa, ob) <= m.Similarity(oa, oc) {
+		t.Fatal("moderate obfuscation must preserve the similarity ordering")
+	}
+}

@@ -1,0 +1,66 @@
+package profile
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"whatsup/internal/news"
+)
+
+// Binary wire format, used by the TCP transport and the dataset dumper:
+//
+//	uint32 count
+//	count × { uint64 id, int64 stamp, float64 score }
+//
+// all big-endian. Entries are written in sorted id order so the encoding is
+// canonical: Equal profiles encode to identical bytes.
+
+const wireEntrySize = 8 + 8 + 8
+
+// ErrTruncated reports a profile payload shorter than its declared length.
+var ErrTruncated = errors.New("profile: truncated encoding")
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (p *Profile) MarshalBinary() ([]byte, error) {
+	es := p.Entries()
+	buf := make([]byte, 4+wireEntrySize*len(es))
+	binary.BigEndian.PutUint32(buf[0:4], uint32(len(es)))
+	off := 4
+	for _, e := range es {
+		binary.BigEndian.PutUint64(buf[off:], uint64(e.Item))
+		binary.BigEndian.PutUint64(buf[off+8:], uint64(e.Stamp))
+		binary.BigEndian.PutUint64(buf[off+16:], math.Float64bits(e.Score))
+		off += wireEntrySize
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler, replacing the
+// receiver's contents.
+func (p *Profile) UnmarshalBinary(data []byte) error {
+	if len(data) < 4 {
+		return ErrTruncated
+	}
+	n := int(binary.BigEndian.Uint32(data[0:4]))
+	if len(data) < 4+n*wireEntrySize {
+		return fmt.Errorf("%w: want %d entries, have %d bytes", ErrTruncated, n, len(data)-4)
+	}
+	p.entries = p.entries[:0]
+	p.sumSq = 0
+	off := 4
+	for i := 0; i < n; i++ {
+		id := news.ID(binary.BigEndian.Uint64(data[off:]))
+		stamp := int64(binary.BigEndian.Uint64(data[off+8:]))
+		score := math.Float64frombits(binary.BigEndian.Uint64(data[off+16:]))
+		if math.IsNaN(score) || math.IsInf(score, 0) {
+			return fmt.Errorf("profile: invalid score for item %s", id)
+		}
+		// Set keeps the slice sorted and deduplicated even if the sender
+		// violated the canonical ordering.
+		p.Set(id, stamp, score)
+		off += wireEntrySize
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package profile
+
+// GobEncode implements gob.GobEncoder via the canonical binary encoding, so
+// profiles embedded in live-runtime envelopes travel over TCP transports.
+func (p *Profile) GobEncode() ([]byte, error) {
+	return p.MarshalBinary()
+}
+
+// GobDecode implements gob.GobDecoder.
+func (p *Profile) GobDecode(data []byte) error {
+	return p.UnmarshalBinary(data)
+}

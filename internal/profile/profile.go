@@ -1,0 +1,247 @@
+// Package profile implements WhatsUp interest profiles and the similarity
+// metrics that drive the WUP clustering overlay (paper Sections II-B to II-E).
+//
+// A profile is a set of <item id, timestamp, score> triplets with a single
+// entry per item. User profiles hold binary scores (1 = like, 0 = dislike);
+// item profiles hold real scores obtained by averaging the user profiles of
+// the nodes that liked the item along its dissemination path.
+//
+// Profiles are stored as slices sorted by item id. This makes the two hot
+// operations of the system cheap: cloning an item profile on every BEEP
+// forward is a single allocation plus memcpy, and similarity computations
+// are two-pointer merges over contiguous memory.
+package profile
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"whatsup/internal/news"
+)
+
+// Entry is one <id, timestamp, score> triplet (II-B).
+type Entry struct {
+	Item  news.ID
+	Stamp int64   // when the opinion was expressed (gossip cycle / unix ms)
+	Score float64 // 1 like, 0 dislike for user profiles; [0,1] for item profiles
+}
+
+// Profile is a set of entries with at most one entry per item identifier,
+// kept sorted by item id. The zero value is not ready to use; call New.
+type Profile struct {
+	entries []Entry // sorted by Item
+	sumSq   float64 // cached Σ score², so Norm is O(1)
+}
+
+// New returns an empty profile.
+func New() *Profile {
+	return &Profile{}
+}
+
+// WithCapacity returns an empty profile sized for n entries.
+func WithCapacity(n int) *Profile {
+	return &Profile{entries: make([]Entry, 0, n)}
+}
+
+// Len reports the number of entries.
+func (p *Profile) Len() int { return len(p.entries) }
+
+// search returns the position of id in the sorted entries and whether it is
+// present.
+func (p *Profile) search(id news.ID) (int, bool) {
+	i := sort.Search(len(p.entries), func(i int) bool { return p.entries[i].Item >= id })
+	return i, i < len(p.entries) && p.entries[i].Item == id
+}
+
+// Get returns the entry for an item and whether it exists.
+func (p *Profile) Get(id news.ID) (Entry, bool) {
+	if i, ok := p.search(id); ok {
+		return p.entries[i], true
+	}
+	return Entry{}, false
+}
+
+// Has reports whether the profile expresses an opinion on the item.
+func (p *Profile) Has(id news.ID) bool {
+	_, ok := p.search(id)
+	return ok
+}
+
+// Set inserts or replaces the entry for an item (user-profile update,
+// Algorithm 1 lines 5, 7 and 14).
+func (p *Profile) Set(id news.ID, stamp int64, score float64) {
+	i, ok := p.search(id)
+	if ok {
+		old := p.entries[i].Score
+		p.sumSq += score*score - old*old
+		p.entries[i] = Entry{Item: id, Stamp: stamp, Score: score}
+		return
+	}
+	p.entries = append(p.entries, Entry{})
+	copy(p.entries[i+1:], p.entries[i:])
+	p.entries[i] = Entry{Item: id, Stamp: stamp, Score: score}
+	p.sumSq += score * score
+}
+
+// AverageIn merges one tuple of a liker's user profile into an item profile:
+// if the item profile already has a score s for the id, s becomes the average
+// (s+score)/2, giving equal weight to both and personalising the item profile
+// to the most recent liker; otherwise the tuple is inserted as is
+// (addToNewsProfile, Algorithm 1 lines 18-22).
+func (p *Profile) AverageIn(id news.ID, stamp int64, score float64) {
+	i, ok := p.search(id)
+	if ok {
+		old := p.entries[i].Score
+		avg := (old + score) / 2
+		p.sumSq += avg*avg - old*old
+		p.entries[i].Score = avg
+		return
+	}
+	p.entries = append(p.entries, Entry{})
+	copy(p.entries[i+1:], p.entries[i:])
+	p.entries[i] = Entry{Item: id, Stamp: stamp, Score: score}
+	p.sumSq += score * score
+}
+
+// Remove deletes the entry for an item, if present.
+func (p *Profile) Remove(id news.ID) {
+	if i, ok := p.search(id); ok {
+		old := p.entries[i].Score
+		p.sumSq -= old * old
+		p.entries = append(p.entries[:i], p.entries[i+1:]...)
+		if len(p.entries) == 0 {
+			p.sumSq = 0
+		}
+	}
+}
+
+// PurgeOlderThan removes all entries whose timestamp is strictly older than
+// minStamp and reports how many were dropped. This implements the profile
+// window (II-E): the system only considers current interests, and inactive
+// users decay back to empty profiles.
+func (p *Profile) PurgeOlderThan(minStamp int64) int {
+	kept := p.entries[:0]
+	dropped := 0
+	for _, e := range p.entries {
+		if e.Stamp < minStamp {
+			p.sumSq -= e.Score * e.Score
+			dropped++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	p.entries = kept
+	if len(p.entries) == 0 {
+		p.sumSq = 0 // reset accumulated float error on empty
+	}
+	return dropped
+}
+
+// Norm returns the Euclidean norm of the score vector, ‖P‖.
+func (p *Profile) Norm() float64 {
+	if p.sumSq <= 0 {
+		return 0
+	}
+	return math.Sqrt(p.sumSq)
+}
+
+// Likes returns the number of entries with a strictly positive score.
+func (p *Profile) Likes() int {
+	n := 0
+	for _, e := range p.entries {
+		if e.Score > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// ForEach calls fn for every entry in ascending item-id order.
+func (p *Profile) ForEach(fn func(Entry)) {
+	for _, e := range p.entries {
+		fn(e)
+	}
+}
+
+// Entries returns a copy of the entries sorted by item id.
+func (p *Profile) Entries() []Entry {
+	out := make([]Entry, len(p.entries))
+	copy(out, p.entries)
+	return out
+}
+
+// Clone returns a deep copy. BEEP clones the item profile on every forward so
+// that copies of the same item along different paths diverge (II-B).
+func (p *Profile) Clone() *Profile {
+	c := &Profile{entries: make([]Entry, len(p.entries)), sumSq: p.sumSq}
+	copy(c.entries, p.entries)
+	return c
+}
+
+// Equal reports whether two profiles contain exactly the same entries.
+func (p *Profile) Equal(q *Profile) bool {
+	if len(p.entries) != len(q.entries) {
+		return false
+	}
+	for i, e := range p.entries {
+		if q.entries[i] != e {
+			return false
+		}
+	}
+	return true
+}
+
+// WireSize approximates the serialized size in bytes: 8-byte id + 8-byte
+// timestamp + 8-byte score per entry. Used for bandwidth accounting
+// (Figure 8b).
+func (p *Profile) WireSize() int {
+	const entryBytes = 8 + 8 + 8
+	return entryBytes * len(p.entries)
+}
+
+// String renders a short human-readable form, capped to a few entries.
+func (p *Profile) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "profile{%d:", len(p.entries))
+	for i, e := range p.entries {
+		if i == 4 {
+			b.WriteString(" …")
+			break
+		}
+		fmt.Fprintf(&b, " %s=%.2f", e.Item, e.Score)
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// MostPopular returns the n item ids that occur most frequently across the
+// given profiles (ties broken by id for determinism). The cold-start
+// procedure rates the 3 most popular items found in an inherited RPS view
+// (II-D).
+func MostPopular(profiles []*Profile, n int) []news.ID {
+	counts := make(map[news.ID]int)
+	for _, p := range profiles {
+		if p == nil {
+			continue
+		}
+		for _, e := range p.entries {
+			counts[e.Item]++
+		}
+	}
+	ids := make([]news.ID, 0, len(counts))
+	for id := range counts {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if counts[ids[i]] != counts[ids[j]] {
+			return counts[ids[i]] > counts[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	if len(ids) > n {
+		ids = ids[:n]
+	}
+	return ids
+}

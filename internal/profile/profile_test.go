@@ -1,0 +1,261 @@
+package profile
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"whatsup/internal/news"
+)
+
+func TestSetSingleEntryPerID(t *testing.T) {
+	p := New()
+	p.Set(1, 10, 1)
+	p.Set(1, 20, 0)
+	if p.Len() != 1 {
+		t.Fatalf("profile must hold a single entry per id, got %d", p.Len())
+	}
+	e, ok := p.Get(1)
+	if !ok || e.Score != 0 || e.Stamp != 20 {
+		t.Fatalf("Set did not replace: %+v", e)
+	}
+}
+
+func TestNormTracksMutations(t *testing.T) {
+	p := New()
+	p.Set(1, 0, 1)
+	p.Set(2, 0, 1)
+	p.Set(3, 0, 0)
+	if got, want := p.Norm(), math.Sqrt(2); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Norm=%v want %v", got, want)
+	}
+	p.Remove(1)
+	if got, want := p.Norm(), 1.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Norm after Remove=%v want %v", got, want)
+	}
+	p.Set(2, 0, 0.5) // replace like with half-score
+	if got, want := p.Norm(), 0.5; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Norm after replace=%v want %v", got, want)
+	}
+}
+
+func TestAverageInMatchesAlgorithm1(t *testing.T) {
+	// addToNewsProfile: existing score is replaced by the average of old and
+	// new; missing ids are inserted verbatim.
+	ip := New()
+	ip.AverageIn(7, 3, 1)
+	if e, _ := ip.Get(7); e.Score != 1 || e.Stamp != 3 {
+		t.Fatalf("insert path wrong: %+v", e)
+	}
+	ip.AverageIn(7, 9, 0)
+	e, _ := ip.Get(7)
+	if e.Score != 0.5 {
+		t.Fatalf("average path wrong: score=%v want 0.5", e.Score)
+	}
+	if e.Stamp != 3 {
+		t.Fatalf("average path must keep original stamp, got %d", e.Stamp)
+	}
+	ip.AverageIn(7, 9, 1)
+	if e, _ := ip.Get(7); e.Score != 0.75 {
+		t.Fatalf("second average wrong: %v want 0.75", e.Score)
+	}
+}
+
+func TestPurgeOlderThan(t *testing.T) {
+	p := New()
+	for i := 0; i < 10; i++ {
+		p.Set(news.ID(i), int64(i), 1)
+	}
+	dropped := p.PurgeOlderThan(5)
+	if dropped != 5 || p.Len() != 5 {
+		t.Fatalf("dropped=%d len=%d want 5/5", dropped, p.Len())
+	}
+	for i := 5; i < 10; i++ {
+		if !p.Has(news.ID(i)) {
+			t.Fatalf("entry %d must survive the purge", i)
+		}
+	}
+	if p.PurgeOlderThan(5) != 0 {
+		t.Fatalf("second purge at same boundary must drop nothing")
+	}
+	if got, want := p.Norm(), math.Sqrt(5); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Norm after purge=%v want %v", got, want)
+	}
+}
+
+func TestPurgeAllResetsNorm(t *testing.T) {
+	p := New()
+	p.Set(1, 1, 0.3)
+	p.Set(2, 2, 0.7)
+	p.PurgeOlderThan(100)
+	if p.Len() != 0 || p.Norm() != 0 {
+		t.Fatalf("full purge must empty the profile: len=%d norm=%v", p.Len(), p.Norm())
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := New()
+	p.Set(1, 1, 1)
+	c := p.Clone()
+	c.Set(2, 2, 1)
+	c.Set(1, 3, 0)
+	if p.Len() != 1 {
+		t.Fatalf("mutating the clone changed the original")
+	}
+	if e, _ := p.Get(1); e.Score != 1 {
+		t.Fatalf("original entry overwritten via clone")
+	}
+}
+
+func TestEntriesSorted(t *testing.T) {
+	p := New()
+	for _, id := range []news.ID{9, 3, 7, 1} {
+		p.Set(id, 0, 1)
+	}
+	es := p.Entries()
+	for i := 1; i < len(es); i++ {
+		if es[i-1].Item >= es[i].Item {
+			t.Fatalf("entries not sorted: %v", es)
+		}
+	}
+}
+
+func TestMostPopular(t *testing.T) {
+	mk := func(ids ...news.ID) *Profile {
+		p := New()
+		for _, id := range ids {
+			p.Set(id, 0, 1)
+		}
+		return p
+	}
+	profiles := []*Profile{mk(1, 2, 3), mk(2, 3), mk(3), nil, mk(4)}
+	top := MostPopular(profiles, 3)
+	want := []news.ID{3, 2, 1}
+	if len(top) != 3 || top[0] != want[0] || top[1] != want[1] || top[2] != want[2] {
+		t.Fatalf("MostPopular=%v want %v", top, want)
+	}
+	if got := MostPopular(profiles, 10); len(got) != 4 {
+		t.Fatalf("MostPopular must cap at distinct ids, got %v", got)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a, b := New(), New()
+	a.Set(1, 2, 1)
+	b.Set(1, 2, 1)
+	if !a.Equal(b) {
+		t.Fatal("identical profiles must be Equal")
+	}
+	b.Set(1, 2, 0)
+	if a.Equal(b) {
+		t.Fatal("different scores must not be Equal")
+	}
+}
+
+// randomProfile builds a profile with n entries drawn from a universe of ids.
+func randomProfile(rng *rand.Rand, n int, universe int64) *Profile {
+	p := New()
+	for i := 0; i < n; i++ {
+		p.Set(news.ID(rng.Int63n(universe)), rng.Int63n(1000), float64(rng.Intn(2)))
+	}
+	return p
+}
+
+func TestNormPropertyMatchesRecomputation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		p := randomProfile(rng, rng.Intn(50), 40)
+		// Random churn.
+		for i := 0; i < 30; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				p.Set(news.ID(rng.Int63n(40)), rng.Int63n(1000), rng.Float64())
+			case 1:
+				p.Remove(news.ID(rng.Int63n(40)))
+			case 2:
+				p.AverageIn(news.ID(rng.Int63n(40)), rng.Int63n(1000), rng.Float64())
+			}
+		}
+		var sumSq float64
+		p.ForEach(func(e Entry) { sumSq += e.Score * e.Score })
+		if math.Abs(p.Norm()-math.Sqrt(sumSq)) > 1e-9 {
+			t.Fatalf("cached norm drifted: %v vs %v", p.Norm(), math.Sqrt(sumSq))
+		}
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		p := randomProfile(rng, rng.Intn(30), 1<<40)
+		data, err := p.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := New()
+		if err := q.UnmarshalBinary(data); err != nil {
+			t.Fatal(err)
+		}
+		if !p.Equal(q) {
+			t.Fatalf("round trip mismatch:\n%v\n%v", p, q)
+		}
+	}
+}
+
+func TestMarshalCanonical(t *testing.T) {
+	a, b := New(), New()
+	ids := []news.ID{5, 1, 9, 2}
+	for _, id := range ids {
+		a.Set(id, int64(id), 1)
+	}
+	for i := len(ids) - 1; i >= 0; i-- {
+		b.Set(ids[i], int64(ids[i]), 1)
+	}
+	ba, _ := a.MarshalBinary()
+	bb, _ := b.MarshalBinary()
+	if string(ba) != string(bb) {
+		t.Fatal("encoding must be canonical regardless of insertion order")
+	}
+}
+
+func TestUnmarshalTruncated(t *testing.T) {
+	p := New()
+	p.Set(1, 1, 1)
+	data, _ := p.MarshalBinary()
+	q := New()
+	if err := q.UnmarshalBinary(data[:len(data)-3]); err == nil {
+		t.Fatal("truncated payload must fail")
+	}
+	if err := q.UnmarshalBinary(nil); err == nil {
+		t.Fatal("empty payload must fail")
+	}
+}
+
+func TestMarshalPropertyQuick(t *testing.T) {
+	f := func(ids []uint64, scores []float64) bool {
+		p := New()
+		for i, id := range ids {
+			s := 0.0
+			if i < len(scores) {
+				s = math.Abs(math.Mod(scores[i], 1))
+				if math.IsNaN(s) || math.IsInf(s, 0) {
+					s = 0
+				}
+			}
+			p.Set(news.ID(id), int64(i), s)
+		}
+		data, err := p.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		q := New()
+		if err := q.UnmarshalBinary(data); err != nil {
+			return false
+		}
+		return p.Equal(q)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,104 @@
+// Package rps implements the random-peer-sampling layer of WUP (paper
+// Section II), after Jelasity et al., "Gossip-based peer sampling", ACM TOCS
+// 2007. It maintains a continuously changing random view of the network that
+// (i) keeps the overlay connected, (ii) feeds the clustering layer with
+// fresh candidates, and (iii) provides BEEP's dislike orientation with a
+// random sample to search for the node closest to an item profile.
+//
+// The protocol is push-pull: periodically a node selects the entry with the
+// oldest timestamp in its view and sends it its own fresh descriptor along
+// with half of its view; the receiver replies symmetrically and both sides
+// renew their views by keeping a random sample of the union of their own and
+// the received entries.
+//
+// Protocol state is not goroutine-safe; engines serialize access per node
+// (the simulator runs nodes sequentially, the live runtime wraps each node
+// in a single goroutine).
+package rps
+
+import (
+	"math/rand"
+
+	"whatsup/internal/news"
+	"whatsup/internal/overlay"
+	"whatsup/internal/profile"
+)
+
+// Protocol is the per-node RPS state machine.
+type Protocol struct {
+	self news.NodeID
+	addr string
+	view *overlay.View
+	rng  *rand.Rand
+}
+
+// New returns an RPS instance for node self with the given view size
+// (RPSvs, 30 in the paper).
+func New(self news.NodeID, addr string, viewSize int, rng *rand.Rand) *Protocol {
+	return &Protocol{self: self, addr: addr, view: overlay.NewView(viewSize), rng: rng}
+}
+
+// Self returns the node this protocol instance belongs to.
+func (p *Protocol) Self() news.NodeID { return p.self }
+
+// View exposes the underlying view. Callers must treat returned descriptors
+// as immutable.
+func (p *Protocol) View() *overlay.View { return p.view }
+
+// Seed bootstraps the view with initial descriptors (engine-provided random
+// graph, or the inherited view of a cold-starting node, Section II-D).
+func (p *Protocol) Seed(descs []overlay.Descriptor) {
+	p.view.InsertAll(descs, p.self)
+	p.view.TrimRandom(p.rng)
+}
+
+// Descriptor builds this node's own fresh descriptor: current profile
+// snapshot stamped now. The snapshot is cloned so later profile mutations do
+// not alter descriptors already gossiped away.
+func (p *Protocol) Descriptor(now int64, prof *profile.Profile) overlay.Descriptor {
+	return overlay.Descriptor{Node: p.self, Addr: p.addr, Stamp: now, Profile: prof.Clone()}
+}
+
+// SelectPeer returns the view entry with the oldest timestamp, the exchange
+// target for this cycle. ok is false while the view is empty.
+func (p *Protocol) SelectPeer() (overlay.Descriptor, bool) {
+	return p.view.Oldest()
+}
+
+// MakePush assembles the request payload: the node's fresh descriptor plus a
+// random half of its view (the typical parameter in such protocols,
+// Section II).
+func (p *Protocol) MakePush(self overlay.Descriptor) []overlay.Descriptor {
+	half := p.view.Len() / 2
+	push := make([]overlay.Descriptor, 0, half+1)
+	push = append(push, self)
+	push = append(push, p.view.RandomSample(p.rng, half)...)
+	return push
+}
+
+// AcceptPush handles an incoming exchange request at the responder: it
+// builds the symmetric reply (own fresh descriptor plus half the view,
+// sampled before merging) and then merges the received entries.
+func (p *Protocol) AcceptPush(push []overlay.Descriptor, self overlay.Descriptor) (reply []overlay.Descriptor) {
+	reply = p.MakePush(self)
+	p.merge(push)
+	return reply
+}
+
+// AcceptReply merges the responder's entries at the initiator.
+func (p *Protocol) AcceptReply(reply []overlay.Descriptor) {
+	p.merge(reply)
+}
+
+// merge renews the view with a random sample of the union of the current
+// view and the received descriptors.
+func (p *Protocol) merge(received []overlay.Descriptor) {
+	p.view.InsertAll(received, p.self)
+	p.view.TrimRandom(p.rng)
+}
+
+// Crash clears the view, used by failure-injection tests to model a node
+// that lost its state.
+func (p *Protocol) Crash() {
+	p.view = overlay.NewView(p.view.Capacity())
+}

@@ -1,0 +1,331 @@
+// Package sim is the deterministic cycle-based simulator used for the bulk
+// of the evaluation (paper Section V: "simulations use the duration of a
+// gossip cycle as a time unit"). Each cycle every peer purges its profile
+// window, performs one RPS and one WUP exchange, and scheduled publications
+// are disseminated to quiescence through a FIFO message queue. A configurable
+// loss model drops BEEP and gossip messages (Table VI).
+//
+// The engine is strictly deterministic: given the same peers, schedule and
+// seed, two runs produce identical results. Engines are single-threaded;
+// parallelism lives one level up, across independent sweep points.
+package sim
+
+import (
+	"math/rand"
+
+	"whatsup/internal/cluster"
+	"whatsup/internal/core"
+	"whatsup/internal/graph"
+	"whatsup/internal/metrics"
+	"whatsup/internal/news"
+	"whatsup/internal/overlay"
+	"whatsup/internal/profile"
+	"whatsup/internal/rps"
+)
+
+// Peer is the engine-facing contract of a protocol node. core.Node satisfies
+// it; baselines provide their own implementations. A peer without an RPS or
+// clustering layer returns nil from the corresponding accessor and the
+// engine skips that gossip phase for it.
+type Peer interface {
+	ID() news.NodeID
+	RPS() *rps.Protocol
+	WUP() *cluster.Protocol
+	UserProfile() *profile.Profile
+	BeginCycle(now int64)
+	InjectRPSCandidates()
+	Publish(item news.Item, now int64) []core.Send
+	Receive(msg core.ItemMessage, now int64) (core.Delivery, []core.Send)
+}
+
+// Publication schedules the creation of an item at a source node.
+type Publication struct {
+	Cycle  int64
+	Source news.NodeID
+	Item   news.Item
+}
+
+// Config parameterizes an engine run.
+type Config struct {
+	// Seed drives the engine's own randomness (loss decisions, bootstrap).
+	Seed int64
+	// Cycles is the number of gossip cycles Run executes.
+	Cycles int
+	// LossRate drops each message (BEEP, RPS and WUP legs independently)
+	// with this probability (Table VI).
+	LossRate float64
+	// BootstrapDegree is the number of random descriptors each peer's views
+	// are seeded with before the run (defaults to 5).
+	BootstrapDegree int
+	// Publications is the item schedule; entries outside [1, Cycles] never
+	// fire under Run (Step honours whatever cycle it reaches).
+	Publications []Publication
+	// OnCycleEnd, if set, is invoked after each cycle with the engine; used
+	// by the dynamics experiments (Figure 7) to sample view similarity.
+	OnCycleEnd func(e *Engine, now int64)
+	// OnDelivery, if set, observes every non-duplicate delivery.
+	OnDelivery func(d core.Delivery, now int64)
+}
+
+type envelope struct {
+	to  news.NodeID
+	msg core.ItemMessage
+}
+
+// Engine drives a set of peers through gossip cycles.
+type Engine struct {
+	cfg   Config
+	rng   *rand.Rand
+	peers []Peer
+	byID  map[news.NodeID]Peer
+	col   *metrics.Collector
+	now   int64
+	pubs  map[int64][]Publication
+	queue []envelope
+}
+
+// New builds an engine over the given peers, recording into col.
+func New(cfg Config, peers []Peer, col *metrics.Collector) *Engine {
+	if cfg.BootstrapDegree <= 0 {
+		cfg.BootstrapDegree = 5
+	}
+	e := &Engine{
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		byID: make(map[news.NodeID]Peer, len(peers)),
+		col:  col,
+		pubs: make(map[int64][]Publication),
+	}
+	for _, p := range peers {
+		e.addPeer(p)
+	}
+	for _, pub := range cfg.Publications {
+		e.pubs[pub.Cycle] = append(e.pubs[pub.Cycle], pub)
+	}
+	return e
+}
+
+func (e *Engine) addPeer(p Peer) {
+	e.peers = append(e.peers, p)
+	e.byID[p.ID()] = p
+}
+
+// AddPeer registers a peer between cycles (the joining-node experiment of
+// Figure 7). The caller is responsible for cold-starting its views.
+func (e *Engine) AddPeer(p Peer) { e.addPeer(p) }
+
+// Peers returns the engine's peers in registration order.
+func (e *Engine) Peers() []Peer { return e.peers }
+
+// Peer returns the peer with the given id, or nil.
+func (e *Engine) Peer(id news.NodeID) Peer { return e.byID[id] }
+
+// Collector returns the metrics collector.
+func (e *Engine) Collector() *metrics.Collector { return e.col }
+
+// Now returns the current cycle.
+func (e *Engine) Now() int64 { return e.now }
+
+// descriptorOf builds a fresh descriptor for a peer at the given time.
+func descriptorOf(p Peer, now int64) overlay.Descriptor {
+	return overlay.Descriptor{Node: p.ID(), Stamp: now, Profile: p.UserProfile().Clone()}
+}
+
+// Bootstrap seeds every peer's views with BootstrapDegree random
+// descriptors, forming the initial random graph.
+func (e *Engine) Bootstrap() {
+	n := len(e.peers)
+	if n < 2 {
+		return
+	}
+	for _, p := range e.peers {
+		descs := make([]overlay.Descriptor, 0, e.cfg.BootstrapDegree)
+		for _, j := range e.rng.Perm(n) {
+			q := e.peers[j]
+			if q.ID() == p.ID() {
+				continue
+			}
+			descs = append(descs, descriptorOf(q, 0))
+			if len(descs) == e.cfg.BootstrapDegree {
+				break
+			}
+		}
+		if p.RPS() != nil {
+			p.RPS().Seed(descs)
+		}
+		if p.WUP() != nil {
+			p.WUP().Seed(descs, p.UserProfile())
+		}
+	}
+}
+
+// lost draws one loss decision.
+func (e *Engine) lost() bool {
+	return e.cfg.LossRate > 0 && e.rng.Float64() < e.cfg.LossRate
+}
+
+// descriptorsWireSize sums the wire sizes of a descriptor batch.
+func descriptorsWireSize(batch []overlay.Descriptor) int {
+	total := 0
+	for _, d := range batch {
+		total += d.WireSize()
+	}
+	return total
+}
+
+// Step advances the simulation by one cycle.
+func (e *Engine) Step() {
+	e.now++
+	now := e.now
+
+	for _, p := range e.peers {
+		p.BeginCycle(now)
+	}
+	e.gossipRPS(now)
+	e.gossipWUP(now)
+
+	for _, pub := range e.pubs[now] {
+		src := e.byID[pub.Source]
+		if src == nil {
+			continue
+		}
+		sends := src.Publish(pub.Item, now)
+		if len(sends) > 0 {
+			e.col.RecordForward(true, 0)
+		}
+		e.enqueue(sends)
+	}
+	e.drain(now)
+
+	if e.cfg.OnCycleEnd != nil {
+		e.cfg.OnCycleEnd(e, now)
+	}
+}
+
+// Run executes cfg.Cycles cycles (continuing from the current time if
+// called after Step).
+func (e *Engine) Run() {
+	for int(e.now) < e.cfg.Cycles {
+		e.Step()
+	}
+}
+
+func (e *Engine) gossipRPS(now int64) {
+	for _, p := range e.peers {
+		proto := p.RPS()
+		if proto == nil {
+			continue
+		}
+		target, ok := proto.SelectPeer()
+		if !ok {
+			continue
+		}
+		push := proto.MakePush(proto.Descriptor(now, p.UserProfile()))
+		e.col.RecordMessage(metrics.MsgRPSRequest, descriptorsWireSize(push))
+		if e.lost() {
+			continue
+		}
+		responder := e.byID[target.Node]
+		if responder == nil || responder.RPS() == nil {
+			continue
+		}
+		rproto := responder.RPS()
+		reply := rproto.AcceptPush(push, rproto.Descriptor(now, responder.UserProfile()))
+		e.col.RecordMessage(metrics.MsgRPSReply, descriptorsWireSize(reply))
+		if e.lost() {
+			continue
+		}
+		proto.AcceptReply(reply)
+	}
+}
+
+func (e *Engine) gossipWUP(now int64) {
+	for _, p := range e.peers {
+		proto := p.WUP()
+		if proto == nil {
+			continue
+		}
+		p.InjectRPSCandidates()
+		target, ok := proto.SelectPeer()
+		if !ok {
+			continue
+		}
+		push := proto.MakePush(proto.Descriptor(now, p.UserProfile()))
+		e.col.RecordMessage(metrics.MsgWUPRequest, descriptorsWireSize(push))
+		if e.lost() {
+			continue
+		}
+		responder := e.byID[target.Node]
+		if responder == nil || responder.WUP() == nil {
+			continue
+		}
+		rproto := responder.WUP()
+		reply := rproto.AcceptPush(push, rproto.Descriptor(now, responder.UserProfile()), responder.UserProfile())
+		e.col.RecordMessage(metrics.MsgWUPReply, descriptorsWireSize(reply))
+		if e.lost() {
+			continue
+		}
+		proto.AcceptReply(reply, p.UserProfile())
+	}
+}
+
+func (e *Engine) enqueue(sends []core.Send) {
+	for _, s := range sends {
+		e.queue = append(e.queue, envelope{to: s.To, msg: s.Msg})
+	}
+}
+
+// drain delivers queued BEEP messages to quiescence. Dissemination is
+// instantaneous relative to gossip cycles, as in the paper's simulations.
+// The queue is drained FIFO with an explicit head index so the backing
+// array is reused across cycles instead of leaking its prefix.
+func (e *Engine) drain(now int64) {
+	head := 0
+	for head < len(e.queue) {
+		env := e.queue[head]
+		e.queue[head] = envelope{} // release the profile for GC
+		head++
+		if head == len(e.queue) {
+			e.queue = e.queue[:0]
+			head = 0
+		}
+		e.col.RecordMessage(metrics.MsgBeep, env.msg.WireSize())
+		if e.lost() {
+			continue
+		}
+		p := e.byID[env.to]
+		if p == nil {
+			continue
+		}
+		d, sends := p.Receive(env.msg, now)
+		if d.Duplicate {
+			continue
+		}
+		e.col.RecordDelivery(d)
+		if e.cfg.OnDelivery != nil {
+			e.cfg.OnDelivery(d, now)
+		}
+		if len(sends) > 0 {
+			e.col.RecordForward(d.Liked, d.Hops)
+		}
+		e.enqueue(sends)
+	}
+}
+
+// WUPGraph snapshots the directed graph formed by the peers' WUP views,
+// for the connectivity and clustering analyses (Figure 4, Section V-A).
+// Peers without a clustering layer contribute no edges. Node ids must be
+// dense in [0, len(peers)) for the returned graph indices to be meaningful;
+// engines built by the experiment harness guarantee this.
+func (e *Engine) WUPGraph() *graph.Directed {
+	g := graph.NewDirected(len(e.peers))
+	for _, p := range e.peers {
+		if p.WUP() == nil {
+			continue
+		}
+		for _, d := range p.WUP().View().Entries() {
+			g.AddEdge(int(p.ID()), int(d.Node))
+		}
+	}
+	return g
+}

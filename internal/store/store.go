@@ -1,0 +1,150 @@
+// Package store persists a node's durable state between restarts. The
+// paper's prototype pairs the protocols with "a lightweight local database
+// containing user-profile information" (Section V): the user profile is the
+// durable part of a WhatsUp node — views are soft state that gossip rebuilds
+// — so the store saves and restores profiles plus the seen-item set using
+// the canonical binary profile codec.
+//
+// The file format is versioned and length-prefixed:
+//
+//	magic "WUPSTORE" | uint16 version | profile blob | uint32 nSeen | nSeen × uint64
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"slices"
+
+	"whatsup/internal/news"
+	"whatsup/internal/profile"
+)
+
+var magic = [8]byte{'W', 'U', 'P', 'S', 'T', 'O', 'R', 'E'}
+
+const version = 1
+
+// ErrBadFormat reports a corrupt or foreign state file.
+var ErrBadFormat = errors.New("store: bad state file")
+
+// State is the durable part of a node.
+type State struct {
+	Profile *profile.Profile
+	Seen    map[news.ID]struct{}
+}
+
+// Write serializes the state to w.
+func Write(w io.Writer, st State) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.BigEndian, uint16(version)); err != nil {
+		return err
+	}
+	prof := st.Profile
+	if prof == nil {
+		prof = profile.New()
+	}
+	blob, err := prof.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.BigEndian, uint32(len(blob))); err != nil {
+		return err
+	}
+	if _, err := bw.Write(blob); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.BigEndian, uint32(len(st.Seen))); err != nil {
+		return err
+	}
+	// Canonical order so identical states serialize identically.
+	ids := make([]uint64, 0, len(st.Seen))
+	for id := range st.Seen {
+		ids = append(ids, uint64(id))
+	}
+	slices.Sort(ids)
+	for _, id := range ids {
+		if err := binary.Write(bw, binary.BigEndian, id); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a state written by Write.
+func Read(r io.Reader) (State, error) {
+	br := bufio.NewReader(r)
+	var gotMagic [8]byte
+	if _, err := io.ReadFull(br, gotMagic[:]); err != nil {
+		return State{}, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if gotMagic != magic {
+		return State{}, fmt.Errorf("%w: wrong magic", ErrBadFormat)
+	}
+	var ver uint16
+	if err := binary.Read(br, binary.BigEndian, &ver); err != nil {
+		return State{}, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if ver != version {
+		return State{}, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, ver)
+	}
+	var blobLen uint32
+	if err := binary.Read(br, binary.BigEndian, &blobLen); err != nil {
+		return State{}, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	blob := make([]byte, blobLen)
+	if _, err := io.ReadFull(br, blob); err != nil {
+		return State{}, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	prof := profile.New()
+	if err := prof.UnmarshalBinary(blob); err != nil {
+		return State{}, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	var nSeen uint32
+	if err := binary.Read(br, binary.BigEndian, &nSeen); err != nil {
+		return State{}, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	seen := make(map[news.ID]struct{}, nSeen)
+	for i := uint32(0); i < nSeen; i++ {
+		var id uint64
+		if err := binary.Read(br, binary.BigEndian, &id); err != nil {
+			return State{}, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		}
+		seen[news.ID(id)] = struct{}{}
+	}
+	return State{Profile: prof, Seen: seen}, nil
+}
+
+// Save atomically writes the state to path (write-temp-then-rename).
+func Save(path string, st State) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".wupstate-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := Write(tmp, st); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// Load reads the state from path.
+func Load(path string) (State, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return State{}, err
+	}
+	defer f.Close()
+	return Read(f)
+}

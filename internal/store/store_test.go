@@ -1,0 +1,171 @@
+package store
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"whatsup/internal/news"
+	"whatsup/internal/profile"
+)
+
+func sampleState(rng *rand.Rand, entries, seen int) State {
+	p := profile.New()
+	for i := 0; i < entries; i++ {
+		p.Set(news.ID(rng.Int63()), rng.Int63n(1000), float64(rng.Intn(2)))
+	}
+	s := make(map[news.ID]struct{}, seen)
+	for i := 0; i < seen; i++ {
+		s[news.ID(rng.Int63())] = struct{}{}
+	}
+	return State{Profile: p, Seen: s}
+}
+
+func statesEqual(a, b State) bool {
+	if !a.Profile.Equal(b.Profile) || len(a.Seen) != len(b.Seen) {
+		return false
+	}
+	for id := range a.Seen {
+		if _, ok := b.Seen[id]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		st := sampleState(rng, rng.Intn(40), rng.Intn(40))
+		var buf bytes.Buffer
+		if err := Write(&buf, st); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !statesEqual(st, got) {
+			t.Fatalf("round trip mismatch at trial %d", trial)
+		}
+	}
+}
+
+func TestNilProfileWritesEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, State{Seen: map[news.ID]struct{}{1: {}}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Profile.Len() != 0 || len(got.Seen) != 1 {
+		t.Fatalf("unexpected state: %+v", got)
+	}
+}
+
+func TestCanonicalEncoding(t *testing.T) {
+	// Same logical state → identical bytes regardless of map order.
+	mk := func() State {
+		p := profile.New()
+		p.Set(3, 1, 1)
+		p.Set(1, 2, 0)
+		return State{Profile: p, Seen: map[news.ID]struct{}{9: {}, 2: {}, 5: {}}}
+	}
+	var a, b bytes.Buffer
+	if err := Write(&a, mk()); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&b, mk()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("encoding must be canonical")
+	}
+}
+
+func TestBadInputsRejected(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("short"),
+		[]byte("NOTMAGIC________________"),
+	}
+	for i, data := range cases {
+		if _, err := Read(bytes.NewReader(data)); err == nil {
+			t.Fatalf("case %d: corrupt input accepted", i)
+		}
+	}
+	// Truncated but valid prefix.
+	var buf bytes.Buffer
+	st := sampleState(rand.New(rand.NewSource(2)), 10, 10)
+	if err := Write(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	if _, err := Read(bytes.NewReader(full[:len(full)-4])); err == nil {
+		t.Fatal("truncated input accepted")
+	}
+}
+
+func TestSaveLoadAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "node.state")
+	st := sampleState(rand.New(rand.NewSource(3)), 20, 20)
+	if err := Save(path, st); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !statesEqual(st, got) {
+		t.Fatal("save/load mismatch")
+	}
+	// Overwrite with new state.
+	st2 := sampleState(rand.New(rand.NewSource(4)), 5, 5)
+	if err := Save(path, st2); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !statesEqual(st2, got2) {
+		t.Fatal("overwrite mismatch")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	f := func(ids []uint64, seenIDs []uint64) bool {
+		p := profile.New()
+		for i, id := range ids {
+			p.Set(news.ID(id), int64(i), float64(i%2))
+		}
+		seen := make(map[news.ID]struct{})
+		for _, id := range seenIDs {
+			seen[news.ID(id)] = struct{}{}
+		}
+		st := State{Profile: p, Seen: seen}
+		var buf bytes.Buffer
+		if err := Write(&buf, st); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		return statesEqual(st, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

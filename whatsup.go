@@ -1,0 +1,234 @@
+// Package whatsup is a Go reproduction of WHATSUP, the decentralized
+// instant news recommender of Boutet, Frey, Guerraoui, Jégou and Kermarrec
+// (IEEE IPDPS 2013). It provides:
+//
+//   - the WhatsUp node: the WUP implicit social network (random peer
+//     sampling + similarity clustering) and the BEEP biased epidemic
+//     dissemination protocol with its orientation and amplification
+//     mechanisms;
+//   - a deterministic cycle-based simulator and two concurrent live
+//     runtimes (lossy in-memory channels and TCP loopback);
+//   - the three evaluation workloads of the paper (synthetic
+//     Arxiv-community, Digg-like, survey-like) and all competitor systems;
+//   - experiment drivers regenerating every table and figure of the paper's
+//     evaluation (see internal/experiments and cmd/whatsup-bench).
+//
+// The root package is a thin façade over the internal packages for
+// programmatic use; see examples/ for runnable entry points.
+package whatsup
+
+import (
+	"math/rand"
+	"time"
+
+	"whatsup/internal/core"
+	"whatsup/internal/dataset"
+	"whatsup/internal/live"
+	"whatsup/internal/metrics"
+	"whatsup/internal/news"
+	"whatsup/internal/profile"
+	"whatsup/internal/sim"
+)
+
+// Re-exported identifiers so applications can use the library without
+// touching internal packages.
+type (
+	// NodeID identifies a peer.
+	NodeID = news.NodeID
+	// ItemID is the 8-byte content hash of a news item.
+	ItemID = news.ID
+	// Item is a news item.
+	Item = news.Item
+	// Config holds the WhatsUp node parameters (Table II of the paper).
+	Config = core.Config
+	// Node is a WhatsUp peer (WUP + BEEP).
+	Node = core.Node
+	// Opinions supplies like/dislike reactions.
+	Opinions = core.Opinions
+	// OpinionFunc adapts a function to Opinions.
+	OpinionFunc = core.OpinionFunc
+	// Delivery reports one item reception.
+	Delivery = core.Delivery
+	// Collector accumulates evaluation metrics.
+	Collector = metrics.Collector
+	// Dataset is an evaluation workload.
+	Dataset = dataset.Dataset
+	// Profile is an interest profile.
+	Profile = profile.Profile
+)
+
+// Metrics for clustering and orientation.
+var (
+	// WUPMetric is the paper's asymmetric similarity metric.
+	WUPMetric profile.Metric = profile.WUP{}
+	// CosineMetric is classical cosine similarity.
+	CosineMetric profile.Metric = profile.Cosine{}
+)
+
+// NewItem builds a news item, deriving its identifier from the content.
+func NewItem(title, description, link string, created int64, source NodeID) Item {
+	return news.New(title, description, link, created, source)
+}
+
+// NewNode constructs a WhatsUp node with the given configuration; zero
+// fields take the paper's defaults.
+func NewNode(id NodeID, cfg Config, opinions Opinions, seed int64) *Node {
+	return core.NewNode(id, "", cfg, opinions, rand.New(rand.NewSource(seed)))
+}
+
+// Workload constructors at a given scale (1.0 = Table I sizes).
+
+// SyntheticDataset generates the Arxiv-style community workload.
+func SyntheticDataset(seed int64, scale float64) *Dataset {
+	return dataset.Synthetic(dataset.SyntheticConfig{Seed: seed, Scale: scale})
+}
+
+// DiggDataset generates the Digg-like workload with its social graph.
+func DiggDataset(seed int64, scale float64) *Dataset {
+	return dataset.Digg(dataset.DiggConfig{Seed: seed, Scale: scale})
+}
+
+// SurveyDataset generates the survey-like workload.
+func SurveyDataset(seed int64, scale float64) *Dataset {
+	return dataset.Survey(dataset.SurveyConfig{Seed: seed, Scale: scale})
+}
+
+// Simulation couples a workload with a fleet of WhatsUp nodes under the
+// deterministic cycle engine.
+type Simulation struct {
+	engine *sim.Engine
+	col    *metrics.Collector
+	ds     *Dataset
+}
+
+// SimulationConfig parameterizes NewSimulation.
+type SimulationConfig struct {
+	// Node holds the per-node protocol parameters.
+	Node Config
+	// Seed drives all randomness (default 1).
+	Seed int64
+	// LossRate uniformly drops messages (0 = reliable).
+	LossRate float64
+	// Cycles overrides the workload's experiment length.
+	Cycles int
+	// OnDelivery observes every first-time delivery.
+	OnDelivery func(d Delivery, cycle int64)
+}
+
+// NewSimulation builds a simulation of one WhatsUp node per workload user,
+// with the workload's publication schedule.
+func NewSimulation(ds *Dataset, cfg SimulationConfig) *Simulation {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	cycles := cfg.Cycles
+	if cycles == 0 {
+		cycles = ds.Cycles
+	}
+	op := ds.Opinions()
+	peers := make([]sim.Peer, ds.Users)
+	for i := 0; i < ds.Users; i++ {
+		peers[i] = core.NewNode(news.NodeID(i), "", cfg.Node, op,
+			rand.New(rand.NewSource(cfg.Seed*1_000_003+int64(i))))
+	}
+	col := metrics.NewCollector()
+	pubs := make([]sim.Publication, 0, len(ds.Items))
+	for i := range ds.Items {
+		it := ds.Items[i]
+		if ds.IsWarmup(i) {
+			col.RegisterWarmupItem(it.News.ID, it.Interested)
+		} else {
+			col.RegisterItem(it.News.ID, it.Interested)
+		}
+		pubs = append(pubs, sim.Publication{Cycle: it.Cycle, Source: it.News.Source, Item: it.News})
+	}
+	for u := 0; u < ds.Users; u++ {
+		col.RegisterNode(news.NodeID(u), ds.UserInterestCount(news.NodeID(u)))
+	}
+	engine := sim.New(sim.Config{
+		Seed:         cfg.Seed,
+		Cycles:       cycles,
+		LossRate:     cfg.LossRate,
+		Publications: pubs,
+		OnDelivery:   cfg.OnDelivery,
+	}, peers, col)
+	engine.Bootstrap()
+	return &Simulation{engine: engine, col: col, ds: ds}
+}
+
+// Step advances one gossip cycle.
+func (s *Simulation) Step() { s.engine.Step() }
+
+// AddPeer registers an extra node between cycles (e.g. a cold-starting
+// joiner); the caller seeds its views, typically via Node.ColdStart.
+func (s *Simulation) AddPeer(n *Node) { s.engine.AddPeer(n) }
+
+// Run executes the full experiment.
+func (s *Simulation) Run() { s.engine.Run() }
+
+// Node returns the node with the given id (nil if unknown).
+func (s *Simulation) Node(id NodeID) *Node {
+	if p := s.engine.Peer(id); p != nil {
+		if n, ok := p.(*core.Node); ok {
+			return n
+		}
+	}
+	return nil
+}
+
+// Metrics returns the collector with precision/recall/F1 and traffic.
+func (s *Simulation) Metrics() *Collector { return s.col }
+
+// Results summarizes a run.
+type Results struct {
+	Precision float64
+	Recall    float64
+	F1        float64
+	Messages  int64
+}
+
+// Results returns the headline numbers of the run.
+func (s *Simulation) Results() Results {
+	return Results{
+		Precision: s.col.Precision(),
+		Recall:    s.col.Recall(),
+		F1:        s.col.F1(),
+		Messages:  s.col.TotalMessages(),
+	}
+}
+
+// LiveConfig parameterizes a concurrent goroutine-per-node run.
+type LiveConfig struct {
+	// Node holds the per-node protocol parameters.
+	Node Config
+	// Seed drives workload scheduling and per-node randomness.
+	Seed int64
+	// Cycles and CycleLength define the run duration in real time.
+	Cycles      int
+	CycleLength time.Duration
+	// LossRate and Latency configure the in-memory lossy network.
+	LossRate float64
+	Latency  time.Duration
+	// UseTCP runs over real TCP loopback sockets with the congestion model
+	// instead of in-memory channels.
+	UseTCP bool
+}
+
+// RunLive executes a live (concurrent, wall-clock) run of the workload and
+// returns its metrics. Unlike Simulation, live runs are not deterministic.
+func RunLive(ds *Dataset, cfg LiveConfig) *Collector {
+	var network live.Network
+	if cfg.UseTCP {
+		network = live.NewTCPNet(live.TCPNetConfig{SlowEvery: 4})
+	} else {
+		network = live.NewChannelNet(cfg.Seed, cfg.LossRate, cfg.Latency)
+	}
+	r := live.NewRunner(live.Config{
+		Seed:        cfg.Seed,
+		Cycles:      cfg.Cycles,
+		CycleLength: cfg.CycleLength,
+		NodeConfig:  cfg.Node,
+	}, ds, network)
+	r.Run()
+	return r.Collector()
+}

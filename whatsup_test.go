@@ -1,0 +1,100 @@
+package whatsup
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSimulationEndToEnd(t *testing.T) {
+	ds := SurveyDataset(1, 0.08)
+	s := NewSimulation(ds, SimulationConfig{Node: Config{FLike: 5}, Seed: 1})
+	s.Run()
+	r := s.Results()
+	if r.F1 <= 0 || r.Messages == 0 {
+		t.Fatalf("empty results: %+v", r)
+	}
+	if r.Precision <= 0 || r.Recall <= 0 {
+		t.Fatalf("zero quality: %+v", r)
+	}
+}
+
+func TestSimulationDeterminism(t *testing.T) {
+	ds := SurveyDataset(2, 0.08)
+	run := func() Results {
+		s := NewSimulation(ds, SimulationConfig{Node: Config{FLike: 5}, Seed: 9})
+		s.Run()
+		return s.Results()
+	}
+	if run() != run() {
+		t.Fatal("simulations with the same seed must be identical")
+	}
+}
+
+func TestSimulationStepAndNodeAccess(t *testing.T) {
+	ds := SurveyDataset(3, 0.08)
+	deliveries := 0
+	s := NewSimulation(ds, SimulationConfig{
+		Node: Config{FLike: 5}, Seed: 1,
+		OnDelivery: func(Delivery, int64) { deliveries++ },
+	})
+	for i := 0; i < 10; i++ {
+		s.Step()
+	}
+	if s.Node(0) == nil {
+		t.Fatal("node 0 must be accessible")
+	}
+	if s.Node(NodeID(ds.Users+5)) != nil {
+		t.Fatal("unknown node must be nil")
+	}
+	if deliveries == 0 {
+		t.Fatal("OnDelivery must fire")
+	}
+}
+
+func TestDatasetConstructors(t *testing.T) {
+	if ds := SyntheticDataset(1, 0.03); ds.Users == 0 {
+		t.Fatal("synthetic empty")
+	}
+	if ds := DiggDataset(1, 0.05); ds.Social == nil {
+		t.Fatal("digg must carry a social graph")
+	}
+	if ds := SurveyDataset(1, 0.05); len(ds.Items) == 0 {
+		t.Fatal("survey empty")
+	}
+}
+
+func TestNewItemAndNode(t *testing.T) {
+	it := NewItem("headline", "desc", "http://x", 3, 7)
+	if it.ID == 0 || it.Source != 7 {
+		t.Fatalf("item wrong: %+v", it)
+	}
+	n := NewNode(1, Config{}, OpinionFunc(func(NodeID, ItemID) bool { return true }), 42)
+	if n.ID() != 1 {
+		t.Fatal("node id")
+	}
+	if n.Config().FLike != 10 {
+		t.Fatal("defaults must apply")
+	}
+}
+
+func TestRunLiveChannels(t *testing.T) {
+	ds := SurveyDataset(4, 0.05)
+	col := RunLive(ds, LiveConfig{
+		Node:        Config{FLike: 4, ProfileWindow: 25},
+		Seed:        1,
+		Cycles:      25,
+		CycleLength: 3 * time.Millisecond,
+	})
+	if col.Recall() == 0 {
+		t.Fatal("live run must deliver")
+	}
+}
+
+func TestMetricsExposed(t *testing.T) {
+	ds := SurveyDataset(5, 0.05)
+	s := NewSimulation(ds, SimulationConfig{Node: Config{FLike: 4}, Seed: 2})
+	s.Run()
+	if s.Metrics().TotalMessages() == 0 {
+		t.Fatal("collector must be populated")
+	}
+}
