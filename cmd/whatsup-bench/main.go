@@ -7,11 +7,13 @@
 //
 //	whatsup-bench -run all -scale 0.5
 //	whatsup-bench -run table3,fig4 -scale 1 -seed 7
+//	whatsup-bench -run fig3 -scale 1 -workers 2 -engine-workers 4
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -21,16 +23,30 @@ import (
 )
 
 func main() {
-	var (
-		runList  = flag.String("run", "all", "comma-separated experiments: table1,table2,table3,table4,table5,table6,fig3,fig4,fig5,fig6,fig7,fig8,fig9,fig10,fig11,ablations or 'all'")
-		scale    = flag.Float64("scale", 0.5, "dataset scale (1.0 = paper sizes)")
-		seed     = flag.Int64("seed", 1, "experiment seed")
-		workers  = flag.Int("workers", 0, "parallel sweep points (0 = NumCPU)")
-		skipLive = flag.Bool("skip-live", false, "skip the live (ModelNet/PlanetLab) runs in fig8")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	o := experiments.Options{Seed: *seed, Scale: *scale, Workers: *workers}
+// run executes the command with explicit arguments and streams so tests can
+// drive the full main path in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("whatsup-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		runList       = fs.String("run", "all", "comma-separated experiments: table1,table2,table3,table4,table5,table6,fig3,fig4,fig5,fig6,fig7,fig8,fig9,fig10,fig11,ablations or 'all'")
+		scale         = fs.Float64("scale", 0.5, "dataset scale (1.0 = paper sizes)")
+		seed          = fs.Int64("seed", 1, "experiment seed")
+		workers       = fs.Int("workers", 0, "parallel sweep points (0 = NumCPU)")
+		engineWorkers = fs.Int("engine-workers", 0, "per-simulation engine worker pool (0 = serial; sweep points already run in parallel)")
+		skipLive      = fs.Bool("skip-live", false, "skip the live (ModelNet/PlanetLab) runs in fig8")
+	)
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+
+	o := experiments.Options{Seed: *seed, Scale: *scale, Workers: *workers, EngineWorkers: *engineWorkers}
 	selected := map[string]bool{}
 	for _, name := range strings.Split(*runList, ",") {
 		selected[strings.TrimSpace(name)] = true
@@ -38,42 +54,42 @@ func main() {
 	all := selected["all"]
 	want := func(name string) bool { return all || selected[name] }
 
-	fmt.Printf("whatsup-bench scale=%.2f seed=%d\n\n", *scale, *seed)
+	fmt.Fprintf(stdout, "whatsup-bench scale=%.2f seed=%d\n\n", *scale, *seed)
 	ran := 0
-	run := func(name string, fn func() fmt.Stringer) {
+	runExp := func(name string, fn func() fmt.Stringer) {
 		if !want(name) {
 			return
 		}
 		ran++
 		start := time.Now()
 		result := fn()
-		fmt.Printf("%s\n  [%s in %v]\n\n", result, name, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(stdout, "%s\n  [%s in %v]\n\n", result, name, time.Since(start).Round(time.Millisecond))
 	}
 
-	run("table1", func() fmt.Stringer { return experiments.Table1(o) })
-	run("table2", func() fmt.Stringer { return table2{} })
-	run("table3", func() fmt.Stringer { return experiments.Table3(o) })
-	run("table4", func() fmt.Stringer { return experiments.Table4(o) })
-	run("table5", func() fmt.Stringer { return experiments.Table5(o) })
-	run("table6", func() fmt.Stringer { return experiments.Table6(o) })
-	run("fig3", func() fmt.Stringer {
+	runExp("table1", func() fmt.Stringer { return experiments.Table1(o) })
+	runExp("table2", func() fmt.Stringer { return table2{} })
+	runExp("table3", func() fmt.Stringer { return experiments.Table3(o) })
+	runExp("table4", func() fmt.Stringer { return experiments.Table4(o) })
+	runExp("table5", func() fmt.Stringer { return experiments.Table5(o) })
+	runExp("table6", func() fmt.Stringer { return experiments.Table6(o) })
+	runExp("fig3", func() fmt.Stringer {
 		var b strings.Builder
 		for _, name := range []string{"synthetic", "digg", "survey"} {
 			b.WriteString(experiments.Fig3(name, o).String())
 		}
 		return stringer(b.String())
 	})
-	run("fig4", func() fmt.Stringer { return experiments.Fig4(o) })
-	run("fig5", func() fmt.Stringer { return experiments.Fig5(o) })
-	run("fig6", func() fmt.Stringer { return experiments.Fig6(o) })
-	run("fig7", func() fmt.Stringer { return experiments.Fig7(o, experiments.Fig7Config{}) })
-	run("fig8", func() fmt.Stringer {
+	runExp("fig4", func() fmt.Stringer { return experiments.Fig4(o) })
+	runExp("fig5", func() fmt.Stringer { return experiments.Fig5(o) })
+	runExp("fig6", func() fmt.Stringer { return experiments.Fig6(o) })
+	runExp("fig7", func() fmt.Stringer { return experiments.Fig7(o, experiments.Fig7Config{}) })
+	runExp("fig8", func() fmt.Stringer {
 		return experiments.Fig8(o, experiments.Fig8Config{SkipLive: *skipLive})
 	})
-	run("fig9", func() fmt.Stringer { return experiments.Fig9(o) })
-	run("fig10", func() fmt.Stringer { return experiments.Fig10(o) })
-	run("fig11", func() fmt.Stringer { return experiments.Fig11(o) })
-	run("ablations", func() fmt.Stringer {
+	runExp("fig9", func() fmt.Stringer { return experiments.Fig9(o) })
+	runExp("fig10", func() fmt.Stringer { return experiments.Fig10(o) })
+	runExp("fig11", func() fmt.Stringer { return experiments.Fig11(o) })
+	runExp("ablations", func() fmt.Stringer {
 		var b strings.Builder
 		b.WriteString(experiments.AblationWUPViewSize(o).String())
 		b.WriteString(experiments.AblationProfileWindow(o).String())
@@ -82,9 +98,10 @@ func main() {
 	})
 
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "no experiment matched -run=%s\n", *runList)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "no experiment matched -run=%s\n", *runList)
+		return 2
 	}
+	return 0
 }
 
 type stringer string

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSmoke(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-run", "table1,table2", "-scale", "0.05"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%q", code, errOut.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "Table I") || !strings.Contains(got, "Table II") {
+		t.Fatalf("expected Table I and II in output:\n%s", got)
+	}
+}
+
+func TestRunSingleSimExperiment(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-run", "fig6", "-scale", "0.05", "-engine-workers", "2"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%q", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "fig6") {
+		t.Fatalf("expected fig6 marker in output:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-run", "nope"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit=%d want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "no experiment matched") {
+		t.Fatalf("stderr=%q", errOut.String())
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"whatsup/internal/dataset"
@@ -68,21 +69,34 @@ func toDTO(ds *dataset.Dataset) datasetDTO {
 }
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the command with explicit arguments and streams so tests can
+// drive the full main path in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("whatsup-datagen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		dsName = flag.String("dataset", "survey", "workload: synthetic, digg, survey")
-		scale  = flag.Float64("scale", 0.5, "dataset scale (1.0 = paper sizes)")
-		seed   = flag.Int64("seed", 1, "seed")
-		out    = flag.String("out", "-", "output file ('-' = stdout)")
+		dsName = fs.String("dataset", "survey", "workload: synthetic, digg, survey")
+		scale  = fs.Float64("scale", 0.5, "dataset scale (1.0 = paper sizes)")
+		seed   = fs.Int64("seed", 1, "seed")
+		out    = fs.String("out", "-", "output file ('-' = stdout)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
 
 	ds := experiments.DatasetByName(*dsName, experiments.Options{Seed: *seed, Scale: *scale}.WithDefaults())
-	w := os.Stdout
+	w := stdout
 	if *out != "-" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		defer f.Close()
 		w = f
@@ -90,7 +104,8 @@ func main() {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(toDTO(ds)); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
+	return 0
 }

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSmokeStdout(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-dataset", "survey", "-scale", "0.05"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%q", code, errOut.String())
+	}
+	var dto datasetDTO
+	if err := json.Unmarshal([]byte(out.String()), &dto); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if dto.Users == 0 || len(dto.Items) == 0 {
+		t.Fatalf("empty dataset: %+v", dto)
+	}
+}
+
+func TestRunWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "digg.json")
+	var out, errOut strings.Builder
+	code := run([]string{"-dataset", "digg", "-scale", "0.05", "-out", path}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%q", code, errOut.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dto datasetDTO
+	if err := json.Unmarshal(data, &dto); err != nil {
+		t.Fatalf("file is not valid JSON: %v", err)
+	}
+	if dto.Social == nil {
+		t.Fatal("digg dataset must carry a social graph")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-no-such-flag"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit=%d want 2", code)
+	}
+}

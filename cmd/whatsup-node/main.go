@@ -12,6 +12,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"os"
 	"time"
 
 	"whatsup/internal/core"
@@ -21,20 +23,33 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the command with explicit arguments and streams so tests can
+// drive the full main path in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("whatsup-node", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		nodes       = flag.Int("nodes", 120, "fleet size (scales the survey workload)")
-		cycles      = flag.Int("cycles", 60, "gossip cycles to run")
-		cycleLength = flag.Duration("cycle-length", 100*time.Millisecond, "gossip period (the prototype used 30s)")
-		fanout      = flag.Int("fanout", 8, "fLIKE")
-		seed        = flag.Int64("seed", 1, "seed")
-		slowEvery   = flag.Int("slow-every", 4, "every n-th node is overloaded (0 = none)")
+		nodes       = fs.Int("nodes", 120, "fleet size (scales the survey workload)")
+		cycles      = fs.Int("cycles", 60, "gossip cycles to run")
+		cycleLength = fs.Duration("cycle-length", 100*time.Millisecond, "gossip period (the prototype used 30s)")
+		fanout      = fs.Int("fanout", 8, "fLIKE")
+		seed        = fs.Int64("seed", 1, "seed")
+		slowEvery   = fs.Int("slow-every", 4, "every n-th node is overloaded (0 = none)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
 
 	// Size the survey workload to the requested fleet (480 users at scale 1).
 	scale := float64(*nodes) / 480
 	ds := dataset.Survey(dataset.SurveyConfig{Seed: *seed, Scale: scale, Cycles: *cycles})
-	fmt.Printf("whatsup-node: %d TCP nodes, %d cycles of %v, fLIKE=%d\n",
+	fmt.Fprintf(stdout, "whatsup-node: %d TCP nodes, %d cycles of %v, fLIKE=%d\n",
 		ds.Users, *cycles, *cycleLength, *fanout)
 
 	start := time.Now()
@@ -47,9 +62,10 @@ func main() {
 	runner.Run()
 
 	col := runner.Collector()
-	fmt.Printf("finished in %v\n", time.Since(start).Round(time.Millisecond))
-	fmt.Printf("  precision %.3f  recall %.3f  f1 %.3f\n", col.Precision(), col.Recall(), col.F1())
-	fmt.Printf("  messages: beep=%d gossip=%d total=%d\n",
+	fmt.Fprintf(stdout, "finished in %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(stdout, "  precision %.3f  recall %.3f  f1 %.3f\n", col.Precision(), col.Recall(), col.F1())
+	fmt.Fprintf(stdout, "  messages: beep=%d gossip=%d total=%d\n",
 		col.Messages(metrics.MsgBeep), col.GossipMessages(), col.TotalMessages())
-	fmt.Printf("  bytes: beep=%d gossip=%d\n", col.Bytes(metrics.MsgBeep), col.GossipBytes())
+	fmt.Fprintf(stdout, "  bytes: beep=%d gossip=%d\n", col.Bytes(metrics.MsgBeep), col.GossipBytes())
+	return 0
 }

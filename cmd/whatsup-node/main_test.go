@@ -1,0 +1,30 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP fleet in -short mode")
+	}
+	var out, errOut strings.Builder
+	code := run([]string{"-nodes", "16", "-cycles", "4", "-cycle-length", "3ms"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%q", code, errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{"whatsup-node:", "finished in", "messages:"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-no-such-flag"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit=%d want 2", code)
+	}
+}

@@ -6,28 +6,45 @@
 //
 //	whatsup-sim -dataset survey -alg whatsup -fanout 10 -scale 0.5
 //	whatsup-sim -dataset digg -alg cf-cos -fanout 25 -loss 0.2
+//	whatsup-sim -dataset synthetic -workers 8 -scale 1
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 
 	"whatsup/internal/experiments"
 	"whatsup/internal/metrics"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the command with explicit arguments and streams so tests can
+// drive the full main path in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("whatsup-sim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		dsName = flag.String("dataset", "survey", "workload: synthetic, digg, survey")
-		alg    = flag.String("alg", "whatsup", "algorithm: whatsup, whatsup-cos, cf-wup, cf-cos, gossip")
-		fanout = flag.Int("fanout", 10, "fLIKE / k / f depending on the algorithm")
-		scale  = flag.Float64("scale", 0.5, "dataset scale (1.0 = paper sizes)")
-		seed   = flag.Int64("seed", 1, "seed")
-		loss   = flag.Float64("loss", 0, "uniform message-loss rate")
-		ttl    = flag.Int("ttl", 0, "dislike TTL (0 = default 4, negative = 0)")
+		dsName  = fs.String("dataset", "survey", "workload: synthetic, digg, survey")
+		alg     = fs.String("alg", "whatsup", "algorithm: whatsup, whatsup-cos, cf-wup, cf-cos, gossip")
+		fanout  = fs.Int("fanout", 10, "fLIKE / k / f depending on the algorithm")
+		scale   = fs.Float64("scale", 0.5, "dataset scale (1.0 = paper sizes)")
+		seed    = fs.Int64("seed", 1, "seed")
+		loss    = fs.Float64("loss", 0, "uniform message-loss rate")
+		ttl     = fs.Int("ttl", 0, "dislike TTL (0 = default 4, negative = 0)")
+		workers = fs.Int("workers", 0, "engine worker pool (0 = GOMAXPROCS); results are identical for any value")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
 
 	algorithms := map[string]experiments.Algorithm{
 		"whatsup":     experiments.WhatsUp,
@@ -38,24 +55,30 @@ func main() {
 	}
 	a, ok := algorithms[*alg]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *alg)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "unknown algorithm %q\n", *alg)
+		return 2
+	}
+	engineWorkers := *workers
+	if engineWorkers <= 0 {
+		engineWorkers = runtime.GOMAXPROCS(0) // a single point gets the machine
 	}
 
 	o := experiments.Options{Seed: *seed, Scale: *scale}.WithDefaults()
 	ds := experiments.DatasetByName(*dsName, o)
 	out := experiments.Run(experiments.RunConfig{
 		Dataset: ds, Alg: a, Fanout: *fanout, Seed: *seed, Loss: *loss, TTL: *ttl,
+		Workers: engineWorkers,
 	})
 	col := out.Col
 	g := out.Engine.WUPGraph()
 
-	fmt.Printf("%s on %s (users=%d items=%d cycles=%d fanout=%d loss=%.0f%%)\n",
-		a, ds.Name, ds.Users, len(ds.Items), out.Cycles, *fanout, *loss*100)
-	fmt.Printf("  precision %.3f  recall %.3f  f1 %.3f\n", col.Precision(), col.Recall(), col.F1())
-	fmt.Printf("  messages: beep=%d gossip=%d total=%d (%.1f/user)\n",
+	fmt.Fprintf(stdout, "%s on %s (users=%d items=%d cycles=%d fanout=%d loss=%.0f%% workers=%d)\n",
+		a, ds.Name, ds.Users, len(ds.Items), out.Cycles, *fanout, *loss*100, out.Engine.Workers())
+	fmt.Fprintf(stdout, "  precision %.3f  recall %.3f  f1 %.3f\n", col.Precision(), col.Recall(), col.F1())
+	fmt.Fprintf(stdout, "  messages: beep=%d gossip=%d total=%d (%.1f/user)\n",
 		col.Messages(metrics.MsgBeep), col.GossipMessages(), col.TotalMessages(),
 		float64(col.TotalMessages())/float64(ds.Users))
-	fmt.Printf("  overlay: lscc=%.2f clustering-coefficient=%.2f weak-components=%d\n",
+	fmt.Fprintf(stdout, "  overlay: lscc=%.2f clustering-coefficient=%.2f weak-components=%d\n",
 		g.LargestSCCFraction(), g.ClusteringCoefficient(), g.WeakComponents())
+	return 0
 }

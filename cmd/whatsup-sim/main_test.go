@@ -1,0 +1,40 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSmoke(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-dataset", "survey", "-alg", "whatsup", "-scale", "0.05", "-workers", "2"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%q", code, errOut.String())
+	}
+	got := out.String()
+	if got == "" {
+		t.Fatal("no output")
+	}
+	for _, want := range []string{"precision", "recall", "messages:", "overlay:"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunRejectsUnknownAlgorithm(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-alg", "nope"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit=%d want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown algorithm") {
+		t.Fatalf("stderr=%q", errOut.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-no-such-flag"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit=%d want 2", code)
+	}
+}

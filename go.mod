@@ -1,0 +1,3 @@
+module whatsup
+
+go 1.21

@@ -42,7 +42,7 @@ func AblationWUPViewSize(o Options) AblationResult {
 	for i, factor := range factors {
 		factor := factor
 		jobs[i] = func() AblationPoint {
-			out := Run(RunConfig{Dataset: ds, Alg: WhatsUp, Fanout: 10, Seed: o.Seed, WUPViewFactor: factor})
+			out := Run(RunConfig{Dataset: ds, Alg: WhatsUp, Fanout: 10, Seed: o.Seed, WUPViewFactor: factor, Workers: o.EngineWorkers})
 			return AblationPoint{
 				Label:     fmt.Sprintf("WUPvs=%d·fLIKE", factor),
 				Precision: out.Col.Precision(),
@@ -70,7 +70,7 @@ func AblationProfileWindow(o Options) AblationResult {
 	for i, w := range windows {
 		w := w
 		jobs[i] = func() AblationPoint {
-			out := Run(RunConfig{Dataset: ds, Alg: WhatsUp, Fanout: 10, Seed: o.Seed, Window: w})
+			out := Run(RunConfig{Dataset: ds, Alg: WhatsUp, Fanout: 10, Seed: o.Seed, Window: w, Workers: o.EngineWorkers})
 			return AblationPoint{
 				Label:     fmt.Sprintf("window=%dcyc", w),
 				Precision: out.Col.Precision(),
@@ -93,7 +93,7 @@ func AblationRPSViewSize(o Options) AblationResult {
 	for i, s := range sizes {
 		s := s
 		jobs[i] = func() AblationPoint {
-			out := Run(RunConfig{Dataset: ds, Alg: WhatsUp, Fanout: 10, Seed: o.Seed, RPSViewSize: s})
+			out := Run(RunConfig{Dataset: ds, Alg: WhatsUp, Fanout: 10, Seed: o.Seed, RPSViewSize: s, Workers: o.EngineWorkers})
 			return AblationPoint{
 				Label:     fmt.Sprintf("RPSvs=%d", s),
 				Precision: out.Col.Precision(),

@@ -26,8 +26,12 @@ func Fig10(o Options) Fig10Result {
 	const buckets = 10
 
 	outs := parallel(o.Workers, []func() Outcome{
-		func() Outcome { return Run(RunConfig{Dataset: ds, Alg: WhatsUp, Fanout: 10, Seed: o.Seed}) },
-		func() Outcome { return Run(RunConfig{Dataset: ds, Alg: CFWup, Fanout: 19, Seed: o.Seed}) },
+		func() Outcome {
+			return Run(RunConfig{Dataset: ds, Alg: WhatsUp, Fanout: 10, Seed: o.Seed, Workers: o.EngineWorkers})
+		},
+		func() Outcome {
+			return Run(RunConfig{Dataset: ds, Alg: CFWup, Fanout: 19, Seed: o.Seed, Workers: o.EngineWorkers})
+		},
 	})
 	return Fig10Result{
 		Dataset:  "survey",

@@ -28,7 +28,7 @@ func Fig11(o Options) Fig11Result {
 	ds := datasetByName("survey", o)
 	const buckets = 10
 
-	out := Run(RunConfig{Dataset: ds, Alg: WhatsUp, Fanout: 10, Seed: o.Seed})
+	out := Run(RunConfig{Dataset: ds, Alg: WhatsUp, Fanout: 10, Seed: o.Seed, Workers: o.EngineWorkers})
 	soc := metrics.Sociability(ds.FullProfiles(), profile.WUP{}, 15)
 	socMap := make(map[news.NodeID]float64, len(soc))
 	xs := make([]float64, 0, len(soc))

@@ -60,7 +60,7 @@ func Fig3(datasetName string, o Options) Fig3Result {
 		for _, f := range fanouts {
 			alg, f := alg, f
 			jobs = append(jobs, func() cell {
-				out := Run(RunConfig{Dataset: ds, Alg: alg, Fanout: f, Seed: o.Seed})
+				out := Run(RunConfig{Dataset: ds, Alg: alg, Fanout: f, Seed: o.Seed, Workers: o.EngineWorkers})
 				col := out.Col
 				return cell{alg, Fig3Point{
 					Fanout:           f,

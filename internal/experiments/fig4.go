@@ -52,7 +52,7 @@ func Fig4(o Options) Fig4Result {
 		for _, f := range Fig4Fanouts {
 			alg, f := alg, f
 			jobs = append(jobs, func() cell {
-				out := Run(RunConfig{Dataset: ds, Alg: alg, Fanout: f, Seed: o.Seed})
+				out := Run(RunConfig{Dataset: ds, Alg: alg, Fanout: f, Seed: o.Seed, Workers: o.EngineWorkers})
 				g := out.Engine.WUPGraph()
 				return cell{alg, Fig4Point{
 					Fanout:                f,

@@ -39,7 +39,7 @@ func Fig5(o Options) Fig5Result {
 			if cfgTTL == 0 {
 				cfgTTL = -1 // explicit zero (RunConfig convention)
 			}
-			out := Run(RunConfig{Dataset: ds, Alg: WhatsUp, Fanout: fanout, Seed: o.Seed, TTL: cfgTTL})
+			out := Run(RunConfig{Dataset: ds, Alg: WhatsUp, Fanout: fanout, Seed: o.Seed, TTL: cfgTTL, Workers: o.EngineWorkers})
 			return Fig5Point{
 				TTL:       ttl,
 				Precision: out.Col.Precision(),

@@ -29,7 +29,7 @@ func Fig6(o Options) Fig6Result {
 	o = o.WithDefaults()
 	ds := datasetByName("survey", o)
 	const fanout = 5
-	out := Run(RunConfig{Dataset: ds, Alg: WhatsUp, Fanout: fanout, Seed: o.Seed})
+	out := Run(RunConfig{Dataset: ds, Alg: WhatsUp, Fanout: fanout, Seed: o.Seed, Workers: o.EngineWorkers})
 	col := out.Col
 
 	items := len(ds.Items)

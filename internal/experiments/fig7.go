@@ -193,9 +193,14 @@ func fig7Trial(o Options, cfg Fig7Config, metric profile.Metric, seed int64) Fig
 	var joiner *core.Node
 	col := metrics.NewCollector()
 	register(ds, col)
+	engineWorkers := o.EngineWorkers
+	if engineWorkers <= 0 {
+		engineWorkers = 1 // trials run on the sweep pool; keep each engine serial
+	}
 	e := sim.New(sim.Config{
 		Seed:         seed,
 		Cycles:       nCycles,
+		Workers:      engineWorkers,
 		Publications: publications(ds),
 		OnDelivery: func(d core.Delivery, now int64) {
 			if !d.Liked || now < 1 || now > int64(nCycles) {

@@ -54,7 +54,7 @@ func Fig9(o Options) Fig9Result {
 		for _, alg := range []Algorithm{WhatsUp, WhatsUpCos} {
 			alg := alg
 			jobs = append(jobs, func() cell {
-				out := Run(RunConfig{Dataset: ds, Alg: alg, Fanout: f, Seed: o.Seed})
+				out := Run(RunConfig{Dataset: ds, Alg: alg, Fanout: f, Seed: o.Seed, Workers: o.EngineWorkers})
 				return cell{string(alg), Fig9Point{f, out.Col.Precision(), out.Col.Recall(), out.Col.F1()}}
 			})
 		}

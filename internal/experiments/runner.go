@@ -42,6 +42,11 @@ type Options struct {
 	Scale float64
 	// Workers bounds the sweep-point pool (default: NumCPU).
 	Workers int
+	// EngineWorkers is the per-simulation engine worker pool
+	// (sim.Config.Workers), forwarded to every sweep point. 0 keeps each
+	// engine serial: the sweep pool already saturates the cores, and results
+	// are bit-identical either way. Set it when running few, large points.
+	EngineWorkers int
 }
 
 // WithDefaults fills unset options.
@@ -76,6 +81,10 @@ type RunConfig struct {
 	RPSViewSize int
 	// Cycles overrides the run length (0 = dataset default).
 	Cycles int
+	// Workers is the engine worker pool for this point (sim.Config.Workers).
+	// 0 runs the engine serially — sweep points usually run many at a time,
+	// so parallelism lives at the sweep level unless asked for explicitly.
+	Workers int
 	// OnCycleEnd/OnDelivery are forwarded to the engine.
 	OnCycleEnd func(e *sim.Engine, now int64)
 	OnDelivery func(d core.Delivery, now int64)
@@ -169,6 +178,10 @@ func Run(rc RunConfig) Outcome {
 	if cycles == 0 {
 		cycles = ds.Cycles
 	}
+	workers := rc.Workers
+	if workers <= 0 {
+		workers = 1
+	}
 	peers := buildPeers(rc)
 	col := metrics.NewCollector()
 	register(ds, col)
@@ -176,6 +189,7 @@ func Run(rc RunConfig) Outcome {
 		Seed:         rc.Seed,
 		Cycles:       cycles,
 		LossRate:     rc.Loss,
+		Workers:      workers,
 		Publications: publications(ds),
 		OnCycleEnd:   rc.OnCycleEnd,
 		OnDelivery:   rc.OnDelivery,

@@ -82,7 +82,7 @@ func Table3(o Options) Table3Result {
 	for i, sp := range specs {
 		sp := sp
 		jobs[i] = func() Table3Row {
-			out := Run(RunConfig{Dataset: ds, Alg: sp.alg, Fanout: sp.fanout, Seed: o.Seed})
+			out := Run(RunConfig{Dataset: ds, Alg: sp.alg, Fanout: sp.fanout, Seed: o.Seed, Workers: o.EngineWorkers})
 			col := out.Col
 			return Table3Row{
 				Algorithm:   string(sp.alg),
@@ -132,7 +132,7 @@ type Table4Result struct {
 func Table4(o Options) Table4Result {
 	o = o.WithDefaults()
 	ds := datasetByName("survey", o)
-	out := Run(RunConfig{Dataset: ds, Alg: WhatsUp, Fanout: 10, Seed: o.Seed})
+	out := Run(RunConfig{Dataset: ds, Alg: WhatsUp, Fanout: 10, Seed: o.Seed, Workers: o.EngineWorkers})
 	return Table4Result{
 		Dataset:   "survey",
 		Fanout:    10,
@@ -197,7 +197,7 @@ func Table5(o Options) Table5Result {
 			return Table5Row{"digg", "Cascade", col.Precision(), col.Recall(), col.F1(), col.TotalMessages()}
 		},
 		func() Table5Row {
-			out := Run(RunConfig{Dataset: digg, Alg: WhatsUp, Fanout: 10, Seed: o.Seed})
+			out := Run(RunConfig{Dataset: digg, Alg: WhatsUp, Fanout: 10, Seed: o.Seed, Workers: o.EngineWorkers})
 			return Table5Row{"digg", "WhatsUp", out.Col.Precision(), out.Col.Recall(), out.Col.F1(), out.Col.TotalMessages()}
 		},
 		func() Table5Row {
@@ -206,7 +206,7 @@ func Table5(o Options) Table5Result {
 			return Table5Row{"survey", "C-Pub/Sub", col.Precision(), col.Recall(), col.F1(), col.TotalMessages()}
 		},
 		func() Table5Row {
-			out := Run(RunConfig{Dataset: survey, Alg: WhatsUp, Fanout: 10, Seed: o.Seed})
+			out := Run(RunConfig{Dataset: survey, Alg: WhatsUp, Fanout: 10, Seed: o.Seed, Workers: o.EngineWorkers})
 			return Table5Row{"survey", "WhatsUp", out.Col.Precision(), out.Col.Recall(), out.Col.F1(), out.Col.TotalMessages()}
 		},
 	}
@@ -268,7 +268,7 @@ func Table6(o Options) Table6Result {
 		for _, f := range Table6Fanouts {
 			loss, f := loss, f
 			jobs = append(jobs, func() Table6Cell {
-				out := Run(RunConfig{Dataset: ds, Alg: WhatsUp, Fanout: f, Seed: o.Seed, Loss: loss})
+				out := Run(RunConfig{Dataset: ds, Alg: WhatsUp, Fanout: f, Seed: o.Seed, Loss: loss, Workers: o.EngineWorkers})
 				return Table6Cell{
 					LossRate:  loss,
 					Fanout:    f,

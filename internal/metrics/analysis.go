@@ -118,8 +118,14 @@ func (c *Collector) F1BySociability(soc map[news.NodeID]float64, buckets int) []
 	return bucketize(xs, ys, buckets)
 }
 
-// Merge folds another collector into c (used when sweep workers aggregate
-// repeated runs of the same configuration).
+// Merge folds another collector into c. Two users: sweep workers aggregating
+// repeated runs of the same configuration, and the parallel simulation engine
+// folding its per-worker shards into the main collector at each cycle
+// barrier. Every merged quantity is an integer sum (registration counters add
+// too; engine shards never register, so they contribute zero there), which
+// makes merging commutative — the result is independent of the order shards
+// are merged in, the property the engine's worker-count-independence relies
+// on.
 func (c *Collector) Merge(other *Collector) {
 	for id, st := range other.items {
 		dst := c.items[id]

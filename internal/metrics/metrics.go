@@ -172,6 +172,12 @@ func (c *Collector) RecordMessage(kind MessageKind, bytes int) {
 	c.msgBytes[kind] += int64(bytes)
 }
 
+// Reset returns the collector to its empty state, ready for reuse as a
+// per-worker shard.
+func (c *Collector) Reset() {
+	*c = *NewCollector()
+}
+
 // Messages returns the number of messages of one kind.
 func (c *Collector) Messages(kind MessageKind) int64 { return c.msgCount[kind] }
 

@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"whatsup/internal/core"
+	"whatsup/internal/metrics"
+	"whatsup/internal/news"
+)
+
+// runWorldWorkers is runWorld with an explicit engine worker-pool size and an
+// optional per-delivery observer.
+func runWorldWorkers(n, items, cycles int, loss float64, seed int64, workers int,
+	onDelivery func(core.Delivery, int64)) *metrics.Collector {
+	cfg := core.Config{FLike: 4, RPSViewSize: 8, ProfileWindow: int64(cycles)}
+	peers, pubs, col := communityWorld(n, items, cycles, cfg, seed)
+	e := New(Config{
+		Seed: seed, Cycles: cycles, LossRate: loss, Publications: pubs,
+		BootstrapDegree: 4, Workers: workers, OnDelivery: onDelivery,
+	}, peers, col)
+	e.Bootstrap()
+	e.Run()
+	return col
+}
+
+// fingerprint renders every observable collector quantity into one string so
+// two runs can be compared bit-for-bit: quality metrics, per-kind message
+// counts and bytes, per-node statistics and the hop histograms.
+func fingerprint(c *metrics.Collector) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "P=%v R=%v F1=%v\n", c.Precision(), c.Recall(), c.F1())
+	for k := metrics.MsgBeep; k <= metrics.MsgWUPReply; k++ {
+		fmt.Fprintf(&b, "%v:%d/%d\n", k, c.Messages(k), c.Bytes(k))
+	}
+	for _, id := range c.NodeIDs() {
+		ns := c.Node(id)
+		fmt.Fprintf(&b, "node%d:%d,%d,%d,%d\n", id, ns.Interested, ns.Received, ns.ReceivedLiked, ns.DislikeDeliveries)
+	}
+	hists := []struct {
+		name string
+		h    map[int]int
+	}{
+		{"fwdLike", c.ForwardByLike}, {"fwdDislike", c.ForwardByDislike},
+		{"infLike", c.InfectionByLike}, {"infDislike", c.InfectionByDislike},
+		{"dislikesAtLiked", c.DislikesAtLikedArrival},
+	}
+	for _, hist := range hists {
+		name, h := hist.name, hist.h
+		keys := make([]int, 0, len(h))
+		for k := range h {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		fmt.Fprintf(&b, "%s:", name)
+		for _, k := range keys {
+			fmt.Fprintf(&b, " %d=%d", k, h[k])
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// TestDeterminismAcrossWorkerCounts is the engine's core contract: a given
+// seed produces bit-identical collector output whether the phases run on
+// one worker or many, and repeated runs reproduce each other exactly.
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	const n, items, cycles, loss, seed = 120, 40, 25, 0.15, 7
+	ref := fingerprint(runWorldWorkers(n, items, cycles, loss, seed, 1, nil))
+	for _, workers := range []int{1, 2, 8} {
+		for rep := 0; rep < 2; rep++ {
+			got := fingerprint(runWorldWorkers(n, items, cycles, loss, seed, workers, nil))
+			if got != ref {
+				t.Fatalf("workers=%d rep=%d diverged from the 1-worker run:\n--- want\n%s--- got\n%s",
+					workers, rep, ref, got)
+			}
+		}
+	}
+}
+
+// TestDeterminismOfDeliveryOrder pins the stronger contract that the
+// OnDelivery callback sequence itself — not just the aggregated counters —
+// is identical for any worker count.
+func TestDeterminismOfDeliveryOrder(t *testing.T) {
+	trace := func(workers int) string {
+		var b strings.Builder
+		runWorldWorkers(80, 30, 20, 0.1, 3, workers, func(d core.Delivery, now int64) {
+			fmt.Fprintf(&b, "%d:%d->%d@%d\n", now, d.Item, d.Node, d.Hops)
+		})
+		return b.String()
+	}
+	ref := trace(1)
+	if ref == "" {
+		t.Fatal("no deliveries observed")
+	}
+	for _, workers := range []int{2, 8} {
+		if got := trace(workers); got != ref {
+			t.Fatalf("delivery order with %d workers diverged from serial run", workers)
+		}
+	}
+}
+
+// TestParallelDrainNoDuplicateDeliveries exercises the parallel BEEP drain
+// under message loss (run with -race in CI): the SIR model must hold — no
+// (node, item) pair is ever delivered twice — and the collector's totals
+// must agree with the observed delivery stream.
+func TestParallelDrainNoDuplicateDeliveries(t *testing.T) {
+	const n, items, cycles, loss, seed, workers = 120, 40, 25, 0.3, 9, 4
+	type key struct {
+		node news.NodeID
+		item news.ID
+	}
+	seen := make(map[key]int)
+	observed := 0
+	col := runWorldWorkers(n, items, cycles, loss, seed, workers, func(d core.Delivery, now int64) {
+		if d.Duplicate {
+			t.Fatalf("duplicate delivery surfaced to OnDelivery: %+v", d)
+		}
+		seen[key{d.Node, d.Item}]++
+		observed++
+	})
+	for k, count := range seen {
+		if count > 1 {
+			t.Fatalf("node %d received item %d %d times", k.node, k.item, count)
+		}
+	}
+	recorded := 0
+	for _, id := range col.NodeIDs() {
+		recorded += col.Node(id).Received
+	}
+	if recorded != observed {
+		t.Fatalf("collector recorded %d deliveries, OnDelivery observed %d", recorded, observed)
+	}
+	if observed == 0 {
+		t.Fatal("lossy run still must deliver something")
+	}
+}
+
+// TestWorkersDefaultAndOverride checks the Workers knob surface.
+func TestWorkersDefaultAndOverride(t *testing.T) {
+	cfg := core.Config{FLike: 3, RPSViewSize: 6}
+	peers, _, col := communityWorld(10, 0, 10, cfg, 4)
+	if e := New(Config{Seed: 4, Cycles: 10}, peers, col); e.Workers() < 1 {
+		t.Fatalf("default workers=%d, want >= 1", e.Workers())
+	}
+	peers2, _, col2 := communityWorld(10, 0, 10, cfg, 4)
+	if e := New(Config{Seed: 4, Cycles: 10, Workers: 3}, peers2, col2); e.Workers() != 3 {
+		t.Fatalf("workers=%d, want 3", e.Workers())
+	}
+}

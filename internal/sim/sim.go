@@ -2,16 +2,35 @@
 // of the evaluation (paper Section V: "simulations use the duration of a
 // gossip cycle as a time unit"). Each cycle every peer purges its profile
 // window, performs one RPS and one WUP exchange, and scheduled publications
-// are disseminated to quiescence through a FIFO message queue. A configurable
-// loss model drops BEEP and gossip messages (Table VI).
+// are disseminated to quiescence. A configurable loss model drops BEEP and
+// gossip messages (Table VI).
 //
-// The engine is strictly deterministic: given the same peers, schedule and
-// seed, two runs produce identical results. Engines are single-threaded;
-// parallelism lives one level up, across independent sweep points.
+// The engine is parallel *and* strictly deterministic: per-cycle phases are
+// sharded across a worker pool (Config.Workers), yet a given seed produces
+// bit-identical results for any worker count. Three mechanisms guarantee
+// this:
+//
+//   - Randomness is never drawn from a shared source. The engine derives one
+//     RNG stream per peer from Config.Seed and the peer ID; loss decisions
+//     and bootstrap sampling consume only the stream of the peer they
+//     concern, in a per-peer order that is fixed by the phase structure.
+//   - Every phase partitions state mutation by owner. Gossip rounds split
+//     into a parallel "compute pushes" phase (each initiator touches only
+//     its own state), an "absorb pushes" phase grouped per responder (each
+//     responder applies its incoming pushes in initiator order), and a
+//     parallel "absorb replies" phase. BEEP dissemination proceeds in hop
+//     rounds: all sends of a hop are ordered by (to, from, item) and then
+//     delivered grouped per receiver.
+//   - Metrics are recorded into per-worker metrics.Collector shards and
+//     merged into the main collector at the end of every cycle; all merged
+//     quantities are integers, so the merge is order-independent.
 package sim
 
 import (
 	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
 
 	"whatsup/internal/cluster"
 	"whatsup/internal/core"
@@ -26,7 +45,9 @@ import (
 // Peer is the engine-facing contract of a protocol node. core.Node satisfies
 // it; baselines provide their own implementations. A peer without an RPS or
 // clustering layer returns nil from the corresponding accessor and the
-// engine skips that gossip phase for it.
+// engine skips that gossip phase for it. Peer methods are only ever invoked
+// for one peer from one goroutine at a time; they may freely read immutable
+// shared data (descriptors, profiles snapshots, the opinion trace).
 type Peer interface {
 	ID() news.NodeID
 	RPS() *rps.Protocol
@@ -57,31 +78,40 @@ type Config struct {
 	// BootstrapDegree is the number of random descriptors each peer's views
 	// are seeded with before the run (defaults to 5).
 	BootstrapDegree int
+	// Workers is the size of the pool the per-cycle phases are sharded
+	// across (0 = GOMAXPROCS). Results are bit-identical for any value;
+	// see the package documentation for the determinism contract.
+	Workers int
 	// Publications is the item schedule; entries outside [1, Cycles] never
 	// fire under Run (Step honours whatever cycle it reaches).
 	Publications []Publication
 	// OnCycleEnd, if set, is invoked after each cycle with the engine; used
 	// by the dynamics experiments (Figure 7) to sample view similarity.
 	OnCycleEnd func(e *Engine, now int64)
-	// OnDelivery, if set, observes every non-duplicate delivery.
+	// OnDelivery, if set, observes every non-duplicate delivery. Deliveries
+	// are reported in a deterministic order regardless of worker count.
 	OnDelivery func(d core.Delivery, now int64)
 }
 
+// envelope is one in-flight BEEP message.
 type envelope struct {
-	to  news.NodeID
-	msg core.ItemMessage
+	from news.NodeID
+	to   news.NodeID
+	msg  core.ItemMessage
 }
 
 // Engine drives a set of peers through gossip cycles.
 type Engine struct {
-	cfg   Config
-	rng   *rand.Rand
-	peers []Peer
-	byID  map[news.NodeID]Peer
-	col   *metrics.Collector
-	now   int64
-	pubs  map[int64][]Publication
-	queue []envelope
+	cfg     Config
+	workers int
+	peers   []Peer
+	byID    map[news.NodeID]Peer
+	streams map[news.NodeID]*rand.Rand // engine-side per-peer randomness
+	col     *metrics.Collector
+	shards  []*metrics.Collector // per-worker scratch collectors
+	now     int64
+	pubs    map[int64][]Publication
+	batch   []envelope // sends of the current BEEP hop
 }
 
 // New builds an engine over the given peers, recording into col.
@@ -89,12 +119,21 @@ func New(cfg Config, peers []Peer, col *metrics.Collector) *Engine {
 	if cfg.BootstrapDegree <= 0 {
 		cfg.BootstrapDegree = 5
 	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	e := &Engine{
-		cfg:  cfg,
-		rng:  rand.New(rand.NewSource(cfg.Seed)),
-		byID: make(map[news.NodeID]Peer, len(peers)),
-		col:  col,
-		pubs: make(map[int64][]Publication),
+		cfg:     cfg,
+		workers: workers,
+		byID:    make(map[news.NodeID]Peer, len(peers)),
+		streams: make(map[news.NodeID]*rand.Rand, len(peers)),
+		col:     col,
+		shards:  make([]*metrics.Collector, workers),
+		pubs:    make(map[int64][]Publication),
+	}
+	for w := range e.shards {
+		e.shards[w] = metrics.NewCollector()
 	}
 	for _, p := range peers {
 		e.addPeer(p)
@@ -105,9 +144,21 @@ func New(cfg Config, peers []Peer, col *metrics.Collector) *Engine {
 	return e
 }
 
+// streamSeed derives the engine-side randomness seed of one peer from the
+// run seed with a splitmix64 finalizer, decorrelating the per-peer streams
+// from each other and from the affine node-level seeds used by callers.
+func streamSeed(seed int64, id news.NodeID) int64 {
+	z := uint64(seed)*0x9E3779B97F4A7C15 + (uint64(id)+1)*0xBF58476D1CE4E5B9
+	z ^= z >> 30
+	z *= 0x94D049BB133111EB
+	z ^= z >> 27
+	return int64(z)
+}
+
 func (e *Engine) addPeer(p Peer) {
 	e.peers = append(e.peers, p)
 	e.byID[p.ID()] = p
+	e.streams[p.ID()] = rand.New(rand.NewSource(streamSeed(e.cfg.Seed, p.ID())))
 }
 
 // AddPeer registers a peer between cycles (the joining-node experiment of
@@ -126,21 +177,66 @@ func (e *Engine) Collector() *metrics.Collector { return e.col }
 // Now returns the current cycle.
 func (e *Engine) Now() int64 { return e.now }
 
+// Workers returns the effective worker-pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// parallelFor runs fn(worker, i) for every i in [0, n), splitting the range
+// into one contiguous span per worker. With a single worker (or a single
+// item) it runs inline. fn must touch only state owned by item i plus the
+// worker'th metrics shard; the span split then only decides which shard a
+// record lands in, and shards merge commutatively.
+func (e *Engine) parallelFor(n int, fn func(worker, i int)) {
+	w := e.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func(k int) {
+			defer wg.Done()
+			for i := k * n / w; i < (k+1)*n/w; i++ {
+				fn(k, i)
+			}
+		}(k)
+	}
+	wg.Wait()
+}
+
+// mergeShards folds the per-worker shards into the main collector. Called at
+// the end of every cycle (a barrier), so user-visible reads — OnCycleEnd
+// hooks, post-run analysis — always see merged totals.
+func (e *Engine) mergeShards() {
+	for _, s := range e.shards {
+		e.col.Merge(s)
+		s.Reset()
+	}
+}
+
 // descriptorOf builds a fresh descriptor for a peer at the given time.
 func descriptorOf(p Peer, now int64) overlay.Descriptor {
 	return overlay.Descriptor{Node: p.ID(), Stamp: now, Profile: p.UserProfile().Clone()}
 }
 
 // Bootstrap seeds every peer's views with BootstrapDegree random
-// descriptors, forming the initial random graph.
+// descriptors, forming the initial random graph. Each peer samples its
+// neighbours from its own engine stream, so the graph is independent of the
+// worker count.
 func (e *Engine) Bootstrap() {
 	n := len(e.peers)
 	if n < 2 {
 		return
 	}
-	for _, p := range e.peers {
+	e.parallelFor(n, func(_, i int) {
+		p := e.peers[i]
 		descs := make([]overlay.Descriptor, 0, e.cfg.BootstrapDegree)
-		for _, j := range e.rng.Perm(n) {
+		for _, j := range e.streams[p.ID()].Perm(n) {
 			q := e.peers[j]
 			if q.ID() == p.ID() {
 				continue
@@ -156,12 +252,21 @@ func (e *Engine) Bootstrap() {
 		if p.WUP() != nil {
 			p.WUP().Seed(descs, p.UserProfile())
 		}
-	}
+	})
 }
 
-// lost draws one loss decision.
-func (e *Engine) lost() bool {
-	return e.cfg.LossRate > 0 && e.rng.Float64() < e.cfg.LossRate
+// lost draws one loss decision from the given peer's engine stream. Every
+// phase consumes each peer's stream in a deterministic per-peer order, so
+// loss outcomes are independent of the worker count.
+func (e *Engine) lost(id news.NodeID) bool {
+	if e.cfg.LossRate <= 0 {
+		return false
+	}
+	s := e.streams[id]
+	if s == nil {
+		return false
+	}
+	return s.Float64() < e.cfg.LossRate
 }
 
 // descriptorsWireSize sums the wire sizes of a descriptor batch.
@@ -178,9 +283,7 @@ func (e *Engine) Step() {
 	e.now++
 	now := e.now
 
-	for _, p := range e.peers {
-		p.BeginCycle(now)
-	}
+	e.parallelFor(len(e.peers), func(_, i int) { e.peers[i].BeginCycle(now) })
 	e.gossipRPS(now)
 	e.gossipWUP(now)
 
@@ -193,9 +296,10 @@ func (e *Engine) Step() {
 		if len(sends) > 0 {
 			e.col.RecordForward(true, 0)
 		}
-		e.enqueue(sends)
+		e.enqueue(pub.Source, sends)
 	}
 	e.drain(now)
+	e.mergeShards()
 
 	if e.cfg.OnCycleEnd != nil {
 		e.cfg.OnCycleEnd(e, now)
@@ -210,106 +314,223 @@ func (e *Engine) Run() {
 	}
 }
 
+// exchange tracks one gossip push-pull through the three round phases.
+type exchange struct {
+	ok     bool // initiator selected a target this round
+	lost   bool // the push leg was dropped by the loss model
+	target news.NodeID
+	push   []overlay.Descriptor
+	reply  []overlay.Descriptor // nil if lost or undeliverable
+}
+
+// bucketByResponder groups successful pushes by responder, preserving
+// initiator order inside each bucket and first-contact order across buckets.
+// Exchanges whose push was lost or whose responder lacks the layer are
+// dropped here, exactly as a lost or undeliverable datagram would be.
+func (e *Engine) bucketByResponder(exs []exchange, hasLayer func(Peer) bool) ([]news.NodeID, map[news.NodeID][]int) {
+	var order []news.NodeID
+	buckets := make(map[news.NodeID][]int)
+	for i := range exs {
+		ex := &exs[i]
+		if !ex.ok || ex.lost {
+			continue
+		}
+		r := e.byID[ex.target]
+		if r == nil || !hasLayer(r) {
+			continue
+		}
+		if _, seen := buckets[ex.target]; !seen {
+			order = append(order, ex.target)
+		}
+		buckets[ex.target] = append(buckets[ex.target], i)
+	}
+	return order, buckets
+}
+
+// gossipRound drives one push-pull round for a gossip layer in three
+// deterministic phases: all initiators compute their pushes from the
+// pre-round state in parallel (makePush touches only the initiator's own
+// state), responders absorb their incoming pushes grouped per responder in
+// initiator order (absorbPush touches only the responder), and initiators
+// absorb the replies in parallel (absorbReply touches only the initiator).
+// Both gossip layers share this skeleton so the determinism-critical
+// ordering — including the loss-draw points — lives in exactly one place.
+func (e *Engine) gossipRound(reqKind, repKind metrics.MessageKind,
+	has func(Peer) bool,
+	makePush func(p Peer) (target news.NodeID, push []overlay.Descriptor, ok bool),
+	absorbPush func(responder Peer, push []overlay.Descriptor) (reply []overlay.Descriptor),
+	absorbReply func(initiator Peer, reply []overlay.Descriptor),
+) {
+	n := len(e.peers)
+	exs := make([]exchange, n)
+	e.parallelFor(n, func(w, i int) {
+		p := e.peers[i]
+		if !has(p) {
+			return
+		}
+		target, push, ok := makePush(p)
+		if !ok {
+			return
+		}
+		e.shards[w].RecordMessage(reqKind, descriptorsWireSize(push))
+		exs[i] = exchange{ok: true, lost: e.lost(p.ID()), target: target, push: push}
+	})
+
+	order, buckets := e.bucketByResponder(exs, has)
+	e.parallelFor(len(order), func(w, bi int) {
+		respID := order[bi]
+		responder := e.byID[respID]
+		for _, i := range buckets[respID] {
+			reply := absorbPush(responder, exs[i].push)
+			e.shards[w].RecordMessage(repKind, descriptorsWireSize(reply))
+			if !e.lost(respID) {
+				exs[i].reply = reply
+			}
+		}
+	})
+
+	e.parallelFor(n, func(_, i int) {
+		if exs[i].reply != nil {
+			absorbReply(e.peers[i], exs[i].reply)
+		}
+	})
+}
+
+// gossipRPS runs one RPS round.
 func (e *Engine) gossipRPS(now int64) {
-	for _, p := range e.peers {
-		proto := p.RPS()
-		if proto == nil {
-			continue
-		}
-		target, ok := proto.SelectPeer()
-		if !ok {
-			continue
-		}
-		push := proto.MakePush(proto.Descriptor(now, p.UserProfile()))
-		e.col.RecordMessage(metrics.MsgRPSRequest, descriptorsWireSize(push))
-		if e.lost() {
-			continue
-		}
-		responder := e.byID[target.Node]
-		if responder == nil || responder.RPS() == nil {
-			continue
-		}
-		rproto := responder.RPS()
-		reply := rproto.AcceptPush(push, rproto.Descriptor(now, responder.UserProfile()))
-		e.col.RecordMessage(metrics.MsgRPSReply, descriptorsWireSize(reply))
-		if e.lost() {
-			continue
-		}
-		proto.AcceptReply(reply)
-	}
+	e.gossipRound(metrics.MsgRPSRequest, metrics.MsgRPSReply,
+		func(p Peer) bool { return p.RPS() != nil },
+		func(p Peer) (news.NodeID, []overlay.Descriptor, bool) {
+			proto := p.RPS()
+			target, ok := proto.SelectPeer()
+			if !ok {
+				return 0, nil, false
+			}
+			return target.Node, proto.MakePush(proto.Descriptor(now, p.UserProfile())), true
+		},
+		func(r Peer, push []overlay.Descriptor) []overlay.Descriptor {
+			proto := r.RPS()
+			return proto.AcceptPush(push, proto.Descriptor(now, r.UserProfile()))
+		},
+		func(p Peer, reply []overlay.Descriptor) { p.RPS().AcceptReply(reply) },
+	)
 }
 
+// gossipWUP runs one clustering round. RPS candidates are injected in the
+// compute phase, before peer selection, as each peer only touches its own
+// two views there.
 func (e *Engine) gossipWUP(now int64) {
-	for _, p := range e.peers {
-		proto := p.WUP()
-		if proto == nil {
-			continue
-		}
-		p.InjectRPSCandidates()
-		target, ok := proto.SelectPeer()
-		if !ok {
-			continue
-		}
-		push := proto.MakePush(proto.Descriptor(now, p.UserProfile()))
-		e.col.RecordMessage(metrics.MsgWUPRequest, descriptorsWireSize(push))
-		if e.lost() {
-			continue
-		}
-		responder := e.byID[target.Node]
-		if responder == nil || responder.WUP() == nil {
-			continue
-		}
-		rproto := responder.WUP()
-		reply := rproto.AcceptPush(push, rproto.Descriptor(now, responder.UserProfile()), responder.UserProfile())
-		e.col.RecordMessage(metrics.MsgWUPReply, descriptorsWireSize(reply))
-		if e.lost() {
-			continue
-		}
-		proto.AcceptReply(reply, p.UserProfile())
-	}
+	e.gossipRound(metrics.MsgWUPRequest, metrics.MsgWUPReply,
+		func(p Peer) bool { return p.WUP() != nil },
+		func(p Peer) (news.NodeID, []overlay.Descriptor, bool) {
+			proto := p.WUP()
+			p.InjectRPSCandidates()
+			target, ok := proto.SelectPeer()
+			if !ok {
+				return 0, nil, false
+			}
+			return target.Node, proto.MakePush(proto.Descriptor(now, p.UserProfile())), true
+		},
+		func(r Peer, push []overlay.Descriptor) []overlay.Descriptor {
+			proto := r.WUP()
+			return proto.AcceptPush(push, proto.Descriptor(now, r.UserProfile()), r.UserProfile())
+		},
+		func(p Peer, reply []overlay.Descriptor) { p.WUP().AcceptReply(reply, p.UserProfile()) },
+	)
 }
 
-func (e *Engine) enqueue(sends []core.Send) {
+// enqueue adds sends from one peer to the current BEEP hop.
+func (e *Engine) enqueue(from news.NodeID, sends []core.Send) {
 	for _, s := range sends {
-		e.queue = append(e.queue, envelope{to: s.To, msg: s.Msg})
+		e.batch = append(e.batch, envelope{from: from, to: s.To, msg: s.Msg})
 	}
 }
 
 // drain delivers queued BEEP messages to quiescence. Dissemination is
 // instantaneous relative to gossip cycles, as in the paper's simulations.
-// The queue is drained FIFO with an explicit head index so the backing
-// array is reused across cycles instead of leaking its prefix.
+// Messages are delivered in hop rounds: all sends of one hop are collected,
+// put in a deterministic total order, and the round is delivered grouped
+// per receiver; the sends it produces form the next round.
 func (e *Engine) drain(now int64) {
-	head := 0
-	for head < len(e.queue) {
-		env := e.queue[head]
-		e.queue[head] = envelope{} // release the profile for GC
-		head++
-		if head == len(e.queue) {
-			e.queue = e.queue[:0]
-			head = 0
-		}
-		e.col.RecordMessage(metrics.MsgBeep, env.msg.WireSize())
-		if e.lost() {
-			continue
-		}
-		p := e.byID[env.to]
-		if p == nil {
-			continue
-		}
-		d, sends := p.Receive(env.msg, now)
-		if d.Duplicate {
-			continue
-		}
-		e.col.RecordDelivery(d)
-		if e.cfg.OnDelivery != nil {
-			e.cfg.OnDelivery(d, now)
-		}
-		if len(sends) > 0 {
-			e.col.RecordForward(d.Liked, d.Hops)
-		}
-		e.enqueue(sends)
+	batch := e.batch
+	e.batch = nil
+	for len(batch) > 0 {
+		batch = e.deliverRound(batch, now)
 	}
+}
+
+// deliverRound delivers one hop of BEEP traffic and returns the next hop.
+func (e *Engine) deliverRound(batch []envelope, now int64) []envelope {
+	// Total order: by receiver, then sender, then item. A node forwards a
+	// given item at most once (SIR), so the triple is unique within a round.
+	sort.Slice(batch, func(i, j int) bool {
+		a, b := &batch[i], &batch[j]
+		if a.to != b.to {
+			return a.to < b.to
+		}
+		if a.from != b.from {
+			return a.from < b.from
+		}
+		return a.msg.Item.ID < b.msg.Item.ID
+	})
+	// Partition into per-receiver segments; each segment is applied by one
+	// worker, so a receiver's state and RNG are touched by one goroutine
+	// and always in the same (from, item) order.
+	type segment struct {
+		lo, hi     int
+		deliveries []core.Delivery
+		sends      []envelope
+	}
+	segs := make([]segment, 0, len(batch))
+	for lo := 0; lo < len(batch); {
+		hi := lo + 1
+		for hi < len(batch) && batch[hi].to == batch[lo].to {
+			hi++
+		}
+		segs = append(segs, segment{lo: lo, hi: hi})
+		lo = hi
+	}
+	e.parallelFor(len(segs), func(w, si int) {
+		seg := &segs[si]
+		recv := e.byID[batch[seg.lo].to]
+		col := e.shards[w]
+		for k := seg.lo; k < seg.hi; k++ {
+			env := &batch[k]
+			col.RecordMessage(metrics.MsgBeep, env.msg.WireSize())
+			if e.lost(env.to) {
+				continue
+			}
+			if recv == nil {
+				continue
+			}
+			d, sends := recv.Receive(env.msg, now)
+			if d.Duplicate {
+				continue
+			}
+			col.RecordDelivery(d)
+			if e.cfg.OnDelivery != nil {
+				seg.deliveries = append(seg.deliveries, d)
+			}
+			if len(sends) > 0 {
+				col.RecordForward(d.Liked, d.Hops)
+			}
+			for _, s := range sends {
+				seg.sends = append(seg.sends, envelope{from: env.to, to: s.To, msg: s.Msg})
+			}
+		}
+	})
+	// Assemble the next hop and fire callbacks in segment (receiver) order,
+	// keeping user-visible side effects deterministic.
+	var next []envelope
+	for si := range segs {
+		if e.cfg.OnDelivery != nil {
+			for _, d := range segs[si].deliveries {
+				e.cfg.OnDelivery(d, now)
+			}
+		}
+		next = append(next, segs[si].sends...)
+	}
+	return next
 }
 
 // WUPGraph snapshots the directed graph formed by the peers' WUP views,

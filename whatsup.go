@@ -6,8 +6,9 @@
 //     sampling + similarity clustering) and the BEEP biased epidemic
 //     dissemination protocol with its orientation and amplification
 //     mechanisms;
-//   - a deterministic cycle-based simulator and two concurrent live
-//     runtimes (lossy in-memory channels and TCP loopback);
+//   - a deterministic parallel cycle-based simulator (bit-identical results
+//     for any worker count) and two concurrent live runtimes (lossy
+//     in-memory channels and TCP loopback);
 //   - the three evaluation workloads of the paper (synthetic
 //     Arxiv-community, Digg-like, survey-like) and all competitor systems;
 //   - experiment drivers regenerating every table and figure of the paper's
@@ -111,6 +112,10 @@ type SimulationConfig struct {
 	LossRate float64
 	// Cycles overrides the workload's experiment length.
 	Cycles int
+	// Workers is the engine worker pool (0 = GOMAXPROCS). Results are
+	// bit-identical for any value; see internal/sim for the determinism
+	// contract.
+	Workers int
 	// OnDelivery observes every first-time delivery.
 	OnDelivery func(d Delivery, cycle int64)
 }
@@ -149,6 +154,7 @@ func NewSimulation(ds *Dataset, cfg SimulationConfig) *Simulation {
 		Seed:         cfg.Seed,
 		Cycles:       cycles,
 		LossRate:     cfg.LossRate,
+		Workers:      cfg.Workers,
 		Publications: pubs,
 		OnDelivery:   cfg.OnDelivery,
 	}, peers, col)
