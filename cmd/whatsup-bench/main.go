@@ -32,17 +32,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("whatsup-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		runList       = fs.String("run", "all", "comma-separated experiments: table1,table2,table3,table4,table5,table6,fig3,fig4,fig5,fig6,fig7,fig8,fig9,fig10,fig11,ablations or 'all'")
+		runList       = fs.String("run", "all", "comma-separated experiments: table1,table2,table3,table4,table5,table6,fig3,fig4,fig5,fig6,fig7,fig8,fig9,fig10,fig11,ablations,live or 'all'")
 		scale         = fs.Float64("scale", 0.5, "dataset scale (1.0 = paper sizes)")
 		seed          = fs.Int64("seed", 1, "experiment seed")
 		workers       = fs.Int("workers", 0, "parallel sweep points (0 = NumCPU)")
 		engineWorkers = fs.Int("engine-workers", 0, "per-simulation engine worker pool (0 = serial; sweep points already run in parallel)")
-		skipLive      = fs.Bool("skip-live", false, "skip the live (ModelNet/PlanetLab) runs in fig8")
+		skipLive      = fs.Bool("skip-live", false, "skip the live (ModelNet/PlanetLab) runs in fig8 and the 'live' scenario")
+		transport     = fs.String("transport", "channel", "network for the 'live' scenario: channel (in-memory emulation) or tcp (loopback sockets)")
+		batchWindow   = fs.Duration("batch-window", 0, "TCP write-coalescing window for the 'live' scenario (0 = opportunistic batching)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return 0
 		}
+		return 2
+	}
+
+	if *transport != "channel" && *transport != "tcp" {
+		fmt.Fprintf(stderr, "unknown -transport=%s (want channel or tcp)\n", *transport)
 		return 2
 	}
 
@@ -89,6 +96,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	runExp("fig9", func() fmt.Stringer { return experiments.Fig9(o) })
 	runExp("fig10", func() fmt.Stringer { return experiments.Fig10(o) })
 	runExp("fig11", func() fmt.Stringer { return experiments.Fig11(o) })
+	var liveErr error
+	runExp("live", func() fmt.Stringer {
+		if *skipLive {
+			return stringer("Live transport run: skipped (-skip-live)")
+		}
+		r, err := experiments.LiveRun(o, experiments.LiveRunConfig{
+			Transport: *transport, BatchWindow: *batchWindow,
+		})
+		if err != nil {
+			liveErr = err
+			return stringer(err.Error())
+		}
+		return r
+	})
 	runExp("ablations", func() fmt.Stringer {
 		var b strings.Builder
 		b.WriteString(experiments.AblationWUPViewSize(o).String())
@@ -99,6 +120,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if ran == 0 {
 		fmt.Fprintf(stderr, "no experiment matched -run=%s\n", *runList)
+		return 2
+	}
+	if liveErr != nil {
+		fmt.Fprintf(stderr, "live scenario failed: %v\n", liveErr)
 		return 2
 	}
 	return 0

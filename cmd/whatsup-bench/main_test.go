@@ -28,6 +28,43 @@ func TestRunSingleSimExperiment(t *testing.T) {
 	}
 }
 
+func TestRunLiveTransportScenario(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-run", "live", "-transport", "channel", "-scale", "0.1"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%q", code, errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{"Live transport run: channel", "wire bytes", "kbps"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("expected %q in output:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunSkipLiveSkipsLiveScenario(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-run", "live", "-skip-live"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit=%d stderr=%q", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "skipped (-skip-live)") {
+		t.Fatalf("expected skip notice:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "wire bytes") {
+		t.Fatal("-skip-live must not run the live fleet")
+	}
+}
+
+func TestRunRejectsUnknownTransport(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-run", "live", "-transport", "smoke-signal"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit=%d want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown -transport") {
+		t.Fatalf("stderr=%q", errOut.String())
+	}
+}
+
 func TestRunRejectsUnknownExperiment(t *testing.T) {
 	var out, errOut strings.Builder
 	if code := run([]string{"-run", "nope"}, &out, &errOut); code != 2 {

@@ -1,8 +1,9 @@
 // Command whatsup-node runs a fleet of WhatsUp nodes over real TCP loopback
 // sockets — the deployment configuration of the paper's PlanetLab experiment
 // on a single machine. Every node is a goroutine with its own listener;
-// gossip and news travel as gob-encoded TCP messages, and a configurable
-// fraction of nodes is "overloaded" with tiny inbound queues.
+// gossip and news travel as length-prefixed binary frames (see the README's
+// "Wire protocol & live transports" section), and a configurable fraction
+// of nodes is "overloaded" with tiny inbound queues.
 //
 // Usage:
 //

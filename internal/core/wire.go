@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+
+	"whatsup/internal/news"
+	"whatsup/internal/profile"
+	"whatsup/internal/wire"
+)
+
+// ItemMessage wire layout, used by live BEEP envelopes:
+//
+//	string  title, description, link (uvarint length + bytes each)
+//	varint  created stamp, source node (zigzag)
+//	varint  dislike counter d_I, hop count (zigzag)
+//	uint    via-dislike flag (0/1)
+//	uint    profile presence (0 = nil, 1 = packed item profile P_I follows)
+//
+// The item identifier is NOT transmitted: receivers recompute the 8-byte
+// content hash locally (paper II-A), which keeps the frame one hash shorter
+// and prevents identifier spoofing. The dataset ground-truth fields Topic
+// and Community are likewise never gossiped — they exist only for workload
+// generators and metrics on the publishing side — so a decoded item carries
+// their zero values.
+
+// AppendWire appends the wire encoding of the message to buf.
+func (m ItemMessage) AppendWire(buf []byte) []byte {
+	buf = wire.AppendString(buf, m.Item.Title)
+	buf = wire.AppendString(buf, m.Item.Description)
+	buf = wire.AppendString(buf, m.Item.Link)
+	buf = wire.AppendInt(buf, m.Item.Created)
+	buf = wire.AppendInt(buf, int64(m.Item.Source))
+	buf = wire.AppendInt(buf, int64(m.Dislikes))
+	buf = wire.AppendInt(buf, int64(m.Hops))
+	if m.ViaDislike {
+		buf = wire.AppendUint(buf, 1)
+	} else {
+		buf = wire.AppendUint(buf, 0)
+	}
+	if m.Profile == nil {
+		return wire.AppendUint(buf, 0)
+	}
+	buf = wire.AppendUint(buf, 1)
+	return m.Profile.AppendWire(buf)
+}
+
+// DecodeItemMessage decodes one message from the front of data, recomputing
+// the item identifier from the received content.
+func DecodeItemMessage(data []byte) (ItemMessage, []byte, error) {
+	var m ItemMessage
+	var err error
+	rest := data
+	if m.Item.Title, rest, err = wire.String(rest); err != nil {
+		return m, data, fmt.Errorf("item title: %w", err)
+	}
+	if m.Item.Description, rest, err = wire.String(rest); err != nil {
+		return m, data, fmt.Errorf("item description: %w", err)
+	}
+	if m.Item.Link, rest, err = wire.String(rest); err != nil {
+		return m, data, fmt.Errorf("item link: %w", err)
+	}
+	if m.Item.Created, rest, err = wire.Int(rest); err != nil {
+		return m, data, fmt.Errorf("item created: %w", err)
+	}
+	source, rest, err := wire.Int(rest)
+	if err != nil {
+		return m, data, fmt.Errorf("item source: %w", err)
+	}
+	if !news.ValidNodeID(source) {
+		return m, data, fmt.Errorf("%w: source node %d out of range", wire.ErrMalformed, source)
+	}
+	m.Item.Source = news.NodeID(source)
+	dislikes, rest, err := wire.Int(rest)
+	if err != nil {
+		return m, data, fmt.Errorf("item dislikes: %w", err)
+	}
+	hops, rest, err := wire.Int(rest)
+	if err != nil {
+		return m, data, fmt.Errorf("item hops: %w", err)
+	}
+	// The encoder can never produce negative counters; accepting them would
+	// corrupt the hop/dislike histograms downstream.
+	if dislikes < 0 || hops < 0 || dislikes > int64(maxIntValue) || hops > int64(maxIntValue) {
+		return m, data, fmt.Errorf("%w: item counters (d_I=%d, hops=%d) out of range", wire.ErrMalformed, dislikes, hops)
+	}
+	m.Dislikes = int(dislikes)
+	m.Hops = int(hops)
+	via, rest, err := wire.Uint(rest)
+	if err != nil || via > 1 {
+		if err == nil {
+			err = fmt.Errorf("%w: via-dislike flag %d", wire.ErrMalformed, via)
+		}
+		return m, data, fmt.Errorf("item via-dislike: %w", err)
+	}
+	m.ViaDislike = via == 1
+	present, rest, err := wire.Uint(rest)
+	if err != nil {
+		return m, data, fmt.Errorf("item profile flag: %w", err)
+	}
+	switch present {
+	case 0:
+	case 1:
+		if m.Profile, rest, err = profile.DecodeWire(rest); err != nil {
+			return m, data, err
+		}
+	default:
+		return m, data, fmt.Errorf("%w: profile presence flag %d", wire.ErrMalformed, present)
+	}
+	m.Item.ID = news.Hash(m.Item.Title, m.Item.Description, m.Item.Link)
+	return m, rest, nil
+}
+
+const maxIntValue = int(^uint(0) >> 1)

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+
+	"whatsup/internal/news"
+	"whatsup/internal/profile"
+)
+
+func wireItemMsg() ItemMessage {
+	p := profile.New()
+	p.Set(1, 3, 1)
+	p.Set(9, 4, 0.5)
+	return ItemMessage{
+		Item:       news.New("headline", "a short description", "https://example.org/a", 42, 7),
+		Profile:    p,
+		Dislikes:   2,
+		Hops:       5,
+		ViaDislike: true,
+	}
+}
+
+func TestItemMessageWireRoundTrip(t *testing.T) {
+	cases := map[string]ItemMessage{
+		"full":        wireItemMsg(),
+		"nil-profile": {Item: news.New("t", "", "", -1, news.NoNode)},
+		"empty-item":  {Item: news.New("", "", "", 0, 0), Profile: profile.New()},
+	}
+	for name, m := range cases {
+		enc := m.AppendWire(nil)
+		got, rest, err := DecodeItemMessage(enc)
+		if err != nil || len(rest) != 0 {
+			t.Fatalf("%s: decode err=%v rest=%d", name, err, len(rest))
+		}
+		if got.Item != m.Item {
+			t.Fatalf("%s: item mismatch:\n got %+v\nwant %+v", name, got.Item, m.Item)
+		}
+		if got.Dislikes != m.Dislikes || got.Hops != m.Hops || got.ViaDislike != m.ViaDislike {
+			t.Fatalf("%s: counter mismatch: %+v != %+v", name, got, m)
+		}
+		switch {
+		case m.Profile == nil:
+			if got.Profile != nil {
+				t.Fatalf("%s: nil profile must stay nil", name)
+			}
+		case !got.Profile.Equal(m.Profile):
+			t.Fatalf("%s: profile mismatch", name)
+		}
+	}
+}
+
+func TestItemMessageWireRecomputesID(t *testing.T) {
+	// The identifier is not transmitted (II-A): receivers recompute the
+	// content hash, so a sender-side ID override does not survive the wire.
+	m := wireItemMsg()
+	m.Item.ID = news.ID(0xDEAD)
+	got, _, err := DecodeItemMessage(m.AppendWire(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := news.Hash(m.Item.Title, m.Item.Description, m.Item.Link); got.Item.ID != want {
+		t.Fatalf("ID=%s want recomputed %s", got.Item.ID, want)
+	}
+}
+
+func TestItemMessageWireDropsGroundTruthFields(t *testing.T) {
+	m := wireItemMsg()
+	m.Item.Topic, m.Item.Community = 3, 9
+	got, _, err := DecodeItemMessage(m.AppendWire(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Item.Topic != 0 || got.Item.Community != 0 {
+		t.Fatalf("ground-truth fields must not be gossiped: %+v", got.Item)
+	}
+}
+
+func TestItemMessageWireRejectsOutOfRangeFields(t *testing.T) {
+	// The protocols never produce negative counters or ids below NoNode, so
+	// a frame carrying them is malformed and must not reach the receiver's
+	// state or the hop/dislike histograms.
+	for name, m := range map[string]ItemMessage{
+		"dislikes": {Item: news.New("t", "", "", 0, 0), Dislikes: -1},
+		"hops":     {Item: news.New("t", "", "", 0, 0), Hops: -5},
+		"source":   {Item: news.New("t", "", "", 0, -100)}, // below NoNode
+	} {
+		if _, _, err := DecodeItemMessage(m.AppendWire(nil)); err == nil {
+			t.Fatalf("%s: negative counter must be rejected", name)
+		}
+	}
+}
+
+func TestItemMessageWireTruncatedPrefixes(t *testing.T) {
+	enc := wireItemMsg().AppendWire(nil)
+	for i := 0; i < len(enc); i++ {
+		if _, _, err := DecodeItemMessage(enc[:i]); err == nil {
+			t.Fatalf("prefix %d/%d must not decode", i, len(enc))
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"strings"
 	"testing"
 	"time"
 )
@@ -197,6 +198,70 @@ func TestFig8WithLiveRuns(t *testing.T) {
 	p := r.Points[0]
 	if p.ModelNet == 0 && p.PlanetLab == 0 {
 		t.Fatal("live runs must deliver something")
+	}
+}
+
+func TestLiveRunChannelTransport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live runs in -short mode")
+	}
+	r, err := LiveRun(tiny(), LiveRunConfig{
+		Transport: "channel", Cycles: 20, CycleLength: 3 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Messages == 0 || r.TotalBytes == 0 {
+		t.Fatalf("traffic must be measured: %+v", r)
+	}
+	if r.TotalBytes != r.GossipBytes+r.BeepBytes {
+		t.Fatal("wire byte decomposition must sum")
+	}
+	if r.TotalKbps <= 0 {
+		t.Fatal("bandwidth must be derived from wire bytes")
+	}
+	for _, want := range []string{"channel", "kbps", "wire bytes"} {
+		if !strings.Contains(r.String(), want) {
+			t.Fatalf("rendering missing %q:\n%s", want, r)
+		}
+	}
+}
+
+func TestLiveRunTCPTransport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live runs in -short mode")
+	}
+	r, err := LiveRun(tiny(), LiveRunConfig{
+		Transport: "tcp", Cycles: 20, CycleLength: 6 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Messages == 0 || r.TotalBytes == 0 {
+		t.Fatalf("traffic must be measured: %+v", r)
+	}
+}
+
+func TestLiveRunLosslessChannel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live runs in -short mode")
+	}
+	// A negative LossRate must run lossless instead of falling back to the
+	// 2% default.
+	r, err := LiveRun(tiny(), LiveRunConfig{
+		Transport: "channel", LossRate: -1, Cycles: 15, CycleLength: 3 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Messages == 0 {
+		t.Fatal("lossless run must still gossip")
+	}
+}
+
+func TestLiveRunRejectsUnknownTransport(t *testing.T) {
+	if _, err := LiveRun(tiny(), LiveRunConfig{Transport: "carrier-pigeon"}); err == nil {
+		t.Fatal("unknown transport must error")
 	}
 }
 

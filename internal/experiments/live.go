@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"whatsup/internal/core"
+	"whatsup/internal/dataset"
+	"whatsup/internal/live"
+	"whatsup/internal/metrics"
+)
+
+// LiveRunConfig tunes the live-transport scenario of cmd/whatsup-bench: one
+// deployment-sized run over a real transport, reporting quality together
+// with bandwidth measured from the encoded bytes on the wire.
+type LiveRunConfig struct {
+	// Transport selects the network: "channel" (ModelNet-style in-memory
+	// emulation) or "tcp" (PlanetLab-style loopback sockets).
+	Transport string
+	// Cycles per run (default 40) and CycleLength (default 15 ms).
+	Cycles      int
+	CycleLength time.Duration
+	// Fanout is the BEEP like-fanout (default core.DefaultFLike).
+	Fanout int
+	// LossRate is the channel transport's uniform loss (default 2%;
+	// negative runs lossless).
+	LossRate float64
+	// BatchWindow is the TCP transport's write-coalescing window.
+	BatchWindow time.Duration
+}
+
+func (c LiveRunConfig) withDefaults() LiveRunConfig {
+	if c.Transport == "" {
+		c.Transport = "channel"
+	}
+	if c.Cycles <= 0 {
+		c.Cycles = 40
+	}
+	if c.CycleLength <= 0 {
+		c.CycleLength = 15 * time.Millisecond
+	}
+	if c.LossRate == 0 {
+		c.LossRate = 0.02
+	} else if c.LossRate < 0 {
+		c.LossRate = 0
+	}
+	return c
+}
+
+// LiveRunResult is the outcome of one live-transport run.
+type LiveRunResult struct {
+	Transport string
+	Users     int
+	Cycles    int
+	Precision float64
+	Recall    float64
+	F1        float64
+	Messages  int64
+	// Wire traffic measured from encoded frame lengths, split as in
+	// Figure 8b, plus the per-node bandwidth those bytes would cost at the
+	// paper's 30 s deployment gossip period.
+	TotalBytes  int64
+	GossipBytes int64
+	BeepBytes   int64
+	TotalKbps   float64
+}
+
+// LiveRun executes the live-transport scenario on the deployment-sized
+// survey subset (the paper's 245-user PlanetLab/ModelNet workload).
+func LiveRun(o Options, cfg LiveRunConfig) (LiveRunResult, error) {
+	o = o.WithDefaults()
+	cfg = cfg.withDefaults()
+	var network live.Network
+	switch cfg.Transport {
+	case "channel":
+		network = live.NewChannelNet(o.Seed, cfg.LossRate, cfg.CycleLength/10)
+	case "tcp":
+		network = live.NewTCPNet(live.TCPNetConfig{
+			SlowEvery: 4, SlowQueueCap: 96, QueueCap: 8192, BatchWindow: cfg.BatchWindow,
+		})
+	default:
+		return LiveRunResult{}, fmt.Errorf("live: unknown transport %q (want channel or tcp)", cfg.Transport)
+	}
+	ds := dataset.Survey(dataset.SurveyConfig{Seed: o.Seed, Scale: o.Scale * 0.5, Cycles: cfg.Cycles})
+	nodeCfg := core.Config{ProfileWindow: core.DefaultProfileWindow}
+	if cfg.Fanout > 0 {
+		nodeCfg.FLike = cfg.Fanout
+	}
+	r := live.NewRunner(live.Config{
+		Seed: o.Seed, Cycles: cfg.Cycles, CycleLength: cfg.CycleLength, NodeConfig: nodeCfg,
+	}, ds, network)
+	r.Run()
+	col := r.Collector()
+	const cycleSeconds = 30 // deployment gossip period (Section V-D)
+	return LiveRunResult{
+		Transport:   cfg.Transport,
+		Users:       ds.Users,
+		Cycles:      cfg.Cycles,
+		Precision:   col.Precision(),
+		Recall:      col.Recall(),
+		F1:          col.F1(),
+		Messages:    col.TotalMessages(),
+		TotalBytes:  col.TotalBytes(),
+		GossipBytes: col.GossipBytes(),
+		BeepBytes:   col.Bytes(metrics.MsgBeep),
+		TotalKbps:   metrics.KbpsPerNode(col.TotalBytes(), cfg.Cycles, cycleSeconds, ds.Users),
+	}, nil
+}
+
+// String renders the run in the style of the paper's deployment tables.
+func (r LiveRunResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Live transport run: %s (%d users, %d cycles)\n", r.Transport, r.Users, r.Cycles)
+	fmt.Fprintf(&b, "  precision %.3f  recall %.3f  F1 %.3f\n", r.Precision, r.Recall, r.F1)
+	fmt.Fprintf(&b, "  messages %d  wire bytes %d (gossip %d, beep %d)\n",
+		r.Messages, r.TotalBytes, r.GossipBytes, r.BeepBytes)
+	fmt.Fprintf(&b, "  ≈ %.2f kbps per node at the deployment's 30 s cycle (Fig. 8b scale)",
+		r.TotalKbps)
+	return b.String()
+}

@@ -12,6 +12,11 @@ import (
 // channels with configurable uniform message loss and delivery latency. Loss
 // applies to every message kind — BEEP and gossip alike — matching the
 // Section V-E experiment.
+//
+// Every delivered envelope round-trips through the shared binary codec
+// (codec.go): the receiver observes exactly what the encoded bytes carry —
+// fresh profile copies, recomputed item ids, no ground-truth leakage — so
+// the emulation exercises the same serialization path and costs as TCPNet.
 type ChannelNet struct {
 	mu      sync.Mutex
 	boxes   map[news.NodeID]chan envelope
@@ -52,10 +57,36 @@ func (c *ChannelNet) Send(env envelope) {
 	}
 	drop := c.loss > 0 && c.rng.Float64() < c.loss
 	box := c.boxes[env.To]
+	delayed := box != nil && !drop && c.latency > 0
+	if delayed {
+		// Registered under the lock, next to the closed check: Close sets
+		// closed before it waits, so wg.Add can never race wg.Wait.
+		c.wg.Add(1)
+	}
 	c.mu.Unlock()
 	if drop || box == nil {
 		return
 	}
+	// Serialize through the wire codec so the receiver gets what the bytes
+	// say, not what the sender's structs held. The frame handed down by
+	// Runner.send is reused; envelopes injected directly (tests) encode here.
+	var decoded envelope
+	var err error
+	if env.frame != nil {
+		decoded, err = decodeFrame(env.frame)
+	} else {
+		buf := getBuf()
+		*buf = appendFrame(*buf, env)
+		decoded, err = decodeFrame(*buf)
+		putBuf(buf)
+	}
+	if err != nil {
+		if delayed {
+			c.wg.Done()
+		}
+		return // unencodable envelope cannot exist; treat as loss
+	}
+	env = decoded
 	deliver := func() {
 		defer func() { recover() }() // lost race with Close: treat as loss
 		select {
@@ -63,11 +94,10 @@ func (c *ChannelNet) Send(env envelope) {
 		default: // inbox overflow: dropped
 		}
 	}
-	if c.latency <= 0 {
+	if !delayed {
 		deliver()
 		return
 	}
-	c.wg.Add(1)
 	go func() {
 		defer c.wg.Done()
 		time.Sleep(c.latency)

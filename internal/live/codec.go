@@ -1,0 +1,149 @@
+package live
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+
+	"whatsup/internal/core"
+	"whatsup/internal/news"
+	"whatsup/internal/overlay"
+	"whatsup/internal/wire"
+)
+
+// Envelope wire layout, shared by ChannelNet and TCPNet:
+//
+//	byte    kind (wireRPSRequest … wireItem)
+//	varint  from node, to node (zigzag)
+//	payload gossip kinds: descriptor list (overlay.AppendDescriptors)
+//	        wireItem:     BEEP message  (core.ItemMessage.AppendWire)
+//
+// On a stream transport each envelope travels as one *frame*: a uvarint
+// payload length followed by the payload. Frames are self-delimiting, so a
+// batched write — several frames coalesced into one Write call — needs no
+// extra structure on the read side.
+
+// maxFramePayload bounds a declared frame length. The largest legitimate
+// envelope is a gossip push of tens of descriptors, far below this; anything
+// bigger means a corrupt or hostile stream and poisons the connection.
+const maxFramePayload = 1 << 22 // 4 MiB
+
+// bufPool recycles codec scratch buffers across sends, receives and size
+// accounting. Buffers are kept pointer-wrapped so Put does not allocate.
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+func getBuf() *[]byte  { return bufPool.Get().(*[]byte) }
+func putBuf(b *[]byte) { *b = (*b)[:0]; bufPool.Put(b) }
+
+// appendEnvelope appends the wire encoding of e to buf.
+func appendEnvelope(buf []byte, e envelope) []byte {
+	buf = append(buf, byte(e.Kind))
+	buf = wire.AppendInt(buf, int64(e.From))
+	buf = wire.AppendInt(buf, int64(e.To))
+	if e.Kind == wireItem {
+		return e.Item.AppendWire(buf)
+	}
+	return overlay.AppendDescriptors(buf, e.Descs)
+}
+
+// decodeEnvelope decodes one envelope from the front of data.
+func decodeEnvelope(data []byte) (envelope, []byte, error) {
+	var e envelope
+	if len(data) == 0 {
+		return e, data, fmt.Errorf("envelope kind: %w", wire.ErrTruncated)
+	}
+	if data[0] > byte(wireItem) {
+		return e, data, fmt.Errorf("%w: unknown envelope kind %d", wire.ErrMalformed, data[0])
+	}
+	e.Kind = wireKind(data[0])
+	rest := data[1:]
+	from, rest, err := wire.Int(rest)
+	if err != nil {
+		return e, data, fmt.Errorf("envelope from: %w", err)
+	}
+	to, rest, err := wire.Int(rest)
+	if err != nil {
+		return e, data, fmt.Errorf("envelope to: %w", err)
+	}
+	if !news.ValidNodeID(from) || !news.ValidNodeID(to) {
+		return e, data, fmt.Errorf("%w: envelope node ids (%d→%d) out of range", wire.ErrMalformed, from, to)
+	}
+	e.From, e.To = news.NodeID(from), news.NodeID(to)
+	if e.Kind == wireItem {
+		e.Item, rest, err = core.DecodeItemMessage(rest)
+	} else {
+		e.Descs, rest, err = overlay.DecodeDescriptors(rest)
+	}
+	if err != nil {
+		return e, data, err
+	}
+	return e, rest, nil
+}
+
+// appendFrame appends the framed encoding of e — uvarint payload length then
+// payload — to buf. This is the exact byte sequence a stream transport
+// writes, and its length is what bandwidth accounting reports.
+func appendFrame(buf []byte, e envelope) []byte {
+	scratch := getBuf()
+	payload := appendEnvelope(*scratch, e)
+	buf = wire.AppendUint(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	*scratch = payload[:0]
+	putBuf(scratch)
+	return buf
+}
+
+// decodeFrame decodes one complete framed envelope from a byte slice,
+// rejecting length mismatches and trailing bytes.
+func decodeFrame(frame []byte) (envelope, error) {
+	n, payload, err := wire.Uint(frame)
+	if err != nil {
+		return envelope{}, fmt.Errorf("frame length: %w", err)
+	}
+	if n != uint64(len(payload)) {
+		return envelope{}, fmt.Errorf("%w: frame declares %d bytes, holds %d", wire.ErrMalformed, n, len(payload))
+	}
+	env, rest, err := decodeEnvelope(payload)
+	if err != nil {
+		return envelope{}, err
+	}
+	if len(rest) != 0 {
+		return envelope{}, fmt.Errorf("%w: %d trailing bytes in frame", wire.ErrMalformed, len(rest))
+	}
+	return env, nil
+}
+
+// readFrame reads one framed envelope from a buffered stream. io.EOF is
+// returned verbatim on a clean boundary so pumps can distinguish an orderly
+// close from a mid-frame cut.
+func readFrame(br *bufio.Reader) (envelope, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return envelope{}, err
+	}
+	if n > maxFramePayload {
+		return envelope{}, fmt.Errorf("%w: frame of %d bytes exceeds limit", wire.ErrMalformed, n)
+	}
+	scratch := getBuf()
+	defer putBuf(scratch)
+	if cap(*scratch) < int(n) {
+		*scratch = make([]byte, n)
+	}
+	payload := (*scratch)[:n]
+	if _, err := io.ReadFull(br, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return envelope{}, err
+	}
+	env, rest, err := decodeEnvelope(payload)
+	if err != nil {
+		return envelope{}, err
+	}
+	if len(rest) != 0 {
+		return envelope{}, fmt.Errorf("%w: %d trailing bytes in frame", wire.ErrMalformed, len(rest))
+	}
+	return env, nil
+}

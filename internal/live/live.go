@@ -44,20 +44,25 @@ type envelope struct {
 	To    news.NodeID
 	Descs []overlay.Descriptor // gossip payload
 	Item  core.ItemMessage     // BEEP payload
+
+	// frame, when non-nil, is the encoded frame of this envelope, set by
+	// Runner.send so transports reuse the bytes already produced for
+	// bandwidth accounting instead of re-encoding. It is only valid for the
+	// duration of the Send call (the backing buffer is pooled) and is never
+	// itself part of the wire format.
+	frame []byte
 }
 
-// size approximates the wire size for bandwidth accounting.
+// size is the exact framed wire size of the envelope: the number of bytes a
+// stream transport writes for it, and therefore what bandwidth metrics
+// report. Unlike the simulator's fixed-width WireSize estimates, this is
+// measured on the actual encoding.
 func (e envelope) size() int {
-	switch e.Kind {
-	case wireItem:
-		return e.Item.WireSize()
-	default:
-		total := 0
-		for _, d := range e.Descs {
-			total += d.WireSize()
-		}
-		return total
-	}
+	buf := getBuf()
+	*buf = appendFrame(*buf, e)
+	n := len(*buf)
+	putBuf(buf)
+	return n
 }
 
 func (e envelope) kind() metrics.MessageKind {
@@ -224,10 +229,15 @@ func (r *Runner) record(fn func(col *metrics.Collector)) {
 	fn(r.col)
 }
 
-// send accounts and transmits an envelope.
+// send encodes the envelope once, accounts its exact framed length, and
+// hands both the envelope and the frame bytes to the transport.
 func (r *Runner) send(env envelope) {
-	r.record(func(col *metrics.Collector) { col.RecordMessage(env.kind(), env.size()) })
+	buf := getBuf()
+	*buf = appendFrame(*buf, env)
+	env.frame = *buf
+	r.record(func(col *metrics.Collector) { col.RecordMessage(env.kind(), len(env.frame)) })
 	r.net.Send(env)
+	putBuf(buf)
 }
 
 // loop is the node goroutine: a cycle ticker interleaved with inbound

@@ -1,37 +1,65 @@
 package live
 
 import (
-	"encoding/gob"
+	"bufio"
 	"net"
 	"sync"
+	"time"
 
 	"whatsup/internal/news"
 )
 
 // TCPNet is the PlanetLab stand-in: nodes listen on real TCP loopback
-// sockets and exchange gob-encoded envelopes. Each node has a bounded
-// inbound queue; when the queue is full, incoming messages are dropped —
-// the congestion behaviour of overloaded PlanetLab nodes, which the paper
-// measured as up to 30% inbound loss at small fanouts (Section V-D). A
-// configurable fraction of nodes is "overloaded" with much smaller queues.
+// sockets and exchange length-prefixed binary frames (see codec.go). Each
+// node has a bounded inbound queue; when the queue is full, incoming
+// messages are dropped — the congestion behaviour of overloaded PlanetLab
+// nodes, which the paper measured as up to 30% inbound loss at small fanouts
+// (Section V-D). A configurable fraction of nodes is "overloaded" with much
+// smaller queues.
+//
+// Connections are persistent and multiplexed: the first send to a
+// destination dials it, and every later envelope for that destination is
+// appended to the connection's pending buffer. A per-connection writer
+// goroutine drains the buffer in batches — all envelopes queued for the same
+// destination since the previous flush (typically a cycle tick's worth under
+// load) leave in a single framed Write. Encode and batch buffers are
+// recycled through a sync.Pool.
 type TCPNet struct {
 	mu         sync.Mutex
 	addrs      map[news.NodeID]string
 	boxes      map[news.NodeID]chan envelope
 	listeners  map[news.NodeID]net.Listener
-	conns      map[string]*sendConn
+	conns      map[string]*outConn
 	queueCap   int
 	slowCap    int
 	slowEvery  int // every n-th registered node is overloaded (0 = none)
+	batch      time.Duration
+	maxPending int
 	registered int
 	closed     bool
 	wg         sync.WaitGroup
 }
 
-type sendConn struct {
-	mu  sync.Mutex
-	enc *gob.Encoder
-	c   net.Conn
+// outConn is one persistent outbound connection. Senders append encoded
+// frames to pending and kick the writer; the writer swaps the buffer out
+// under the lock and issues one Write per batch.
+type outConn struct {
+	c       net.Conn
+	mu      sync.Mutex
+	pending []byte        // encoded frames awaiting the next flush
+	dead    bool          // a write failed; subsequent sends are dropped
+	kick    chan struct{} // capacity 1: wake the writer
+	quit    chan struct{} // closed on teardown: drain pending, then close
+}
+
+// take swaps the pending batch out, handing spare in as the new accumulation
+// buffer, so writer and senders never copy frame bytes twice.
+func (sc *outConn) take(spare []byte) []byte {
+	sc.mu.Lock()
+	p := sc.pending
+	sc.pending = spare[:0]
+	sc.mu.Unlock()
+	return p
 }
 
 // TCPNetConfig tunes the PlanetLab model.
@@ -43,6 +71,19 @@ type TCPNetConfig struct {
 	// SlowEvery marks every n-th node as overloaded (default 4, ≈25% of the
 	// fleet, reproducing the loss level the paper observed; 0 disables).
 	SlowEvery int
+	// BatchWindow is how long a connection's writer lingers after the first
+	// queued envelope before flushing, so that all sends of one cycle tick
+	// coalesce into a single framed write. 0 (the default) flushes
+	// opportunistically: no added latency, while everything queued during an
+	// in-flight write still departs as one batch.
+	BatchWindow time.Duration
+	// MaxPendingBytes bounds each connection's pending batch (default
+	// 1 MiB). When a destination drains slower than senders enqueue, frames
+	// beyond the bound are dropped — outbound congestion becomes loss, like
+	// the inbound queue overflow, instead of unbounded sender memory. A
+	// single frame larger than the bound is still accepted on an empty
+	// buffer so oversized envelopes cannot wedge a connection.
+	MaxPendingBytes int
 }
 
 // NewTCPNet builds a loopback TCP network.
@@ -56,14 +97,19 @@ func NewTCPNet(cfg TCPNetConfig) *TCPNet {
 	if cfg.SlowEvery < 0 {
 		cfg.SlowEvery = 0
 	}
+	if cfg.MaxPendingBytes <= 0 {
+		cfg.MaxPendingBytes = 1 << 20
+	}
 	return &TCPNet{
-		addrs:     make(map[news.NodeID]string),
-		boxes:     make(map[news.NodeID]chan envelope),
-		listeners: make(map[news.NodeID]net.Listener),
-		conns:     make(map[string]*sendConn),
-		queueCap:  cfg.QueueCap,
-		slowCap:   cfg.SlowQueueCap,
-		slowEvery: cfg.SlowEvery,
+		addrs:      make(map[news.NodeID]string),
+		boxes:      make(map[news.NodeID]chan envelope),
+		listeners:  make(map[news.NodeID]net.Listener),
+		conns:      make(map[string]*outConn),
+		queueCap:   cfg.QueueCap,
+		slowCap:    cfg.SlowQueueCap,
+		slowEvery:  cfg.SlowEvery,
+		batch:      cfg.BatchWindow,
+		maxPending: cfg.MaxPendingBytes,
 	}
 }
 
@@ -98,10 +144,13 @@ func (t *TCPNet) Register(id news.NodeID) <-chan envelope {
 			go func(conn net.Conn) {
 				defer t.wg.Done()
 				defer conn.Close()
-				dec := gob.NewDecoder(conn)
+				br := bufio.NewReaderSize(conn, 32<<10)
 				for {
-					var env envelope
-					if err := dec.Decode(&env); err != nil {
+					env, err := readFrame(br)
+					if err != nil {
+						// Clean close, peer teardown, or a poisoned
+						// stream (malformed frame): drop the connection;
+						// the sender re-dials if it still cares.
 						return
 					}
 					select {
@@ -117,8 +166,9 @@ func (t *TCPNet) Register(id news.NodeID) <-chan envelope {
 	return box
 }
 
-// Send implements Network: lazily dial a persistent connection to the
-// destination and stream gob envelopes over it.
+// Send implements Network: append the encoded frame to the destination's
+// persistent connection and wake its writer. Send never blocks on the
+// network; a dead or unknown destination drops the envelope.
 func (t *TCPNet) Send(env envelope) {
 	t.mu.Lock()
 	if t.closed {
@@ -126,23 +176,42 @@ func (t *TCPNet) Send(env envelope) {
 		return
 	}
 	addr, ok := t.addrs[env.To]
+	sc := t.conns[addr] // steady state: one global lock hold per send
 	t.mu.Unlock()
 	if !ok {
 		return
 	}
-	sc := t.conn(addr)
 	if sc == nil {
-		return
+		if sc = t.conn(addr); sc == nil {
+			return
+		}
 	}
 	sc.mu.Lock()
-	err := sc.enc.Encode(env)
+	if sc.dead {
+		sc.mu.Unlock()
+		return
+	}
+	before := len(sc.pending)
+	if env.frame != nil {
+		sc.pending = append(sc.pending, env.frame...)
+	} else {
+		sc.pending = appendFrame(sc.pending, env)
+	}
+	if len(sc.pending) > t.maxPending && before > 0 {
+		// The destination drains slower than senders enqueue: outbound
+		// congestion becomes loss, bounding sender-side memory the way the
+		// old blocking writes bounded it with backpressure.
+		sc.pending = sc.pending[:before]
+	}
 	sc.mu.Unlock()
-	if err != nil {
-		t.dropConn(addr, sc)
+	select {
+	case sc.kick <- struct{}{}:
+	default: // writer already signalled
 	}
 }
 
-func (t *TCPNet) conn(addr string) *sendConn {
+// conn returns the persistent connection for addr, dialing it on first use.
+func (t *TCPNet) conn(addr string) *outConn {
 	t.mu.Lock()
 	if sc, ok := t.conns[addr]; ok {
 		t.mu.Unlock()
@@ -153,43 +222,120 @@ func (t *TCPNet) conn(addr string) *sendConn {
 	if err != nil {
 		return nil
 	}
-	sc := &sendConn{enc: gob.NewEncoder(c), c: c}
+	sc := &outConn{c: c, kick: make(chan struct{}, 1), quit: make(chan struct{})}
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	if existing, ok := t.conns[addr]; ok {
+	if existing, ok := t.conns[addr]; ok { // lost a dial race
+		t.mu.Unlock()
 		c.Close()
 		return existing
 	}
 	if t.closed {
+		t.mu.Unlock()
 		c.Close()
 		return nil
 	}
 	t.conns[addr] = sc
+	t.wg.Add(1)
+	t.mu.Unlock()
+	go t.writeLoop(addr, sc)
 	return sc
 }
 
-func (t *TCPNet) dropConn(addr string, sc *sendConn) {
+// writeLoop drains one connection's pending buffer, one Write per batch.
+func (t *TCPNet) writeLoop(addr string, sc *outConn) {
+	defer t.wg.Done()
+	spare := getBuf()
+	defer putBuf(spare)
+	var timer *time.Timer
+	if t.batch > 0 {
+		timer = time.NewTimer(t.batch)
+		if !timer.Stop() {
+			<-timer.C
+		}
+		defer timer.Stop()
+	}
+	for {
+		select {
+		case <-sc.quit:
+			t.drain(sc)
+			return
+		case <-sc.kick:
+		}
+		if timer != nil {
+			// Linger for the batch window so the rest of the tick's sends
+			// join this flush.
+			timer.Reset(t.batch)
+			select {
+			case <-sc.quit:
+				timer.Stop()
+				t.drain(sc)
+				return
+			case <-timer.C:
+			}
+		}
+		batch := sc.take(*spare)
+		if len(batch) == 0 {
+			*spare = batch
+			continue
+		}
+		_, err := sc.c.Write(batch)
+		*spare = batch[:0]
+		if err != nil {
+			t.dropConn(addr, sc)
+			return
+		}
+	}
+}
+
+// drain performs the graceful-close flush: whatever senders queued before
+// the teardown still leaves, bounded by a write deadline so Close cannot
+// hang on a stalled peer, then the connection closes.
+func (t *TCPNet) drain(sc *outConn) {
+	sc.mu.Lock()
+	pending := sc.pending
+	sc.pending = nil
+	sc.dead = true
+	sc.mu.Unlock()
+	if len(pending) > 0 {
+		sc.c.SetWriteDeadline(time.Now().Add(time.Second))
+		sc.c.Write(pending)
+	}
+	sc.c.Close()
+}
+
+// dropConn discards a connection whose write failed. Envelopes queued behind
+// the failure are lost — message loss, exactly what the testbed model wants.
+func (t *TCPNet) dropConn(addr string, sc *outConn) {
 	t.mu.Lock()
 	if t.conns[addr] == sc {
 		delete(t.conns, addr)
 	}
 	t.mu.Unlock()
+	sc.mu.Lock()
+	sc.dead = true
+	sc.pending = nil
+	sc.mu.Unlock()
 	sc.c.Close()
 }
 
-// Close implements Network.
+// Close implements Network: stop accepting sends, flush every connection's
+// pending batch, tear down sockets and release the inbound queues.
 func (t *TCPNet) Close() {
 	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
 	t.closed = true
 	listeners := t.listeners
 	conns := t.conns
 	boxes := t.boxes
 	t.listeners = map[news.NodeID]net.Listener{}
-	t.conns = map[string]*sendConn{}
+	t.conns = map[string]*outConn{}
 	t.boxes = map[news.NodeID]chan envelope{}
 	t.mu.Unlock()
 	for _, sc := range conns {
-		sc.c.Close()
+		close(sc.quit) // writer drains pending, then closes the socket
 	}
 	for _, ln := range listeners {
 		ln.Close()

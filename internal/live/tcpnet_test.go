@@ -1,0 +1,163 @@
+package live
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"whatsup/internal/core"
+	"whatsup/internal/news"
+	"whatsup/internal/profile"
+)
+
+func testItemEnvelope(i int, to news.NodeID) envelope {
+	it := news.New("t", "d", "l", int64(i), 0)
+	p := profile.New()
+	p.Set(news.ID(i), int64(i), 1)
+	return envelope{Kind: wireItem, From: 0, To: to, Item: core.ItemMessage{Item: it, Profile: p}}
+}
+
+// drainBox empties a (possibly closed) inbox and counts the envelopes.
+func drainBox(box <-chan envelope) int {
+	got := 0
+	for {
+		select {
+		case _, ok := <-box:
+			if !ok {
+				return got
+			}
+			got++
+		default:
+			return got
+		}
+	}
+}
+
+// TestTCPNetCloseDrainsPending pins the graceful-close contract: envelopes
+// queued before Close still reach the destination — the teardown flushes
+// every connection's pending batch instead of discarding it.
+func TestTCPNetCloseDrainsPending(t *testing.T) {
+	const n = 50
+	tn := NewTCPNet(TCPNetConfig{SlowEvery: 0})
+	box := tn.Register(1)
+	for i := 0; i < n; i++ {
+		tn.Send(testItemEnvelope(i, 1))
+	}
+	tn.Close() // waits for writers to drain and pumps to exit
+	if got := drainBox(box); got != n {
+		t.Fatalf("drain delivered %d/%d envelopes", got, n)
+	}
+}
+
+// TestTCPNetBatchWindowDelivers exercises the explicit batching mode: with a
+// lingering batch window, a burst still arrives completely (in coalesced
+// writes) once the window elapses.
+func TestTCPNetBatchWindowDelivers(t *testing.T) {
+	const n = 20
+	tn := NewTCPNet(TCPNetConfig{SlowEvery: 0, BatchWindow: 5 * time.Millisecond})
+	box := tn.Register(1)
+	for i := 0; i < n; i++ {
+		tn.Send(testItemEnvelope(i, 1))
+	}
+	tn.Close()
+	if got := drainBox(box); got != n {
+		t.Fatalf("batched burst delivered %d/%d envelopes", got, n)
+	}
+}
+
+// TestTCPNetPendingCapDropsOverflow pins the sender-side congestion model:
+// while the writer lingers in a long batch window, a burst beyond the
+// pending-buffer bound is dropped instead of growing memory without limit.
+func TestTCPNetPendingCapDropsOverflow(t *testing.T) {
+	const n = 50
+	frameLen := len(appendFrame(nil, testItemEnvelope(0, 1)))
+	tn := NewTCPNet(TCPNetConfig{
+		SlowEvery:       0,
+		BatchWindow:     200 * time.Millisecond, // hold the writer so pending accumulates
+		MaxPendingBytes: 3 * frameLen,
+	})
+	box := tn.Register(1)
+	for i := 0; i < n; i++ {
+		tn.Send(testItemEnvelope(0, 1)) // identical envelopes: equal frame sizes
+	}
+	tn.Close()
+	got := drainBox(box)
+	if got == 0 {
+		t.Fatal("some envelopes must survive the cap")
+	}
+	if got > 3 {
+		t.Fatalf("pending cap of 3 frames delivered %d/%d envelopes", got, n)
+	}
+}
+
+func TestTCPNetSendAfterCloseIsDropped(t *testing.T) {
+	tn := NewTCPNet(TCPNetConfig{})
+	tn.Register(1)
+	tn.Close()
+	tn.Send(testItemEnvelope(0, 1)) // must not panic or block
+	tn.Close()                      // double Close must be safe
+}
+
+// TestTCPNetPoisonedStreamDropsConnection checks that a malformed frame
+// kills the inbound connection instead of panicking the pump.
+func TestTCPNetPoisonedStreamDropsConnection(t *testing.T) {
+	tn := NewTCPNet(TCPNetConfig{})
+	defer tn.Close()
+	box := tn.Register(1)
+	tn.mu.Lock()
+	addr := tn.addrs[1]
+	tn.mu.Unlock()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A frame declaring a payload far beyond the limit.
+	if _, err := c.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x7F}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c.Read(buf); err == nil {
+		t.Fatal("poisoned connection must be closed by the receiver")
+	}
+	c.Close()
+	if got := drainBox(box); got != 0 {
+		t.Fatalf("poisoned stream delivered %d envelopes", got)
+	}
+}
+
+// BenchmarkTCPThroughput measures the live transport end to end: framed
+// batched writes through real loopback sockets into the receiver's queue,
+// reported as msgs/sec alongside ns/op.
+func BenchmarkTCPThroughput(b *testing.B) {
+	for _, bw := range []time.Duration{0, time.Millisecond} {
+		name := "opportunistic"
+		if bw > 0 {
+			name = "window=1ms"
+		}
+		b.Run(name, func(b *testing.B) {
+			tn := NewTCPNet(TCPNetConfig{QueueCap: 1 << 17, SlowEvery: 0, BatchWindow: bw})
+			box := tn.Register(1)
+			received := make(chan int, 1)
+			go func() {
+				got := 0
+				for range box {
+					got++
+				}
+				received <- got
+			}()
+			env := testItemEnvelope(1, 1)
+			start := time.Now()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tn.Send(env)
+			}
+			tn.Close() // drains pending batches and closes the box
+			b.StopTimer()
+			elapsed := time.Since(start)
+			got := <-received
+			b.ReportMetric(float64(got)/elapsed.Seconds(), "msgs/s")
+			b.ReportMetric(float64(got)/float64(b.N)*100, "delivered%")
+		})
+	}
+}

@@ -193,6 +193,18 @@ func (c *Collector) TotalMessages() int64 {
 	return total
 }
 
+// TotalBytes sums traffic volume across all kinds. In live runs each
+// message is accounted at its exact encoded frame length (not an estimate),
+// recorded sender-side: frames later dropped by loss or congestion still
+// count, as in the paper's sender bandwidth figures.
+func (c *Collector) TotalBytes() int64 {
+	var total int64
+	for _, n := range c.msgBytes {
+		total += n
+	}
+	return total
+}
+
 // GossipMessages sums the RPS and WUP exchange legs.
 func (c *Collector) GossipMessages() int64 {
 	return c.msgCount[MsgRPSRequest] + c.msgCount[MsgRPSReply] +

@@ -85,6 +85,12 @@ func TestMessageAccounting(t *testing.T) {
 	if c.GossipMessages() != 2 || c.GossipBytes() != 30 {
 		t.Fatal("gossip accounting wrong")
 	}
+	if c.TotalBytes() != 180 {
+		t.Fatalf("total bytes=%d want 180", c.TotalBytes())
+	}
+	if c.TotalBytes() != c.GossipBytes()+c.Bytes(MsgBeep) {
+		t.Fatal("byte decomposition must sum")
+	}
 }
 
 func TestDislikeFractions(t *testing.T) {

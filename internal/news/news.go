@@ -35,6 +35,13 @@ type NodeID int32
 // NoNode is the zero-ish sentinel for "no peer".
 const NoNode NodeID = -1
 
+// ValidNodeID reports whether a decoded integer is a representable node id:
+// NoNode or any non-negative int32. The wire decoders share this bound so
+// envelope, descriptor and item-source validation cannot drift.
+func ValidNodeID(v int64) bool {
+	return v >= int64(NoNode) && v <= int64(^uint32(0)>>1)
+}
+
 // Item is a news item. Topic and Community carry dataset ground truth used
 // by workloads and metrics; they are not consulted by the protocols
 // themselves (WhatsUp is content-agnostic).

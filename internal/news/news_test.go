@@ -47,6 +47,17 @@ func TestNewComputesID(t *testing.T) {
 	}
 }
 
+func TestValidNodeID(t *testing.T) {
+	for v, want := range map[int64]bool{
+		-2: false, int64(NoNode): true, 0: true, 7: true,
+		int64(^uint32(0) >> 1): true, int64(^uint32(0)>>1) + 1: false,
+	} {
+		if got := ValidNodeID(v); got != want {
+			t.Fatalf("ValidNodeID(%d)=%v want %v", v, got, want)
+		}
+	}
+}
+
 func TestIDString(t *testing.T) {
 	if got := ID(0xdeadbeef).String(); got != "00000000deadbeef" {
 		t.Fatalf("ID.String() = %q", got)

@@ -1,0 +1,99 @@
+package overlay
+
+import (
+	"fmt"
+
+	"whatsup/internal/news"
+	"whatsup/internal/profile"
+	"whatsup/internal/wire"
+)
+
+// Descriptor wire layout, used by the live gossip envelopes:
+//
+//	varint  node id (zigzag; NoNode = -1 is representable)
+//	string  transport address (uvarint length + bytes)
+//	varint  generation stamp (zigzag)
+//	uint    profile presence (0 = nil, 1 = packed profile follows)
+//	[profile] packed profile (profile.AppendWire layout)
+//
+// Descriptor lists are a uvarint count followed by that many descriptors.
+
+// AppendDescriptor appends the wire encoding of d to buf.
+func AppendDescriptor(buf []byte, d Descriptor) []byte {
+	buf = wire.AppendInt(buf, int64(d.Node))
+	buf = wire.AppendString(buf, d.Addr)
+	buf = wire.AppendInt(buf, d.Stamp)
+	if d.Profile == nil {
+		return wire.AppendUint(buf, 0)
+	}
+	buf = wire.AppendUint(buf, 1)
+	return d.Profile.AppendWire(buf)
+}
+
+// DecodeDescriptor decodes one descriptor from the front of data.
+func DecodeDescriptor(data []byte) (Descriptor, []byte, error) {
+	var d Descriptor
+	node, rest, err := wire.Int(data)
+	if err != nil {
+		return d, data, fmt.Errorf("descriptor node: %w", err)
+	}
+	if !news.ValidNodeID(node) {
+		return d, data, fmt.Errorf("%w: node id %d out of range", wire.ErrMalformed, node)
+	}
+	d.Node = news.NodeID(node)
+	if d.Addr, rest, err = wire.String(rest); err != nil {
+		return d, data, fmt.Errorf("descriptor addr: %w", err)
+	}
+	if d.Stamp, rest, err = wire.Int(rest); err != nil {
+		return d, data, fmt.Errorf("descriptor stamp: %w", err)
+	}
+	present, rest, err := wire.Uint(rest)
+	if err != nil {
+		return d, data, fmt.Errorf("descriptor profile flag: %w", err)
+	}
+	switch present {
+	case 0:
+	case 1:
+		if d.Profile, rest, err = profile.DecodeWire(rest); err != nil {
+			return d, data, err
+		}
+	default:
+		return d, data, fmt.Errorf("%w: profile presence flag %d", wire.ErrMalformed, present)
+	}
+	return d, rest, nil
+}
+
+// AppendDescriptors appends a uvarint-counted descriptor list.
+func AppendDescriptors(buf []byte, descs []Descriptor) []byte {
+	buf = wire.AppendUint(buf, uint64(len(descs)))
+	for _, d := range descs {
+		buf = AppendDescriptor(buf, d)
+	}
+	return buf
+}
+
+// DecodeDescriptors decodes a uvarint-counted descriptor list. A nil slice
+// is returned for an empty list, matching what gossip handlers produce.
+func DecodeDescriptors(data []byte) ([]Descriptor, []byte, error) {
+	n, rest, err := wire.Uint(data)
+	if err != nil {
+		return nil, data, fmt.Errorf("descriptor count: %w", err)
+	}
+	// A descriptor is at least 4 bytes (node, empty addr, stamp, flag):
+	// bound the count by the bytes on hand before allocating.
+	if n > uint64(len(rest))/4 {
+		return nil, data, fmt.Errorf("%w: %d descriptors declared, %d bytes remain", wire.ErrTruncated, n, len(rest))
+	}
+	var descs []Descriptor
+	if n > 0 {
+		descs = make([]Descriptor, 0, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		var d Descriptor
+		if d, rest, err = DecodeDescriptor(rest); err != nil {
+			return nil, data, fmt.Errorf("descriptor %d: %w", i, err)
+		}
+		descs = append(descs, d)
+	}
+	return descs, rest, nil
+}

@@ -1,0 +1,101 @@
+package overlay
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"whatsup/internal/news"
+	"whatsup/internal/profile"
+	"whatsup/internal/wire"
+)
+
+func wireDesc(node int, entries int) Descriptor {
+	p := profile.New()
+	for i := 0; i < entries; i++ {
+		p.Set(news.ID(1000*node+i), int64(i), float64(i%2))
+	}
+	return Descriptor{Node: news.NodeID(node), Addr: "127.0.0.1:9000", Stamp: int64(node * 7), Profile: p}
+}
+
+func TestDescriptorWireRoundTrip(t *testing.T) {
+	cases := map[string]Descriptor{
+		"full":          wireDesc(3, 10),
+		"empty-profile": {Node: 1, Addr: "", Stamp: 5, Profile: profile.New()},
+		"nil-profile":   {Node: news.NoNode, Addr: "x", Stamp: -9},
+		"long-addr":     {Node: 2, Addr: strings.Repeat("a", 300), Stamp: 0, Profile: profile.New()},
+	}
+	for name, d := range cases {
+		enc := AppendDescriptor(nil, d)
+		got, rest, err := DecodeDescriptor(enc)
+		if err != nil || len(rest) != 0 {
+			t.Fatalf("%s: decode err=%v rest=%d", name, err, len(rest))
+		}
+		if got.Node != d.Node || got.Addr != d.Addr || got.Stamp != d.Stamp {
+			t.Fatalf("%s: scalar mismatch: %+v != %+v", name, got, d)
+		}
+		switch {
+		case d.Profile == nil:
+			if got.Profile != nil {
+				t.Fatalf("%s: nil profile must stay nil", name)
+			}
+		case !got.Profile.Equal(d.Profile):
+			t.Fatalf("%s: profile mismatch", name)
+		}
+	}
+}
+
+func TestDescriptorsWireRoundTrip(t *testing.T) {
+	descs := []Descriptor{wireDesc(1, 3), wireDesc(2, 0), {Node: 7, Stamp: 1}}
+	enc := AppendDescriptors(nil, descs)
+	got, rest, err := DecodeDescriptors(enc)
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("decode err=%v rest=%d", err, len(rest))
+	}
+	if len(got) != len(descs) {
+		t.Fatalf("len=%d want %d", len(got), len(descs))
+	}
+	// Empty list must decode to nil, as handlers produce.
+	if got, _, err := DecodeDescriptors(AppendDescriptors(nil, nil)); err != nil || got != nil {
+		t.Fatalf("empty list: got=%v err=%v", got, err)
+	}
+}
+
+func TestDescriptorsWireTruncatedPrefixes(t *testing.T) {
+	enc := AppendDescriptors(nil, []Descriptor{wireDesc(1, 4), wireDesc(2, 1)})
+	for i := 0; i < len(enc); i++ {
+		if _, _, err := DecodeDescriptors(enc[:i]); err == nil {
+			t.Fatalf("prefix %d/%d must not decode", i, len(enc))
+		}
+	}
+}
+
+func TestDecodeDescriptorsRejectsHugeCount(t *testing.T) {
+	enc := wire.AppendUint(nil, 1<<50)
+	if _, _, err := DecodeDescriptors(enc); !errors.Is(err, wire.ErrTruncated) {
+		t.Fatalf("err=%v want ErrTruncated", err)
+	}
+}
+
+func TestDecodeDescriptorRejectsBadNode(t *testing.T) {
+	enc := wire.AppendInt(nil, -2) // below NoNode
+	enc = wire.AppendString(enc, "")
+	enc = wire.AppendInt(enc, 0)
+	enc = wire.AppendUint(enc, 0)
+	if _, _, err := DecodeDescriptor(enc); !errors.Is(err, wire.ErrMalformed) {
+		t.Fatalf("err=%v want ErrMalformed", err)
+	}
+}
+
+func TestDescriptorWireIsCompact(t *testing.T) {
+	// The packed descriptor must not exceed the fixed-width estimate that
+	// WireSize reports for simulation accounting (same fields, varints).
+	d := wireDesc(3, 10)
+	if got, est := len(AppendDescriptor(nil, d)), d.WireSize(); got > est {
+		t.Fatalf("packed descriptor %dB exceeds fixed estimate %dB", got, est)
+	}
+	if !reflect.DeepEqual(AppendDescriptor(nil, d), AppendDescriptor(nil, d)) {
+		t.Fatal("encoding must be deterministic")
+	}
+}

@@ -7,15 +7,23 @@ import (
 	"math"
 
 	"whatsup/internal/news"
+	"whatsup/internal/wire"
 )
 
-// Binary wire format, used by the TCP transport and the dataset dumper:
+// Two binary layouts share the same structure — an entry count followed by
+// the entries in sorted id order, each a {id, stamp, score} triplet — so
+// both are canonical: Equal profiles encode to identical bytes.
 //
-//	uint32 count
-//	count × { uint64 id, int64 stamp, float64 score }
+// The *fixed* layout (MarshalBinary, used by the dataset dumper and the gob
+// bridge) is uint32 count + count × {uint64 id, int64 stamp, float64 score},
+// all big-endian.
 //
-// all big-endian. Entries are written in sorted id order so the encoding is
-// canonical: Equal profiles encode to identical bytes.
+// The *packed* layout (AppendWire, used by the live transports) keeps the
+// same field order but varint-packs everything: item ids are delta-encoded
+// (sorted order makes deltas small and strictly positive), stamps are zigzag
+// varints (gossip-cycle stamps are tiny), and scores use the score packing
+// of internal/wire (binary like/dislike scores are one byte, dyadic item
+// averages a few, instead of 8).
 
 const wireEntrySize = 8 + 8 + 8
 
@@ -63,4 +71,74 @@ func (p *Profile) UnmarshalBinary(data []byte) error {
 		off += wireEntrySize
 	}
 	return nil
+}
+
+// AppendWire appends the packed wire encoding of the profile to buf and
+// returns the extended slice. The encoding is canonical: Equal profiles
+// produce identical bytes.
+func (p *Profile) AppendWire(buf []byte) []byte {
+	buf = wire.AppendUint(buf, uint64(len(p.entries)))
+	prev := uint64(0)
+	for i, e := range p.entries {
+		id := uint64(e.Item)
+		if i == 0 {
+			buf = wire.AppendUint(buf, id)
+		} else {
+			buf = wire.AppendUint(buf, id-prev) // entries are sorted: delta ≥ 1
+		}
+		prev = id
+		buf = wire.AppendInt(buf, e.Stamp)
+		buf = wire.AppendScore(buf, e.Score)
+	}
+	return buf
+}
+
+// DecodeWire decodes one packed profile from the front of data, returning
+// the profile and the remaining bytes. The input is untrusted network data:
+// non-monotonic ids, non-finite scores and truncation all produce errors,
+// never panics, and the declared entry count is checked against the bytes
+// actually available before any allocation.
+func DecodeWire(data []byte) (*Profile, []byte, error) {
+	n, rest, err := wire.Uint(data)
+	if err != nil {
+		return nil, data, fmt.Errorf("profile: entry count: %w", err)
+	}
+	// Each entry is at least 3 bytes (id delta, stamp, score — one byte
+	// each), which bounds n before the allocation below.
+	if n > uint64(len(rest))/3 {
+		return nil, data, fmt.Errorf("%w: %d entries declared, %d bytes remain", wire.ErrTruncated, n, len(rest))
+	}
+	p := &Profile{entries: make([]Entry, 0, n)}
+	prev := uint64(0)
+	for i := uint64(0); i < n; i++ {
+		var delta uint64
+		delta, rest, err = wire.Uint(rest)
+		if err != nil {
+			return nil, data, fmt.Errorf("profile: entry %d id: %w", i, err)
+		}
+		id := delta
+		if i > 0 {
+			if delta == 0 {
+				return nil, data, fmt.Errorf("%w: duplicate or unsorted profile entry", wire.ErrMalformed)
+			}
+			id = prev + delta
+			if id < prev {
+				return nil, data, fmt.Errorf("%w: profile id overflow", wire.ErrMalformed)
+			}
+		}
+		prev = id
+		var stamp int64
+		stamp, rest, err = wire.Int(rest)
+		if err != nil {
+			return nil, data, fmt.Errorf("profile: entry %d stamp: %w", i, err)
+		}
+		var score float64
+		score, rest, err = wire.Score(rest)
+		if err != nil {
+			return nil, data, fmt.Errorf("profile: entry %d score: %w", i, err)
+		}
+		p.entries = append(p.entries, Entry{Item: news.ID(id), Stamp: stamp, Score: score})
+		p.sumSq += score * score
+	}
+	return p, rest, nil
 }

@@ -1,0 +1,92 @@
+package profile
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"whatsup/internal/news"
+	"whatsup/internal/wire"
+)
+
+func wireSample() *Profile {
+	p := New()
+	p.Set(news.ID(0x1122334455667788), 10, 1)
+	p.Set(news.ID(0x1122334455667789), 12, 0)
+	p.Set(news.ID(0xFFEEDDCCBBAA0099), 13, 0.375)
+	return p
+}
+
+func TestAppendWireRoundTrip(t *testing.T) {
+	for name, p := range map[string]*Profile{
+		"empty":  New(),
+		"sample": wireSample(),
+	} {
+		enc := p.AppendWire(nil)
+		got, rest, err := DecodeWire(enc)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("%s: %d trailing bytes", name, len(rest))
+		}
+		if !got.Equal(p) {
+			t.Fatalf("%s: round trip mismatch: %v != %v", name, got, p)
+		}
+		if got.Norm() != p.Norm() {
+			t.Fatalf("%s: norm mismatch after decode", name)
+		}
+	}
+}
+
+func TestAppendWireCanonical(t *testing.T) {
+	// Same entries inserted in different orders must encode identically.
+	a, b := New(), New()
+	a.Set(1, 1, 1)
+	a.Set(2, 2, 0)
+	b.Set(2, 2, 0)
+	b.Set(1, 1, 1)
+	if !bytes.Equal(a.AppendWire(nil), b.AppendWire(nil)) {
+		t.Fatal("canonical encoding must not depend on insertion order")
+	}
+}
+
+func TestAppendWirePacksTighterThanFixed(t *testing.T) {
+	p := wireSample()
+	fixed, _ := p.MarshalBinary()
+	packed := p.AppendWire(nil)
+	if len(packed) >= len(fixed) {
+		t.Fatalf("packed=%dB must beat fixed=%dB", len(packed), len(fixed))
+	}
+}
+
+func TestDecodeWireTruncatedPrefixes(t *testing.T) {
+	enc := wireSample().AppendWire(nil)
+	for i := 0; i < len(enc); i++ {
+		if _, _, err := DecodeWire(enc[:i]); err == nil {
+			t.Fatalf("prefix of %d/%d bytes must not decode", i, len(enc))
+		}
+	}
+}
+
+func TestDecodeWireRejectsHugeCount(t *testing.T) {
+	// A count far beyond the available bytes must fail before allocating.
+	enc := wire.AppendUint(nil, 1<<40)
+	if _, _, err := DecodeWire(enc); !errors.Is(err, wire.ErrTruncated) {
+		t.Fatalf("err=%v, want ErrTruncated", err)
+	}
+}
+
+func TestDecodeWireRejectsUnsortedDuplicate(t *testing.T) {
+	// Two entries with delta 0 — a duplicate id — must be rejected.
+	enc := wire.AppendUint(nil, 2)
+	enc = wire.AppendUint(enc, 7)
+	enc = wire.AppendInt(enc, 1)
+	enc = wire.AppendScore(enc, 1)
+	enc = wire.AppendUint(enc, 0) // delta 0: same id again
+	enc = wire.AppendInt(enc, 1)
+	enc = wire.AppendScore(enc, 1)
+	if _, _, err := DecodeWire(enc); !errors.Is(err, wire.ErrMalformed) {
+		t.Fatalf("err=%v, want ErrMalformed", err)
+	}
+}

@@ -1,7 +1,9 @@
 package profile
 
-// GobEncode implements gob.GobEncoder via the canonical binary encoding, so
-// profiles embedded in live-runtime envelopes travel over TCP transports.
+// GobEncode implements gob.GobEncoder via the canonical fixed binary
+// encoding. The live transports no longer speak gob (they use the packed
+// wire codec, AppendWire/DecodeWire); this bridge remains for external
+// serializers and as the baseline the wire-codec benchmarks compare against.
 func (p *Profile) GobEncode() ([]byte, error) {
 	return p.MarshalBinary()
 }
