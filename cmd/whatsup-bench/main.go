@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -32,7 +33,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("whatsup-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		runList       = fs.String("run", "all", "comma-separated experiments: table1,table2,table3,table4,table5,table6,fig3,fig4,fig5,fig6,fig7,fig8,fig9,fig10,fig11,ablations,live or 'all'")
+		runList       = fs.String("run", "all", "comma-separated experiments: table1,table2,table3,table4,table5,table6,fig3,fig4,fig5,fig6,fig7,fig8,fig9,fig10,fig11,ablations,live or 'all'; plus hotpath (microbenchmarks + BENCH trajectory, never part of 'all')")
 		scale         = fs.Float64("scale", 0.5, "dataset scale (1.0 = paper sizes)")
 		seed          = fs.Int64("seed", 1, "experiment seed")
 		workers       = fs.Int("workers", 0, "parallel sweep points (0 = NumCPU)")
@@ -40,6 +41,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		skipLive      = fs.Bool("skip-live", false, "skip the live (ModelNet/PlanetLab) runs in fig8 and the 'live' scenario")
 		transport     = fs.String("transport", "channel", "network for the 'live' scenario: channel (in-memory emulation) or tcp (loopback sockets)")
 		batchWindow   = fs.Duration("batch-window", 0, "TCP write-coalescing window for the 'live' scenario (0 = opportunistic batching)")
+		benchOut      = fs.String("bench-out", "BENCH_hotpath.json", "trajectory file the 'hotpath' scenario appends its measurements to")
+		benchLabel    = fs.String("bench-label", "", "optional label recorded with the 'hotpath' trajectory entry")
+		cyclePeers    = fs.Int("cycle-peers", 5000, "population of the 'hotpath' full-cycle scenario")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -117,6 +121,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		b.WriteString(experiments.AblationRPSViewSize(o).String())
 		return stringer(b.String())
 	})
+	// The hotpath scenario runs only when explicitly selected: it is a
+	// machine microbenchmark with a file side effect (the trajectory), not
+	// one of the paper's exhibits that 'all' reproduces.
+	var hotpathErr error
+	runHotpath := func() fmt.Stringer {
+		r := experiments.HotPath(experiments.HotPathConfig{
+			CyclePeers:    *cyclePeers,
+			EngineWorkers: *engineWorkers,
+		})
+		r.Label = *benchLabel
+		if err := appendTrajectory(*benchOut, r); err != nil {
+			hotpathErr = err
+			return stringer(r.String() + "\n  [trajectory write failed: " + err.Error() + "]")
+		}
+		return stringer(r.String() + "\n  [appended to " + *benchOut + "]")
+	}
+	if selected["hotpath"] {
+		runExp("hotpath", runHotpath)
+	}
 
 	if ran == 0 {
 		fmt.Fprintf(stderr, "no experiment matched -run=%s\n", *runList)
@@ -126,7 +149,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "live scenario failed: %v\n", liveErr)
 		return 2
 	}
+	if hotpathErr != nil {
+		fmt.Fprintf(stderr, "hotpath scenario failed: %v\n", hotpathErr)
+		return 2
+	}
 	return 0
+}
+
+// trajectory is the BENCH_hotpath.json layout: one entry per recorded run,
+// oldest first, so successive PRs grow a comparable perf history.
+type trajectory struct {
+	Schema string                      `json:"schema"`
+	Runs   []experiments.HotPathResult `json:"runs"`
+}
+
+// appendTrajectory adds one run to the trajectory file, creating it if
+// needed and preserving previously recorded entries.
+func appendTrajectory(path string, r experiments.HotPathResult) error {
+	t := trajectory{Schema: "whatsup-bench/hotpath/v1"}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &t); err != nil {
+			return fmt.Errorf("existing trajectory %s is corrupt: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	t.Runs = append(t.Runs, r)
+	data, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 type stringer string

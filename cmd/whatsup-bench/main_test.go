@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -62,6 +65,61 @@ func TestRunRejectsUnknownTransport(t *testing.T) {
 	}
 	if !strings.Contains(errOut.String(), "unknown -transport") {
 		t.Fatalf("stderr=%q", errOut.String())
+	}
+}
+
+func TestRunHotpathEmitsTrajectory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hotpath microbenchmarks in -short mode")
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_hotpath.json")
+	var stdout, stderr strings.Builder
+	code := run([]string{"-run", "hotpath", "-cycle-peers", "60",
+		"-bench-out", out, "-bench-label", "test"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%q", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "Hot-path microbenchmarks") {
+		t.Fatalf("expected scenario table:\n%s", stdout.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traj struct {
+		Schema string `json:"schema"`
+		Runs   []struct {
+			Label     string `json:"label"`
+			Scenarios []struct {
+				Name        string  `json:"name"`
+				NsPerOp     float64 `json:"ns_per_op"`
+				AllocsPerOp int64   `json:"allocs_per_op"`
+			} `json:"scenarios"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &traj); err != nil {
+		t.Fatalf("trajectory is not valid JSON: %v", err)
+	}
+	if traj.Schema != "whatsup-bench/hotpath/v1" || len(traj.Runs) != 1 {
+		t.Fatalf("unexpected trajectory shape: %+v", traj)
+	}
+	run0 := traj.Runs[0]
+	if run0.Label != "test" || len(run0.Scenarios) < 5 {
+		t.Fatalf("trajectory entry incomplete: %+v", run0)
+	}
+	for _, s := range run0.Scenarios {
+		if s.NsPerOp <= 0 {
+			t.Fatalf("scenario %s has no timing", s.Name)
+		}
+	}
+	// A second run must append, not overwrite.
+	if code := run([]string{"-run", "hotpath", "-cycle-peers", "60", "-bench-out", out},
+		&stdout, &stderr); code != 0 {
+		t.Fatalf("second run exit=%d stderr=%q", code, stderr.String())
+	}
+	data, _ = os.ReadFile(out)
+	if err := json.Unmarshal(data, &traj); err != nil || len(traj.Runs) != 2 {
+		t.Fatalf("trajectory must append runs: err=%v runs=%d", err, len(traj.Runs))
 	}
 }
 

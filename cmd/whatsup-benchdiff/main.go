@@ -1,0 +1,167 @@
+// Command whatsup-benchdiff compares two `go test -bench` outputs and fails
+// when a benchmark regresses beyond a threshold. It is the CI perf gate for
+// the gossip hot path: allocs/op is machine-independent and compared
+// strictly; ns/op is only meaningful between runs on comparable hardware,
+// so its threshold is separately tunable (or disabled with a negative
+// value) for the committed-baseline fallback.
+//
+// Usage:
+//
+//	whatsup-benchdiff -old bench_baseline.txt -new bench.txt \
+//	    -filter '^BenchmarkHotPath/' -allocs-threshold 0.10 -ns-threshold -1
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// result is one parsed benchmark line, averaged over repetitions.
+type result struct {
+	ns     float64
+	bytes  float64
+	allocs float64
+	runs   int
+}
+
+// procSuffix strips the trailing "-<GOMAXPROCS>" so baselines recorded on
+// hosts with different core counts still match.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench extracts benchmark results from `go test -bench -benchmem`
+// output. Repeated entries for one name are averaged.
+func parseBench(r io.Reader) (map[string]result, error) {
+	out := make(map[string]result)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := procSuffix.ReplaceAllString(fields[0], "")
+		res := out[name]
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.ns += v
+			case "B/op":
+				res.bytes += v
+			case "allocs/op":
+				res.allocs += v
+			}
+		}
+		res.runs++
+		out[name] = res
+	}
+	return out, sc.Err()
+}
+
+func (r result) avg() result {
+	if r.runs <= 1 {
+		return r
+	}
+	n := float64(r.runs)
+	return result{ns: r.ns / n, bytes: r.bytes / n, allocs: r.allocs / n, runs: 1}
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("whatsup-benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		oldPath     = fs.String("old", "", "baseline bench output")
+		newPath     = fs.String("new", "", "candidate bench output")
+		filter      = fs.String("filter", "^BenchmarkHotPath/", "regexp selecting benchmarks to compare")
+		nsThresh    = fs.Float64("ns-threshold", 0.10, "max allowed relative ns/op growth (negative = skip ns comparison)")
+		allocThresh = fs.Float64("allocs-threshold", 0.10, "max allowed relative allocs/op growth (negative = skip)")
+	)
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(stderr, "both -old and -new are required")
+		return 2
+	}
+	sel, err := regexp.Compile(*filter)
+	if err != nil {
+		fmt.Fprintf(stderr, "bad -filter: %v\n", err)
+		return 2
+	}
+	parse := func(path string) (map[string]result, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return parseBench(f)
+	}
+	oldRes, err := parse(*oldPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "reading baseline: %v\n", err)
+		return 2
+	}
+	newRes, err := parse(*newPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "reading candidate: %v\n", err)
+		return 2
+	}
+
+	names := make([]string, 0, len(newRes))
+	for name := range newRes {
+		if sel.MatchString(name) {
+			if _, ok := oldRes[name]; ok {
+				names = append(names, name)
+			}
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Fprintf(stderr, "no benchmarks matched %q in both files\n", *filter)
+		return 2
+	}
+
+	regressions := 0
+	check := func(name, metric string, old, new, thresh float64) {
+		marker := " "
+		if thresh >= 0 && old > 0 && new > old*(1+thresh) {
+			marker = "✗"
+			regressions++
+		} else if thresh < 0 {
+			marker = "·" // informational only
+		}
+		delta := 0.0
+		if old > 0 {
+			delta = (new - old) / old * 100
+		}
+		fmt.Fprintf(stdout, "%s %-44s %-10s %14.1f -> %12.1f  (%+.1f%%)\n",
+			marker, name, metric, old, new, delta)
+	}
+	for _, name := range names {
+		o, n := oldRes[name].avg(), newRes[name].avg()
+		check(name, "allocs/op", o.allocs, n.allocs, *allocThresh)
+		check(name, "ns/op", o.ns, n.ns, *nsThresh)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(stderr, "%d hot-path regression(s) beyond threshold\n", regressions)
+		return 1
+	}
+	fmt.Fprintf(stdout, "ok: %d benchmarks within thresholds\n", len(names))
+	return 0
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const oldBench = `goos: linux
+BenchmarkHotPath/merge-1         	  500000	      1200 ns/op	    1800 B/op	       1 allocs/op
+BenchmarkHotPath/receive-liked-1 	  100000	      2300 ns/op	    3400 B/op	       9 allocs/op
+BenchmarkOther/x-1               	  100000	       100 ns/op	       0 B/op	       0 allocs/op
+PASS
+`
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestBenchdiffPassesWithinThreshold(t *testing.T) {
+	dir := t.TempDir()
+	newBench := strings.ReplaceAll(oldBench, "2300 ns/op", "2400 ns/op") // +4%
+	oldP := write(t, dir, "old.txt", oldBench)
+	newP := write(t, dir, "new.txt", newBench)
+	var out, errOut strings.Builder
+	if code := run([]string{"-old", oldP, "-new", newP}, &out, &errOut); code != 0 {
+		t.Fatalf("exit=%d stderr=%q stdout=%q", code, errOut.String(), out.String())
+	}
+	if !strings.Contains(out.String(), "ok: 2 benchmarks") {
+		t.Fatalf("expected 2 compared benchmarks (filter must exclude BenchmarkOther):\n%s", out.String())
+	}
+}
+
+func TestBenchdiffFailsOnAllocRegression(t *testing.T) {
+	dir := t.TempDir()
+	newBench := strings.ReplaceAll(oldBench, "9 allocs/op", "20 allocs/op")
+	oldP := write(t, dir, "old.txt", oldBench)
+	newP := write(t, dir, "new.txt", newBench)
+	var out, errOut strings.Builder
+	if code := run([]string{"-old", oldP, "-new", newP}, &out, &errOut); code != 1 {
+		t.Fatalf("alloc regression must fail: exit=%d\n%s", code, out.String())
+	}
+	if !strings.Contains(errOut.String(), "regression") {
+		t.Fatalf("stderr=%q", errOut.String())
+	}
+}
+
+func TestBenchdiffNsComparisonCanBeDisabled(t *testing.T) {
+	dir := t.TempDir()
+	newBench := strings.ReplaceAll(oldBench, "2300 ns/op", "9900 ns/op") // 4.3×
+	oldP := write(t, dir, "old.txt", oldBench)
+	newP := write(t, dir, "new.txt", newBench)
+	var out, errOut strings.Builder
+	if code := run([]string{"-old", oldP, "-new", newP, "-ns-threshold", "-1"}, &out, &errOut); code != 0 {
+		t.Fatalf("disabled ns comparison must pass: exit=%d stderr=%q", code, errOut.String())
+	}
+	var out2, errOut2 strings.Builder
+	if code := run([]string{"-old", oldP, "-new", newP}, &out2, &errOut2); code != 1 {
+		t.Fatal("enabled ns comparison must fail on a 4× slowdown")
+	}
+}
+
+func TestBenchdiffStripsProcSuffix(t *testing.T) {
+	dir := t.TempDir()
+	newBench := strings.ReplaceAll(oldBench, "-1 ", "-8 ") // other host core count
+	oldP := write(t, dir, "old.txt", oldBench)
+	newP := write(t, dir, "new.txt", newBench)
+	var out, errOut strings.Builder
+	if code := run([]string{"-old", oldP, "-new", newP}, &out, &errOut); code != 0 {
+		t.Fatalf("GOMAXPROCS suffix must not break matching: exit=%d stderr=%q", code, errOut.String())
+	}
+}
+
+func TestBenchdiffRejectsMissingInputs(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{}, &out, &errOut); code != 2 {
+		t.Fatalf("missing inputs must exit 2, got %d", code)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"whatsup/internal/cluster"
 	"whatsup/internal/core"
 	"whatsup/internal/news"
+	"whatsup/internal/overlay"
 	"whatsup/internal/profile"
 	"whatsup/internal/rps"
 )
@@ -74,7 +75,7 @@ func (c *CF) BeginCycle(now int64) {
 
 // InjectRPSCandidates implements sim.Peer.
 func (c *CF) InjectRPSCandidates() {
-	c.knn.Merge(c.rps.View().Entries(), c.user)
+	c.knn.MergeFrom(c.rps.View(), c.user)
 }
 
 // Publish implements sim.Peer: the source likes its item and forwards it to
@@ -108,16 +109,16 @@ func (c *CF) Receive(msg core.ItemMessage, now int64) (core.Delivery, []core.Sen
 }
 
 func (c *CF) spread(item news.Item, hops int) []core.Send {
-	entries := c.knn.View().Entries()
-	if len(entries) == 0 {
+	view := c.knn.View()
+	if view.Len() == 0 {
 		return nil
 	}
-	sends := make([]core.Send, 0, len(entries))
-	for _, t := range entries {
+	sends := make([]core.Send, 0, view.Len())
+	view.ForEach(func(t overlay.Descriptor) {
 		sends = append(sends, core.Send{
 			To:  t.Node,
 			Msg: core.ItemMessage{Item: item, Hops: hops},
 		})
-	}
+	})
 	return sends
 }

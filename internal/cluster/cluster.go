@@ -25,11 +25,12 @@ import (
 
 // Protocol is the per-node clustering state machine.
 type Protocol struct {
-	self   news.NodeID
-	addr   string
-	metric profile.Metric
-	view   *overlay.View
-	rng    *rand.Rand
+	self    news.NodeID
+	addr    string
+	metric  profile.Metric
+	view    *overlay.View
+	rng     *rand.Rand
+	targets []overlay.Descriptor // scratch reused by RandomTargets
 }
 
 // New returns a clustering instance for node self with the given view size
@@ -75,8 +76,7 @@ func (p *Protocol) SelectPeer() (overlay.Descriptor, bool) {
 func (p *Protocol) MakePush(self overlay.Descriptor) []overlay.Descriptor {
 	push := make([]overlay.Descriptor, 0, p.view.Len()+1)
 	push = append(push, self)
-	push = append(push, p.view.Entries()...)
-	return push
+	return p.view.AppendEntries(push)
 }
 
 // AcceptPush handles an exchange request at the responder: it builds the
@@ -94,19 +94,31 @@ func (p *Protocol) AcceptReply(reply []overlay.Descriptor, own *profile.Profile)
 }
 
 // Merge folds candidate descriptors into the view, keeping the capacity
-// entries most similar to the node's own profile. Used both for gossip
-// replies and for the per-cycle injection of RPS candidates.
+// entries most similar to the node's own profile. Used for gossip pushes
+// and replies.
 func (p *Protocol) Merge(candidates []overlay.Descriptor, own *profile.Profile) {
 	p.view.InsertAll(candidates, p.self)
+	p.view.TrimBySimilarity(p.rng, p.metric, own)
+}
+
+// MergeFrom folds every entry of another view into this one — the per-cycle
+// injection of RPS candidates — without copying the source entries first.
+func (p *Protocol) MergeFrom(src *overlay.View, own *profile.Profile) {
+	p.view.InsertAllFrom(src, p.self)
 	p.view.TrimBySimilarity(p.rng, p.metric, own)
 }
 
 // RandomTargets returns up to fanout distinct random members of the view —
 // BEEP's amplification step for liked items picks targets randomly from the
 // WUP view rather than the closest ones, to avoid over-clustering
-// (Algorithm 2 line 31).
+// (Algorithm 2 line 31). The returned slice is scratch owned by the
+// protocol: it is only valid until the next RandomTargets call.
 func (p *Protocol) RandomTargets(fanout int) []overlay.Descriptor {
-	return p.view.RandomSample(p.rng, fanout)
+	if fanout > p.view.Len() {
+		fanout = p.view.Len()
+	}
+	p.targets = p.view.AppendRandomSample(p.targets[:0], p.rng, fanout)
+	return p.targets
 }
 
 // AverageSimilarity reports the mean similarity between the given profile
@@ -116,9 +128,9 @@ func (p *Protocol) AverageSimilarity(own *profile.Profile) float64 {
 		return 0
 	}
 	var sum float64
-	for _, d := range p.view.Entries() {
+	p.view.ForEach(func(d overlay.Descriptor) {
 		sum += p.metric.Similarity(own, d.Profile)
-	}
+	})
 	return sum / float64(p.view.Len())
 }
 

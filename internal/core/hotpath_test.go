@@ -1,0 +1,77 @@
+package core
+
+// Hot-path regression test for the zero-allocation gossip work: the
+// copy-on-write item-profile plumbing must be observationally identical to
+// deep copies (paper II-B divergence). The companion allocation pin for the
+// receive-liked path lives in internal/experiments/hotpath_test.go, next to
+// the shared benchmark fixture it pins.
+
+import (
+	"math/rand"
+	"testing"
+
+	"whatsup/internal/news"
+	"whatsup/internal/overlay"
+	"whatsup/internal/profile"
+)
+
+// steadyStateNode builds a node in a warmed-up steady state: a windowed user
+// profile, seeded views and an advancing clock.
+func steadyStateNode(fLike int) (*Node, *profile.Profile) {
+	n := testNode(1, likeAll(), Config{FLike: fLike, ProfileWindow: 60})
+	descs := make([]overlay.Descriptor, 0, 16)
+	for i := news.NodeID(2); i < 18; i++ {
+		descs = append(descs, descFor(i, 0, news.ID(i), news.ID(i+1)))
+	}
+	n.SeedViews(descs)
+	for i := 0; i < 40; i++ {
+		n.UserProfile().Set(news.ID(2000+i), int64(i), float64(i%2))
+	}
+	tmpl := profile.New()
+	for i := 0; i < 25; i++ {
+		tmpl.Set(news.ID(1990+i), int64(30+i%10), 1)
+	}
+	return n, tmpl
+}
+
+func TestForwardCOWCopiesDivergeLikeDeepCopies(t *testing.T) {
+	// End-to-end COW divergence: deliver one item to a chain of nodes whose
+	// per-path profile copies are mutated independently, and check each copy
+	// against a deep-copied reference computed with the legacy semantics.
+	rng := rand.New(rand.NewSource(3))
+	n, tmpl := steadyStateNode(4)
+	for trial := 0; trial < 50; trial++ {
+		it := news.Item{ID: news.ID(5000 + trial), Title: "t", Created: 60}
+		_, sends := n.Receive(ItemMessage{Item: it, Profile: tmpl.Clone(), Hops: 1}, 60)
+		if len(sends) == 0 {
+			t.Fatal("liked receive must forward")
+		}
+		// Reference: deep copies of each outgoing profile.
+		refs := make([]*profile.Profile, len(sends))
+		for i, s := range sends {
+			r := profile.New()
+			s.Msg.Profile.ForEach(func(e profile.Entry) { r.Set(e.Item, e.Stamp, e.Score) })
+			refs[i] = r
+		}
+		// Mutate every copy differently, as downstream receivers would.
+		for i, s := range sends {
+			for k := 0; k < 5; k++ {
+				id := news.ID(rng.Int63n(100))
+				stamp := rng.Int63n(100)
+				score := rng.Float64()
+				s.Msg.Profile.AverageIn(id, stamp, score)
+				refs[i].AverageIn(id, stamp, score)
+				if rng.Intn(3) == 0 {
+					cut := rng.Int63n(40)
+					s.Msg.Profile.PurgeOlderThan(cut)
+					refs[i].PurgeOlderThan(cut)
+				}
+			}
+		}
+		for i, s := range sends {
+			if !s.Msg.Profile.Equal(refs[i]) {
+				t.Fatalf("trial %d send %d: COW copy diverged from deep-copy semantics", trial, i)
+			}
+		}
+	}
+}

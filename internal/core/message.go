@@ -19,9 +19,13 @@ type ItemMessage struct {
 	ViaDislike bool
 }
 
-// WireSize approximates the on-wire size of the message for bandwidth
-// accounting (Figure 8b): item content plus the item profile entries. The
-// item id itself is not transmitted (II-A).
+// WireSize reports the on-wire size of the message for bandwidth
+// accounting (Figure 8b). The item-profile part is the exact packed-codec
+// byte count (profile.WireSize); the item part is news.Item.WireSize's
+// content approximation, which slightly over-counts the fixed fields and
+// omits the varint framing — the live codec (AppendWire) is the source of
+// truth for exact frame lengths. The item id itself is not transmitted
+// (II-A).
 func (m ItemMessage) WireSize() int {
 	size := m.Item.WireSize()
 	if m.Profile != nil {

@@ -80,7 +80,7 @@ func (n *Node) BeginCycle(now int64) {
 // (Section II: the clustering protocol "uses this overlay to provide nodes
 // with the most similar candidates").
 func (n *Node) InjectRPSCandidates() {
-	n.wup.Merge(n.rps.View().Entries(), n.user)
+	n.wup.MergeFrom(n.rps.View(), n.user)
 }
 
 // ColdStart implements the joining procedure of Section II-D: the node
@@ -104,10 +104,10 @@ func (n *Node) Publish(item news.Item, now int64) []Send {
 	}
 	n.seen[item.ID] = struct{}{}
 	n.user.Set(item.ID, item.Created, 1) // line 14: add <idI, tI, 1> to P̃
+	// Lines 15-16: the fresh item profile is the user profile folded into an
+	// empty one — a copy-on-write share, no per-entry work.
 	itemProfile := profile.New()
-	n.user.ForEach(func(e profile.Entry) { // lines 15-16
-		itemProfile.AverageIn(e.Item, e.Stamp, e.Score)
-	})
+	itemProfile.MergeAverage(n.user)
 	msg := ItemMessage{Item: item, Profile: itemProfile, Dislikes: 0, Hops: 0}
 	return n.forward(msg, true, now)
 }
@@ -133,10 +133,9 @@ func (n *Node) Receive(msg ItemMessage, now int64) (Delivery, []Send) {
 	d.Liked = liked
 	if liked {
 		// Lines 3-4: aggregate the user profile as it was *before* rating
-		// this item into the item profile, then line 5: record the like.
-		n.user.ForEach(func(e profile.Entry) {
-			msg.Profile.AverageIn(e.Item, e.Stamp, e.Score)
-		})
+		// this item into the item profile (one sorted merge), then line 5:
+		// record the like.
+		msg.Profile.MergeAverage(n.user)
 		n.user.Set(msg.Item.ID, msg.Item.Created, 1)
 	} else {
 		// Line 7: record the dislike; the item profile is left untouched.

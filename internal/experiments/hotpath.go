@@ -1,0 +1,265 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+
+	"whatsup/internal/core"
+	"whatsup/internal/metrics"
+	"whatsup/internal/news"
+	"whatsup/internal/overlay"
+	"whatsup/internal/profile"
+	"whatsup/internal/sim"
+)
+
+// The hot-path benchmark family measures the per-event costs the rest of
+// the system is built on (PR 3's zero-allocation work): the single-pass
+// profile merge, copy-on-write clone+diverge, the versioned similarity
+// cache, the full BEEP receive-liked path, and one complete gossip cycle at
+// deployment-times-20 scale. The same scenario closures back both
+// `go test -bench BenchmarkHotPath` and `whatsup-bench -run hotpath`, which
+// serializes the measurements into BENCH_hotpath.json — the recorded perf
+// trajectory the CI benchdiff gate compares against.
+
+// HotPathConfig sizes the scenarios.
+type HotPathConfig struct {
+	// CyclePeers is the population of the full-cycle scenario (default 5000).
+	CyclePeers int
+	// CycleItems is how many items are published per cycle in the full-cycle
+	// scenario (default 6; cycles beyond the pre-generated schedule of 2000
+	// gossip without BEEP traffic).
+	CycleItems int
+	// EngineWorkers is the engine pool for the full-cycle scenario
+	// (0 = serial, matching the per-point default of the experiment sweeps).
+	EngineWorkers int
+}
+
+func (c HotPathConfig) withDefaults() HotPathConfig {
+	if c.CyclePeers <= 0 {
+		c.CyclePeers = 5000
+	}
+	if c.CycleItems <= 0 {
+		c.CycleItems = 6
+	}
+	return c
+}
+
+// NamedBench is one hot-path scenario.
+type NamedBench struct {
+	Name  string
+	Bench func(b *testing.B)
+}
+
+// hotPathReceiver builds a steady-state node for the receive scenarios: a
+// windowed user profile, seeded views, and a template item profile.
+func hotPathReceiver(fLike int) (*core.Node, *profile.Profile) {
+	likeAll := core.OpinionFunc(func(news.NodeID, news.ID) bool { return true })
+	n := core.NewNode(1, "", core.Config{FLike: fLike, ProfileWindow: 60},
+		likeAll, rand.New(rand.NewSource(7)))
+	descs := make([]overlay.Descriptor, 0, 16)
+	for i := news.NodeID(2); i < 18; i++ {
+		p := profile.New()
+		p.Set(news.ID(i), 0, 1)
+		p.Set(news.ID(i+1), 0, 1)
+		descs = append(descs, overlay.Descriptor{Node: i, Stamp: 0, Profile: p})
+	}
+	n.SeedViews(descs)
+	for i := 0; i < 40; i++ {
+		n.UserProfile().Set(news.ID(2000+i), int64(i), float64(i%2))
+	}
+	tmpl := profile.New()
+	for i := 0; i < 25; i++ {
+		tmpl.Set(news.ID(1990+i), int64(30+i%10), 1)
+	}
+	return n, tmpl
+}
+
+// hotPathProfiles builds the profile pair of the merge/clone scenarios.
+func hotPathProfiles() (item, user *profile.Profile) {
+	item = profile.New()
+	for i := 0; i < 25; i++ {
+		item.Set(news.ID(10+2*i), int64(i), 1)
+	}
+	user = profile.New()
+	for i := 0; i < 40; i++ {
+		user.Set(news.ID(3*i), int64(i), float64(i%2))
+	}
+	return item, user
+}
+
+// hotPathView builds the candidate set of the similarity scenarios: a view
+// plus twice-capacity candidates of 20-entry profiles.
+func hotPathView() (v *overlay.View, descs []overlay.Descriptor, self *profile.Profile) {
+	rng := rand.New(rand.NewSource(9))
+	self = profile.New()
+	for i := 0; i < 20; i++ {
+		self.Set(news.ID(rng.Int63n(200)), 0, float64(rng.Intn(2)))
+	}
+	v = overlay.NewView(10)
+	descs = make([]overlay.Descriptor, 0, 20)
+	for i := news.NodeID(0); i < 20; i++ {
+		p := profile.New()
+		for j := 0; j < 20; j++ {
+			p.Set(news.ID(rng.Int63n(200)), 0, float64(rng.Intn(2)))
+		}
+		descs = append(descs, overlay.Descriptor{Node: i, Stamp: int64(i % 4), Profile: p})
+	}
+	return v, descs, self
+}
+
+// hotPathWorld builds the full-cycle scenario world.
+func hotPathWorld(cfg HotPathConfig) *sim.Engine {
+	const scheduledCycles = 2000
+	opinions := core.OpinionFunc(func(node news.NodeID, item news.ID) bool {
+		return int(node)%4 == int(item)%4
+	})
+	nodeCfg := core.Config{FLike: 6, RPSViewSize: 20}
+	peers := make([]sim.Peer, cfg.CyclePeers)
+	for i := 0; i < cfg.CyclePeers; i++ {
+		peers[i] = core.NewNode(news.NodeID(i), "", nodeCfg, opinions,
+			rand.New(rand.NewSource(1000+int64(i))))
+	}
+	col := metrics.NewCollector()
+	pubs := make([]sim.Publication, 0, scheduledCycles*cfg.CycleItems)
+	for c := 1; c <= scheduledCycles; c++ {
+		for k := 0; k < cfg.CycleItems; k++ {
+			src := news.NodeID((c*cfg.CycleItems + k) % cfg.CyclePeers)
+			it := news.New(fmt.Sprintf("hp-%d-%d", c, k), "d", "l", int64(c), src)
+			it.ID = news.ID(c*cfg.CycleItems + k)
+			pubs = append(pubs, sim.Publication{Cycle: int64(c), Source: src, Item: it})
+			col.RegisterItem(it.ID, cfg.CyclePeers/4)
+		}
+	}
+	for i := 0; i < cfg.CyclePeers; i++ {
+		col.RegisterNode(news.NodeID(i), scheduledCycles*cfg.CycleItems/4)
+	}
+	e := sim.New(sim.Config{
+		Seed: 1, Cycles: scheduledCycles, Workers: cfg.EngineWorkers,
+		BootstrapDegree: 5, Publications: pubs,
+	}, peers, col)
+	e.Bootstrap()
+	return e
+}
+
+// HotPathBenchmarks returns the scenario list. The full-cycle world is built
+// lazily on first use and then stepped, so repeated timer runs measure
+// successive steady-state cycles.
+func HotPathBenchmarks(cfg HotPathConfig) []NamedBench {
+	cfg = cfg.withDefaults()
+	var engine *sim.Engine
+	return []NamedBench{
+		{Name: "merge", Bench: func(b *testing.B) {
+			item, user := hotPathProfiles()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p := item.Clone()
+				p.MergeAverage(user)
+			}
+		}},
+		{Name: "clone-diverge", Bench: func(b *testing.B) {
+			item, _ := hotPathProfiles()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c := item.Clone()
+				c.Set(news.ID(i), 1, 1)
+			}
+		}},
+		{Name: "similarity-uncached", Bench: func(b *testing.B) {
+			v, descs, self := hotPathView()
+			rng := rand.New(rand.NewSource(2))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				self.Set(news.ID(500+i%3), int64(i), 1) // version bump: cold cache
+				v.InsertAll(descs, 99)
+				v.TrimBySimilarity(rng, profile.WUP{}, self)
+			}
+		}},
+		{Name: "similarity-cached", Bench: func(b *testing.B) {
+			v, descs, self := hotPathView()
+			rng := rand.New(rand.NewSource(2))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				v.InsertAll(descs, 99)
+				v.TrimBySimilarity(rng, profile.WUP{}, self)
+			}
+		}},
+		{Name: "receive-liked", Bench: func(b *testing.B) {
+			n, tmpl := hotPathReceiver(6)
+			now := int64(60)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				now++
+				n.BeginCycle(now)
+				it := news.Item{ID: news.ID(1<<20 + i), Title: "t", Created: now}
+				n.Receive(core.ItemMessage{Item: it, Profile: tmpl.Clone(), Hops: 1}, now)
+			}
+		}},
+		{Name: fmt.Sprintf("cycle-%dpeers", cfg.CyclePeers), Bench: func(b *testing.B) {
+			if engine == nil {
+				engine = hotPathWorld(cfg)
+				engine.Step() // warm caches and scratch before measuring
+				b.ResetTimer()
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				engine.Step()
+			}
+		}},
+	}
+}
+
+// HotPathScenario is one measured scenario of the recorded trajectory.
+type HotPathScenario struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// HotPathResult is one BENCH_hotpath.json trajectory entry.
+type HotPathResult struct {
+	Label      string            `json:"label,omitempty"`
+	GoVersion  string            `json:"go"`
+	MaxProcs   int               `json:"maxprocs"`
+	CyclePeers int               `json:"cycle_peers"`
+	Scenarios  []HotPathScenario `json:"scenarios"`
+}
+
+// HotPath measures every scenario with the testing harness and returns the
+// trajectory entry. Wall-clock numbers are machine-dependent; allocs/op is
+// the portable signal the CI gate pins.
+func HotPath(cfg HotPathConfig) HotPathResult {
+	cfg = cfg.withDefaults()
+	r := HotPathResult{
+		GoVersion:  runtime.Version(),
+		MaxProcs:   runtime.GOMAXPROCS(0),
+		CyclePeers: cfg.CyclePeers,
+	}
+	for _, nb := range HotPathBenchmarks(cfg) {
+		br := testing.Benchmark(nb.Bench)
+		r.Scenarios = append(r.Scenarios, HotPathScenario{
+			Name:        nb.Name,
+			NsPerOp:     float64(br.T.Nanoseconds()) / float64(br.N),
+			AllocsPerOp: br.AllocsPerOp(),
+			BytesPerOp:  br.AllocedBytesPerOp(),
+			Iterations:  br.N,
+		})
+	}
+	return r
+}
+
+// String renders the scenarios in `go test -bench` style.
+func (r HotPathResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Hot-path microbenchmarks (%s, GOMAXPROCS=%d):\n", r.GoVersion, r.MaxProcs)
+	for _, s := range r.Scenarios {
+		fmt.Fprintf(&b, "  %-24s %12.1f ns/op %8d B/op %6d allocs/op  (n=%d)\n",
+			s.Name, s.NsPerOp, s.BytesPerOp, s.AllocsPerOp, s.Iterations)
+	}
+	b.WriteString("  (serialized to the BENCH_hotpath.json trajectory by whatsup-bench -run hotpath)")
+	return b.String()
+}

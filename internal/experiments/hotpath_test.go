@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"testing"
+
+	"whatsup/internal/core"
+	"whatsup/internal/news"
+)
+
+// maxReceiveLikedAllocs pins the per-receive allocation budget of the liked
+// BEEP path (copy-on-write clone of the incoming item profile, one
+// MergeAverage slice, the sends slice, fLIKE−1 COW clone structs, amortized
+// map/profile growth). The pre-COW implementation measured ~20 allocs/op on
+// this exact workload shape (entry-at-a-time AverageIn, deep clones,
+// rng.Perm targets); the acceptance criterion is a ≥2× reduction, so the
+// pin leaves headroom above the ~8 measured today without letting the old
+// cost back in. The test lives next to hotPathReceiver so the pinned
+// workload is the same scenario the BenchmarkHotPath/receive-liked CI gate
+// measures — the two cannot drift apart.
+const maxReceiveLikedAllocs = 10
+
+func TestReceiveLikedAllocsPinned(t *testing.T) {
+	n, tmpl := hotPathReceiver(6)
+	next := int64(1 << 20)
+	now := int64(60)
+	receiveOne := func() {
+		next++
+		now++
+		n.BeginCycle(now)
+		it := news.Item{ID: news.ID(next), Title: "t", Created: now}
+		n.Receive(core.ItemMessage{Item: it, Profile: tmpl.Clone(), Hops: 1}, now)
+	}
+	// Warm the scratch buffers (target sample, merge capacity) before
+	// measuring, as a long-running node would be.
+	for i := 0; i < 50; i++ {
+		receiveOne()
+	}
+	avg := testing.AllocsPerRun(300, receiveOne)
+	if avg > maxReceiveLikedAllocs {
+		t.Fatalf("receive-liked path allocates %.1f/op, budget %d", avg, maxReceiveLikedAllocs)
+	}
+}

@@ -207,11 +207,190 @@ func TestViewPropertyInvariant(t *testing.T) {
 	}
 }
 
-func TestWireSize(t *testing.T) {
-	d := desc(1, 1, 1, 2, 3)
-	if d.WireSize() <= 20 {
-		t.Fatalf("descriptor wire size too small: %d", d.WireSize())
+// countingMetric wraps a metric and counts Similarity evaluations, to make
+// cache hits and invalidations observable.
+type countingMetric struct {
+	inner profile.Metric
+	calls int
+}
+
+func (c *countingMetric) Name() string { return c.inner.Name() }
+func (c *countingMetric) Similarity(n, p *profile.Profile) float64 {
+	c.calls++
+	return c.inner.Similarity(n, p)
+}
+
+func TestSimilarityCacheSkipsRescoring(t *testing.T) {
+	m := &countingMetric{inner: profile.WUP{}}
+	self := profile.New()
+	self.Set(1, 0, 1)
+	self.Set(2, 0, 1)
+	descs := make([]Descriptor, 0, 6)
+	for i := news.NodeID(10); i < 16; i++ {
+		descs = append(descs, desc(i, 0, 1, news.ID(i)))
 	}
+	v := NewView(3)
+	v.InsertAll(descs, 0)
+	rng := rand.New(rand.NewSource(4))
+	v.TrimBySimilarity(rng, m, self)
+	if m.calls == 0 {
+		t.Fatal("first trim must score candidates")
+	}
+	// Same self version, same descriptor snapshots: every score must come
+	// from the cache.
+	v.InsertAll(descs, 0)
+	m.calls = 0
+	v.TrimBySimilarity(rng, m, self)
+	if m.calls != 0 {
+		t.Fatalf("unchanged (self, descriptor) pairs re-scored %d times", m.calls)
+	}
+	// MostSimilar against the cached self must hit the cache too.
+	m.calls = 0
+	if _, ok := v.MostSimilar(m, self); !ok {
+		t.Fatal("view not empty")
+	}
+	if m.calls != 0 {
+		t.Fatalf("MostSimilar re-scored %d cached pairs", m.calls)
+	}
+	// Mutating self bumps its version and must invalidate every score.
+	self.Set(3, 1, 1)
+	v.InsertAll(descs, 0)
+	m.calls = 0
+	v.TrimBySimilarity(rng, m, self)
+	if m.calls == 0 {
+		t.Fatal("self mutation must invalidate the cache")
+	}
+}
+
+func TestSimilarityCacheTransientTargetsBypass(t *testing.T) {
+	// Per-item profiles (BEEP dislike orientation) are transient targets:
+	// they are computed directly and must not evict the cached self scores.
+	m := &countingMetric{inner: profile.WUP{}}
+	self := profile.New()
+	self.Set(1, 0, 1)
+	descs := make([]Descriptor, 0, 4)
+	for i := news.NodeID(10); i < 14; i++ {
+		descs = append(descs, desc(i, 0, 1))
+	}
+	v := NewView(2)
+	v.InsertAll(descs, 0)
+	rng := rand.New(rand.NewSource(5))
+	v.TrimBySimilarity(rng, m, self) // scores and caches all 4 candidates
+	itemProfile := profile.New()
+	itemProfile.Set(1, 0, 1)
+	v.MostSimilar(m, itemProfile) // transient target: direct compute
+	v.InsertAll(descs, 0)
+	m.calls = 0
+	v.TrimBySimilarity(rng, m, self)
+	if m.calls != 0 {
+		t.Fatalf("transient target evicted cached self scores: %d rescores", m.calls)
+	}
+}
+
+func TestSimilarityCacheBitIdenticalScores(t *testing.T) {
+	// Every cached score must be the exact float a direct metric evaluation
+	// produces — the invariant that makes the cache invisible to simulation
+	// results. Exercised white-box over random views and targets.
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		self := profile.New()
+		for i := 0; i < 8; i++ {
+			self.Set(news.ID(rng.Int63n(30)), 0, float64(rng.Intn(2)))
+		}
+		v := NewView(4)
+		for i := 0; i < 12; i++ {
+			p := profile.New()
+			for j := 0; j < 6; j++ {
+				p.Set(news.ID(rng.Int63n(30)), 0, float64(rng.Intn(2)))
+			}
+			v.Insert(Descriptor{Node: news.NodeID(i), Stamp: int64(i % 3), Profile: p})
+		}
+		v.TrimBySimilarity(rng, profile.WUP{}, self) // keys and fills the cache
+		for _, d := range v.entries {
+			cached := v.cache.lookup(profile.WUP{}, self, d)
+			direct := profile.WUP{}.Similarity(self, d.Profile)
+			if cached != direct {
+				t.Fatalf("seed %d node %d: cached %v != direct %v", seed, d.Node, cached, direct)
+			}
+		}
+		// The cached MostSimilar must agree with a cache-free clone.
+		a, okA := v.MostSimilar(profile.WUP{}, self)
+		b, okB := v.Clone().MostSimilar(profile.WUP{}, self)
+		if okA != okB || a.Node != b.Node {
+			t.Fatalf("seed %d: cached MostSimilar %v, direct %v", seed, a.Node, b.Node)
+		}
+	}
+}
+
+func TestAppendRandomSampleMatchesPermDraws(t *testing.T) {
+	// AppendRandomSample must reproduce rng.Perm's draw sequence exactly:
+	// same sample as the historical implementation, same rng state after.
+	v := NewView(20)
+	for i := news.NodeID(0); i < 10; i++ {
+		v.Insert(desc(i, 0))
+	}
+	for seed := int64(0); seed < 30; seed++ {
+		a := rand.New(rand.NewSource(seed))
+		b := rand.New(rand.NewSource(seed))
+		n := int(seed % 11)
+		got := v.AppendRandomSample(nil, a, n)
+		var want []Descriptor
+		es := v.Entries()
+		if n >= len(es) {
+			want = es
+		} else {
+			for _, i := range b.Perm(len(es))[:n] {
+				want = append(want, es[i])
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: len %d want %d", seed, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Node != want[i].Node {
+				t.Fatalf("seed %d: sample[%d]=%d want %d", seed, i, got[i].Node, want[i].Node)
+			}
+		}
+		if a.Int63() != b.Int63() {
+			t.Fatalf("seed %d: rng consumption diverged from rand.Perm", seed)
+		}
+	}
+}
+
+func TestForEachAndAppendEntriesMatchEntries(t *testing.T) {
+	v := NewView(10)
+	for i := news.NodeID(0); i < 7; i++ {
+		v.Insert(desc(i, int64(i)))
+	}
+	want := v.Entries()
+	var got []Descriptor
+	v.ForEach(func(d Descriptor) { got = append(got, d) })
+	appended := v.AppendEntries([]Descriptor{desc(99, 0)})
+	if len(got) != len(want) || len(appended) != len(want)+1 {
+		t.Fatalf("iteration lengths wrong: %d/%d/%d", len(got), len(want), len(appended))
+	}
+	for i := range want {
+		if got[i].Node != want[i].Node || appended[i+1].Node != want[i].Node {
+			t.Fatal("iteration order must match Entries")
+		}
+	}
+}
+
+func TestWireSize(t *testing.T) {
+	// WireSize is exact: it must equal the length of the live codec's
+	// encoding, so simulation bandwidth accounting (Figure 8b) and the wire
+	// share one source of truth.
+	for _, d := range []Descriptor{
+		desc(1, 1, 1, 2, 3),
+		desc(2, 0),
+		{Node: 7, Addr: "10.0.0.1:4000", Stamp: 123456789, Profile: desc(7, 3, 9, 1000000).Profile},
+		{Node: 3, Stamp: -1},
+	} {
+		if got, want := d.WireSize(), len(AppendDescriptor(nil, d)); got != want {
+			t.Fatalf("WireSize=%d but encoded length=%d for %+v", got, want, d)
+		}
+	}
+	d := desc(1, 1, 1, 2, 3)
 	v := NewView(5)
 	v.Insert(d)
 	v.Insert(desc(2, 1))

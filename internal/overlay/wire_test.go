@@ -89,11 +89,11 @@ func TestDecodeDescriptorRejectsBadNode(t *testing.T) {
 }
 
 func TestDescriptorWireIsCompact(t *testing.T) {
-	// The packed descriptor must not exceed the fixed-width estimate that
-	// WireSize reports for simulation accounting (same fields, varints).
+	// WireSize reports exactly the packed encoding's length: simulation
+	// accounting and the live codec share one source of truth.
 	d := wireDesc(3, 10)
-	if got, est := len(AppendDescriptor(nil, d)), d.WireSize(); got > est {
-		t.Fatalf("packed descriptor %dB exceeds fixed estimate %dB", got, est)
+	if got, est := len(AppendDescriptor(nil, d)), d.WireSize(); got != est {
+		t.Fatalf("packed descriptor %dB but WireSize reports %dB", got, est)
 	}
 	if !reflect.DeepEqual(AppendDescriptor(nil, d), AppendDescriptor(nil, d)) {
 		t.Fatal("encoding must be deterministic")

@@ -55,8 +55,14 @@ func (p *Profile) UnmarshalBinary(data []byte) error {
 	if len(data) < 4+n*wireEntrySize {
 		return fmt.Errorf("%w: want %d entries, have %d bytes", ErrTruncated, n, len(data)-4)
 	}
+	p.version++ // content replaced even when n == 0
+	if p.shared.Load() {
+		p.entries = nil // abandon the COW-shared array instead of copying it
+		p.shared.Store(false)
+	}
 	p.entries = p.entries[:0]
 	p.sumSq = 0
+	p.dirty = 0
 	off := 4
 	for i := 0; i < n; i++ {
 		id := news.ID(binary.BigEndian.Uint64(data[off:]))
@@ -91,6 +97,25 @@ func (p *Profile) AppendWire(buf []byte) []byte {
 		buf = wire.AppendScore(buf, e.Score)
 	}
 	return buf
+}
+
+// WireSize returns the exact number of bytes AppendWire produces for the
+// profile — the Figure 8b bandwidth accounting and the live transports share
+// the packed codec as their single source of truth. It walks the entries
+// without encoding, so simulation hot paths pay no allocation for it.
+func (p *Profile) WireSize() int {
+	size := wire.UintLen(uint64(len(p.entries)))
+	prev := uint64(0)
+	for i, e := range p.entries {
+		id := uint64(e.Item)
+		delta := id
+		if i > 0 {
+			delta = id - prev // entries are sorted: delta ≥ 1
+		}
+		prev = id
+		size += wire.UintLen(delta) + wire.IntLen(e.Stamp) + wire.ScoreLen(e.Score)
+	}
+	return size
 }
 
 // DecodeWire decodes one packed profile from the front of data, returning

@@ -6,10 +6,14 @@
 // item profiles hold real scores obtained by averaging the user profiles of
 // the nodes that liked the item along its dissemination path.
 //
-// Profiles are stored as slices sorted by item id. This makes the two hot
-// operations of the system cheap: cloning an item profile on every BEEP
-// forward is a single allocation plus memcpy, and similarity computations
-// are two-pointer merges over contiguous memory.
+// Profiles are stored as slices sorted by item id and are copy-on-write:
+// Clone shares the immutable entry slice and the first mutation of either
+// side materializes a private copy. This makes the two hot operations of the
+// system nearly free: cloning an item profile on every BEEP forward is a
+// pointer-sized struct allocation, and folding a user profile into an item
+// profile is a single-pass two-pointer merge (MergeAverage). Every mutation
+// bumps a monotonic version counter, which the overlay layer uses to key its
+// similarity cache.
 package profile
 
 import (
@@ -17,6 +21,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"whatsup/internal/news"
 )
@@ -30,9 +35,18 @@ type Entry struct {
 
 // Profile is a set of entries with at most one entry per item identifier,
 // kept sorted by item id. The zero value is not ready to use; call New.
+//
+// Profiles are not goroutine-safe for mutation; engines serialize access per
+// owner. Clone, however, may be called concurrently with other Clones and
+// reads of the same profile (the shared flag is the only state it touches,
+// atomically), which is what lets the parallel simulator snapshot profiles
+// of idle peers during bootstrap.
 type Profile struct {
 	entries []Entry // sorted by Item
 	sumSq   float64 // cached Σ score², so Norm is O(1)
+	version uint64  // bumped on every content mutation (similarity-cache key)
+	dirty   int     // subtractive float ops since the last exact sumSq recompute
+	shared  atomic.Bool
 }
 
 // New returns an empty profile.
@@ -47,6 +61,23 @@ func WithCapacity(n int) *Profile {
 
 // Len reports the number of entries.
 func (p *Profile) Len() int { return len(p.entries) }
+
+// Version returns the profile's monotonic mutation counter. Two reads
+// returning the same value bracket a span with identical content, which is
+// what makes (profile pointer, version) a sound similarity-cache key.
+func (p *Profile) Version() uint64 { return p.version }
+
+// materialize gives the profile a private copy of its entries if the backing
+// array is shared with copy-on-write clones. extra reserves room for inserts.
+func (p *Profile) materialize(extra int) {
+	if !p.shared.Load() {
+		return
+	}
+	es := make([]Entry, len(p.entries), len(p.entries)+extra)
+	copy(es, p.entries)
+	p.entries = es
+	p.shared.Store(false)
+}
 
 // search returns the position of id in the sorted entries and whether it is
 // present.
@@ -72,13 +103,16 @@ func (p *Profile) Has(id news.ID) bool {
 // Set inserts or replaces the entry for an item (user-profile update,
 // Algorithm 1 lines 5, 7 and 14).
 func (p *Profile) Set(id news.ID, stamp int64, score float64) {
+	p.version++
 	i, ok := p.search(id)
 	if ok {
+		p.materialize(0)
 		old := p.entries[i].Score
 		p.sumSq += score*score - old*old
 		p.entries[i] = Entry{Item: id, Stamp: stamp, Score: score}
 		return
 	}
+	p.materialize(1)
 	p.entries = append(p.entries, Entry{})
 	copy(p.entries[i+1:], p.entries[i:])
 	p.entries[i] = Entry{Item: id, Stamp: stamp, Score: score}
@@ -89,42 +123,129 @@ func (p *Profile) Set(id news.ID, stamp int64, score float64) {
 // if the item profile already has a score s for the id, s becomes the average
 // (s+score)/2, giving equal weight to both and personalising the item profile
 // to the most recent liker; otherwise the tuple is inserted as is
-// (addToNewsProfile, Algorithm 1 lines 18-22).
+// (addToNewsProfile, Algorithm 1 lines 18-22). The entry keeps the freshest
+// of the two timestamps, so reinforcing an item never makes it look older to
+// the profile window (II-E).
 func (p *Profile) AverageIn(id news.ID, stamp int64, score float64) {
+	p.version++
 	i, ok := p.search(id)
 	if ok {
+		p.materialize(0)
 		old := p.entries[i].Score
 		avg := (old + score) / 2
 		p.sumSq += avg*avg - old*old
 		p.entries[i].Score = avg
+		if stamp > p.entries[i].Stamp {
+			p.entries[i].Stamp = stamp
+		}
 		return
 	}
+	p.materialize(1)
 	p.entries = append(p.entries, Entry{})
 	copy(p.entries[i+1:], p.entries[i:])
 	p.entries[i] = Entry{Item: id, Stamp: stamp, Score: score}
 	p.sumSq += score * score
 }
 
-// Remove deletes the entry for an item, if present.
-func (p *Profile) Remove(id news.ID) {
-	if i, ok := p.search(id); ok {
-		old := p.entries[i].Score
-		p.sumSq -= old * old
-		p.entries = append(p.entries[:i], p.entries[i+1:]...)
-		if len(p.entries) == 0 {
-			p.sumSq = 0
+// MergeAverage folds every entry of other into p with AverageIn semantics —
+// matching ids average their scores and keep the freshest stamp, missing ids
+// are inserted verbatim — as a single O(|p|+|other|) sorted merge with at
+// most one allocation. It replaces the entry-at-a-time loops on BEEP's
+// publish and receive paths (Algorithm 1 lines 3-4 and 15-16).
+//
+// The incremental sumSq updates are applied in ascending id order of other's
+// entries, the exact float-op sequence of the AverageIn loop it replaces, so
+// the cached norm is bit-identical to the legacy path.
+func (p *Profile) MergeAverage(other *Profile) {
+	if other == nil || len(other.entries) == 0 {
+		return
+	}
+	p.version++
+	if len(p.entries) == 0 {
+		// Merging into an empty profile copies other verbatim: share its
+		// entries copy-on-write and rebuild sumSq in ascending order (the
+		// canonical insert sequence), touching no heap.
+		other.shared.Store(true)
+		p.shared.Store(true)
+		p.entries = other.entries
+		var sumSq float64
+		for _, e := range other.entries {
+			sumSq += e.Score * e.Score
+		}
+		p.sumSq = sumSq
+		p.dirty = 0
+		return
+	}
+	merged := make([]Entry, 0, len(p.entries)+len(other.entries))
+	i, j := 0, 0
+	for i < len(p.entries) && j < len(other.entries) {
+		a, b := p.entries[i], other.entries[j]
+		switch {
+		case a.Item < b.Item:
+			merged = append(merged, a)
+			i++
+		case a.Item > b.Item:
+			p.sumSq += b.Score * b.Score
+			merged = append(merged, b)
+			j++
+		default:
+			avg := (a.Score + b.Score) / 2
+			p.sumSq += avg*avg - a.Score*a.Score
+			if b.Stamp > a.Stamp {
+				a.Stamp = b.Stamp
+			}
+			a.Score = avg
+			merged = append(merged, a)
+			i++
+			j++
 		}
 	}
+	merged = append(merged, p.entries[i:]...)
+	for ; j < len(other.entries); j++ {
+		b := other.entries[j]
+		p.sumSq += b.Score * b.Score
+		merged = append(merged, b)
+	}
+	p.entries = merged
+	p.shared.Store(false)
+}
+
+// Remove deletes the entry for an item, if present.
+func (p *Profile) Remove(id news.ID) {
+	i, ok := p.search(id)
+	if !ok {
+		return
+	}
+	p.version++
+	p.materialize(0)
+	old := p.entries[i].Score
+	p.sumSq -= old * old
+	p.entries = append(p.entries[:i], p.entries[i+1:]...)
+	p.noteSubtraction(1)
 }
 
 // PurgeOlderThan removes all entries whose timestamp is strictly older than
 // minStamp and reports how many were dropped. This implements the profile
 // window (II-E): the system only considers current interests, and inactive
-// users decay back to empty profiles.
+// users decay back to empty profiles. When nothing is stale the profile is
+// left untouched without copying, so windowed-but-stable profiles stay
+// shared across copy-on-write clones.
 func (p *Profile) PurgeOlderThan(minStamp int64) int {
-	kept := p.entries[:0]
+	first := -1
+	for i, e := range p.entries {
+		if e.Stamp < minStamp {
+			first = i
+			break
+		}
+	}
+	if first < 0 {
+		return 0
+	}
+	p.version++
+	p.materialize(0)
+	kept := p.entries[:first]
 	dropped := 0
-	for _, e := range p.entries {
+	for _, e := range p.entries[first:] {
 		if e.Stamp < minStamp {
 			p.sumSq -= e.Score * e.Score
 			dropped++
@@ -133,10 +254,36 @@ func (p *Profile) PurgeOlderThan(minStamp int64) int {
 		kept = append(kept, e)
 	}
 	p.entries = kept
-	if len(p.entries) == 0 {
-		p.sumSq = 0 // reset accumulated float error on empty
-	}
+	p.noteSubtraction(dropped)
 	return dropped
+}
+
+// normRecomputeEvery bounds how much float error the cached sumSq can
+// accumulate: after this many subtractive edits the norm is recomputed
+// exactly from the entries. Additions only lose precision proportional to
+// the running sum; subtractions can cancel catastrophically, so only they
+// are counted.
+const normRecomputeEvery = 32
+
+// noteSubtraction records subtractive float edits against the cached sumSq
+// and periodically recomputes it exactly (in ascending id order, the
+// canonical sequence) so long-lived profiles cannot drift.
+func (p *Profile) noteSubtraction(n int) {
+	p.dirty += n
+	if len(p.entries) == 0 {
+		p.sumSq = 0
+		p.dirty = 0
+		return
+	}
+	if p.dirty < normRecomputeEvery {
+		return
+	}
+	var sumSq float64
+	for _, e := range p.entries {
+		sumSq += e.Score * e.Score
+	}
+	p.sumSq = sumSq
+	p.dirty = 0
 }
 
 // Norm returns the Euclidean norm of the score vector, ‖P‖.
@@ -172,11 +319,16 @@ func (p *Profile) Entries() []Entry {
 	return out
 }
 
-// Clone returns a deep copy. BEEP clones the item profile on every forward so
-// that copies of the same item along different paths diverge (II-B).
+// Clone returns a copy-on-write copy: the entry slice is shared until either
+// side mutates, at which point the mutating side materializes a private
+// copy. BEEP clones the item profile on every forward so that copies of the
+// same item along different paths diverge (II-B); with copy-on-write the
+// forward itself costs one struct allocation and the copy is deferred to the
+// first receiver that actually diverges the profile.
 func (p *Profile) Clone() *Profile {
-	c := &Profile{entries: make([]Entry, len(p.entries)), sumSq: p.sumSq}
-	copy(c.entries, p.entries)
+	p.shared.Store(true)
+	c := &Profile{entries: p.entries, sumSq: p.sumSq, version: p.version, dirty: p.dirty}
+	c.shared.Store(true)
 	return c
 }
 
@@ -191,14 +343,6 @@ func (p *Profile) Equal(q *Profile) bool {
 		}
 	}
 	return true
-}
-
-// WireSize approximates the serialized size in bytes: 8-byte id + 8-byte
-// timestamp + 8-byte score per entry. Used for bandwidth accounting
-// (Figure 8b).
-func (p *Profile) WireSize() int {
-	const entryBytes = 8 + 8 + 8
-	return entryBytes * len(p.entries)
 }
 
 // String renders a short human-readable form, capped to a few entries.

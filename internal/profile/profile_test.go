@@ -53,12 +53,41 @@ func TestAverageInMatchesAlgorithm1(t *testing.T) {
 	if e.Score != 0.5 {
 		t.Fatalf("average path wrong: score=%v want 0.5", e.Score)
 	}
-	if e.Stamp != 3 {
-		t.Fatalf("average path must keep original stamp, got %d", e.Stamp)
+	if e.Stamp != 9 {
+		t.Fatalf("average path must keep the freshest stamp, got %d", e.Stamp)
 	}
 	ip.AverageIn(7, 9, 1)
 	if e, _ := ip.Get(7); e.Score != 0.75 {
 		t.Fatalf("second average wrong: %v want 0.75", e.Score)
+	}
+}
+
+func TestAverageInStalenessRegression(t *testing.T) {
+	// Regression for the profile-window staleness bug: an entry reinforced by
+	// a recent liker used to keep its original stamp, so the next
+	// PurgeOlderThan could drop an item-profile entry that had just been
+	// re-expressed. The freshest stamp must win, in both merge directions.
+	ip := New()
+	ip.AverageIn(7, 3, 1) // first opinion at cycle 3
+	ip.AverageIn(7, 9, 1) // reinforced at cycle 9
+	if dropped := ip.PurgeOlderThan(5); dropped != 0 {
+		t.Fatalf("reinforced entry purged: dropped=%d", dropped)
+	}
+	if !ip.Has(7) {
+		t.Fatal("reinforced entry must survive a purge past its original stamp")
+	}
+	// An older opinion must never rejuvenate a fresher entry.
+	ip.AverageIn(7, 1, 1)
+	if e, _ := ip.Get(7); e.Stamp != 9 {
+		t.Fatalf("older merge must not regress the stamp: got %d want 9", e.Stamp)
+	}
+	// MergeAverage takes the same freshest-stamp rule.
+	a, b := New(), New()
+	a.Set(1, 2, 1)
+	b.Set(1, 8, 0)
+	a.MergeAverage(b)
+	if e, _ := a.Get(1); e.Stamp != 8 || e.Score != 0.5 {
+		t.Fatalf("MergeAverage stamp/score wrong: %+v", e)
 	}
 }
 
@@ -182,6 +211,181 @@ func TestNormPropertyMatchesRecomputation(t *testing.T) {
 		if math.Abs(p.Norm()-math.Sqrt(sumSq)) > 1e-9 {
 			t.Fatalf("cached norm drifted: %v vs %v", p.Norm(), math.Sqrt(sumSq))
 		}
+	}
+}
+
+// legacyClone is the pre-COW deep copy, kept as the reference semantics for
+// the observational-equivalence property test.
+func legacyClone(p *Profile) *Profile {
+	c := WithCapacity(p.Len())
+	p.ForEach(func(e Entry) { c.entries = append(c.entries, e) })
+	c.sumSq = p.sumSq
+	return c
+}
+
+// mutate applies one random mutation to a profile, driven by op.
+func mutate(p *Profile, rng *rand.Rand) {
+	switch rng.Intn(5) {
+	case 0:
+		p.Set(news.ID(rng.Int63n(60)), rng.Int63n(1000), float64(rng.Intn(2)))
+	case 1:
+		p.AverageIn(news.ID(rng.Int63n(60)), rng.Int63n(1000), rng.Float64())
+	case 2:
+		p.Remove(news.ID(rng.Int63n(60)))
+	case 3:
+		p.PurgeOlderThan(rng.Int63n(1000))
+	case 4:
+		other := randomProfile(rng, rng.Intn(20), 60)
+		p.MergeAverage(other)
+	}
+}
+
+func TestCloneCOWObservationallyEqualsDeepCopy(t *testing.T) {
+	// BEEP divergence (paper II-B): a cloned item profile and its original
+	// must evolve exactly as independent deep copies would, whatever
+	// interleaving of mutations hits either side — including clones of
+	// clones, the shape BEEP's multi-hop forwards produce.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		base := randomProfile(rng, rng.Intn(40), 60)
+		cow := base.Clone()
+		deep := legacyClone(base)
+		refBase := legacyClone(base)
+		for step := 0; step < 40; step++ {
+			r := rng.Int63()
+			mrng := rand.New(rand.NewSource(r))
+			mrng2 := rand.New(rand.NewSource(r))
+			if rng.Intn(2) == 0 {
+				mutate(base, mrng)
+				mutate(refBase, mrng2)
+			} else {
+				mutate(cow, mrng)
+				mutate(deep, mrng2)
+			}
+		}
+		if !cow.Equal(deep) {
+			t.Fatalf("trial %d: COW clone diverged from deep copy:\n%v\n%v", trial, cow, deep)
+		}
+		if !base.Equal(refBase) {
+			t.Fatalf("trial %d: original corrupted by clone mutations:\n%v\n%v", trial, base, refBase)
+		}
+		// Grandchild clones must be independent too.
+		g1, g2 := cow.Clone(), cow.Clone()
+		g1.Set(999, 1, 1)
+		if g2.Has(999) || cow.Has(999) {
+			t.Fatalf("trial %d: clone-of-clone mutation leaked", trial)
+		}
+	}
+}
+
+func TestMergeAverageMatchesAverageInLoop(t *testing.T) {
+	// MergeAverage must be observationally identical to the entry-at-a-time
+	// AverageIn loop it replaces, including the cached norm bit-for-bit.
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 300; trial++ {
+		p := randomProfile(rng, rng.Intn(40), 50)
+		other := randomProfile(rng, rng.Intn(40), 50)
+		ref := legacyClone(p)
+		other.ForEach(func(e Entry) { ref.AverageIn(e.Item, e.Stamp, e.Score) })
+		p.MergeAverage(other)
+		if !p.Equal(ref) {
+			t.Fatalf("trial %d: merge mismatch:\n%v\n%v", trial, p, ref)
+		}
+		if p.Norm() != ref.Norm() {
+			t.Fatalf("trial %d: norm not bit-identical: %v vs %v", trial, p.Norm(), ref.Norm())
+		}
+	}
+	// nil and empty are no-ops.
+	p := randomProfile(rng, 10, 50)
+	ref := legacyClone(p)
+	p.MergeAverage(nil)
+	p.MergeAverage(New())
+	if !p.Equal(ref) {
+		t.Fatal("merging nil/empty must not change the profile")
+	}
+}
+
+func TestMergeAverageIntoEmptySharesCOW(t *testing.T) {
+	user := randomProfile(rand.New(rand.NewSource(13)), 30, 50)
+	ip := New()
+	ip.MergeAverage(user)
+	if !ip.Equal(user) {
+		t.Fatal("merge into empty must copy the source verbatim")
+	}
+	// Mutating either side afterwards must not leak into the other.
+	before := legacyClone(user)
+	ip.Set(999, 1, 1)
+	ip.Remove(user.Entries()[0].Item)
+	if !user.Equal(before) {
+		t.Fatal("item-profile mutations leaked into the shared user profile")
+	}
+	user.Set(998, 1, 1)
+	if ip.Has(998) {
+		t.Fatal("user-profile mutations leaked into the item profile")
+	}
+}
+
+func TestVersionBumpsOnEveryMutation(t *testing.T) {
+	p := New()
+	v := p.Version()
+	step := func(name string, fn func()) {
+		fn()
+		if p.Version() <= v {
+			t.Fatalf("%s must bump the version (still %d)", name, v)
+		}
+		v = p.Version()
+	}
+	step("Set", func() { p.Set(1, 1, 1) })
+	step("AverageIn", func() { p.AverageIn(1, 2, 0) })
+	step("MergeAverage", func() { q := New(); q.Set(2, 1, 1); p.MergeAverage(q) })
+	step("Remove", func() { p.Remove(2) })
+	step("PurgeOlderThan", func() { p.Set(3, 0, 1); v = p.Version(); p.PurgeOlderThan(1) })
+	// Reads and no-op mutations must not bump.
+	p.Set(9, 5, 1)
+	v = p.Version()
+	p.Remove(1234)
+	p.PurgeOlderThan(0)
+	_ = p.Clone()
+	_, _ = p.Get(9)
+	if p.Version() != v {
+		t.Fatalf("no-op operations must not bump the version: %d -> %d", v, p.Version())
+	}
+}
+
+func TestNormExactAfterLongEditSequences(t *testing.T) {
+	// The drift guard: after arbitrarily long random edit sequences the
+	// cached norm must track a from-scratch recomputation to fine precision
+	// (subtractive edits trigger periodic exact recomputes).
+	rng := rand.New(rand.NewSource(14))
+	p := New()
+	for i := 0; i < 20000; i++ {
+		mutate(p, rng)
+		if i%500 != 0 {
+			continue
+		}
+		var sumSq float64
+		p.ForEach(func(e Entry) { sumSq += e.Score * e.Score })
+		want := math.Sqrt(sumSq)
+		if diff := math.Abs(p.Norm() - want); diff > 1e-9*(1+want) {
+			t.Fatalf("step %d: cached norm drifted: %v vs %v", i, p.Norm(), want)
+		}
+	}
+}
+
+func TestWireSizeMatchesEncodedLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for trial := 0; trial < 200; trial++ {
+		p := randomProfile(rng, rng.Intn(40), 1<<40)
+		// Mix in non-binary scores (dyadic item-profile averages).
+		for i := 0; i < 5; i++ {
+			p.AverageIn(news.ID(rng.Int63n(1<<40)), rng.Int63n(1000), rng.Float64())
+		}
+		if got, want := p.WireSize(), len(p.AppendWire(nil)); got != want {
+			t.Fatalf("WireSize=%d but encoded length=%d for %v", got, want, p)
+		}
+	}
+	if got, want := New().WireSize(), len(New().AppendWire(nil)); got != want {
+		t.Fatalf("empty profile WireSize=%d encoded=%d", got, want)
 	}
 }
 

@@ -72,8 +72,7 @@ func (p *Protocol) MakePush(self overlay.Descriptor) []overlay.Descriptor {
 	half := p.view.Len() / 2
 	push := make([]overlay.Descriptor, 0, half+1)
 	push = append(push, self)
-	push = append(push, p.view.RandomSample(p.rng, half)...)
-	return push
+	return p.view.AppendRandomSample(push, p.rng, half)
 }
 
 // AcceptPush handles an incoming exchange request at the responder: it

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 	"strings"
 	"testing"
@@ -135,6 +136,59 @@ func TestParallelDrainNoDuplicateDeliveries(t *testing.T) {
 	}
 	if observed == 0 {
 		t.Fatal("lossy run still must deliver something")
+	}
+}
+
+// TestSimilarityCacheDeterministicAcrossWorkers pins that the versioned
+// similarity cache (and the copy-on-write profile plumbing beneath it) is
+// invisible to simulation results: a workload heavy in dislike routing —
+// the path that scores transient item profiles against RPS views — yields
+// bit-identical precision/recall/F1 and full collector fingerprints at any
+// worker count. Cache hit patterns differ between runs (views churn
+// differently per worker count is false — state is deterministic — but
+// warm-up differs across cycles); only the floats must not.
+func TestSimilarityCacheDeterministicAcrossWorkers(t *testing.T) {
+	// items mostly disliked: 4 communities, sources publish cross-community
+	// so most receivers dislike and BEEP leans on MostSimilar orientation.
+	build := func(workers int) *metrics.Collector {
+		const n, items, cycles = 100, 36, 22
+		opinions := core.OpinionFunc(func(node news.NodeID, item news.ID) bool {
+			return int(node)%4 == int(item)%4
+		})
+		cfg := core.Config{FLike: 3, RPSViewSize: 10, DislikeTTL: 4, ProfileWindow: int64(cycles)}
+		peers := make([]Peer, n)
+		for i := 0; i < n; i++ {
+			peers[i] = core.NewNode(news.NodeID(i), "", cfg, opinions,
+				rand.New(rand.NewSource(100+int64(i))))
+		}
+		col := metrics.NewCollector()
+		var pubs []Publication
+		for k := 0; k < items; k++ {
+			src := news.NodeID((k + 1) % n) // usually outside the item's community
+			it := news.New(fmt.Sprintf("d-%d", k), "d", "l", int64(1+k*cycles/items), src)
+			it.ID = news.ID(k)
+			pubs = append(pubs, Publication{Cycle: int64(1 + k*cycles/items), Source: src, Item: it})
+			col.RegisterItem(it.ID, n/4)
+		}
+		for i := 0; i < n; i++ {
+			col.RegisterNode(news.NodeID(i), items/4)
+		}
+		e := New(Config{Seed: 5, Cycles: cycles, LossRate: 0.1, Workers: workers,
+			BootstrapDegree: 4, Publications: pubs}, peers, col)
+		e.Bootstrap()
+		e.Run()
+		return col
+	}
+	ref := build(1)
+	if ref.Node(1).DislikeDeliveries == 0 && ref.Node(2).DislikeDeliveries == 0 {
+		t.Log("warning: workload exercised little dislike routing")
+	}
+	refFP := fingerprint(ref)
+	for _, workers := range []int{2, 8} {
+		if got := fingerprint(build(workers)); got != refFP {
+			t.Fatalf("workers=%d diverged with the similarity cache active:\n--- want\n%s--- got\n%s",
+				workers, refFP, got)
+		}
 	}
 }
 

@@ -29,7 +29,7 @@ package sim
 import (
 	"math/rand"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 
 	"whatsup/internal/cluster"
@@ -100,7 +100,18 @@ type envelope struct {
 	msg  core.ItemMessage
 }
 
+// segment is one per-receiver span of a sorted BEEP hop.
+type segment struct {
+	lo, hi int
+}
+
 // Engine drives a set of peers through gossip cycles.
+//
+// The scratch fields at the bottom are reused across hops and cycles so the
+// steady-state per-cycle loop performs no engine-side allocation: the BEEP
+// hop batches, the per-receiver segments, the per-worker send/delivery
+// buffers and the gossip exchange table all keep their capacity between
+// cycles.
 type Engine struct {
 	cfg     Config
 	workers int
@@ -111,7 +122,16 @@ type Engine struct {
 	shards  []*metrics.Collector // per-worker scratch collectors
 	now     int64
 	pubs    map[int64][]Publication
-	batch   []envelope // sends of the current BEEP hop
+
+	batch       []envelope // sends of the current BEEP hop
+	next        []envelope // assembly buffer for the following hop
+	segs        []segment  // per-receiver spans of the sorted hop
+	exs         []exchange // gossip exchange table, one slot per peer
+	order       []news.NodeID
+	bucketIdx   map[news.NodeID]int
+	bucketLists [][]int
+	sendBufs    [][]envelope      // per-worker BEEP sends, contiguous in segment order
+	delivBufs   [][]core.Delivery // per-worker deliveries for OnDelivery
 }
 
 // New builds an engine over the given peers, recording into col.
@@ -124,13 +144,16 @@ func New(cfg Config, peers []Peer, col *metrics.Collector) *Engine {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	e := &Engine{
-		cfg:     cfg,
-		workers: workers,
-		byID:    make(map[news.NodeID]Peer, len(peers)),
-		streams: make(map[news.NodeID]*rand.Rand, len(peers)),
-		col:     col,
-		shards:  make([]*metrics.Collector, workers),
-		pubs:    make(map[int64][]Publication),
+		cfg:       cfg,
+		workers:   workers,
+		byID:      make(map[news.NodeID]Peer, len(peers)),
+		streams:   make(map[news.NodeID]*rand.Rand, len(peers)),
+		col:       col,
+		shards:    make([]*metrics.Collector, workers),
+		pubs:      make(map[int64][]Publication),
+		bucketIdx: make(map[news.NodeID]int, len(peers)),
+		sendBufs:  make([][]envelope, workers),
+		delivBufs: make([][]core.Delivery, workers),
 	}
 	for w := range e.shards {
 		e.shards[w] = metrics.NewCollector()
@@ -326,10 +349,12 @@ type exchange struct {
 // bucketByResponder groups successful pushes by responder, preserving
 // initiator order inside each bucket and first-contact order across buckets.
 // Exchanges whose push was lost or whose responder lacks the layer are
-// dropped here, exactly as a lost or undeliverable datagram would be.
-func (e *Engine) bucketByResponder(exs []exchange, hasLayer func(Peer) bool) ([]news.NodeID, map[news.NodeID][]int) {
-	var order []news.NodeID
-	buckets := make(map[news.NodeID][]int)
+// dropped here, exactly as a lost or undeliverable datagram would be. The
+// bucket storage (order, index map, per-bucket lists) is engine scratch
+// reused across rounds.
+func (e *Engine) bucketByResponder(exs []exchange, hasLayer func(Peer) bool) []news.NodeID {
+	e.order = e.order[:0]
+	clear(e.bucketIdx)
 	for i := range exs {
 		ex := &exs[i]
 		if !ex.ok || ex.lost {
@@ -339,12 +364,19 @@ func (e *Engine) bucketByResponder(exs []exchange, hasLayer func(Peer) bool) ([]
 		if r == nil || !hasLayer(r) {
 			continue
 		}
-		if _, seen := buckets[ex.target]; !seen {
-			order = append(order, ex.target)
+		bi, seen := e.bucketIdx[ex.target]
+		if !seen {
+			bi = len(e.order)
+			e.bucketIdx[ex.target] = bi
+			e.order = append(e.order, ex.target)
+			if len(e.bucketLists) <= bi {
+				e.bucketLists = append(e.bucketLists, nil)
+			}
+			e.bucketLists[bi] = e.bucketLists[bi][:0]
 		}
-		buckets[ex.target] = append(buckets[ex.target], i)
+		e.bucketLists[bi] = append(e.bucketLists[bi], i)
 	}
-	return order, buckets
+	return e.order
 }
 
 // gossipRound drives one push-pull round for a gossip layer in three
@@ -362,7 +394,11 @@ func (e *Engine) gossipRound(reqKind, repKind metrics.MessageKind,
 	absorbReply func(initiator Peer, reply []overlay.Descriptor),
 ) {
 	n := len(e.peers)
-	exs := make([]exchange, n)
+	if cap(e.exs) < n {
+		e.exs = make([]exchange, n)
+	}
+	exs := e.exs[:n]
+	clear(exs) // also drops the previous round's push/reply refs
 	e.parallelFor(n, func(w, i int) {
 		p := e.peers[i]
 		if !has(p) {
@@ -376,11 +412,11 @@ func (e *Engine) gossipRound(reqKind, repKind metrics.MessageKind,
 		exs[i] = exchange{ok: true, lost: e.lost(p.ID()), target: target, push: push}
 	})
 
-	order, buckets := e.bucketByResponder(exs, has)
+	order := e.bucketByResponder(exs, has)
 	e.parallelFor(len(order), func(w, bi int) {
 		respID := order[bi]
 		responder := e.byID[respID]
-		for _, i := range buckets[respID] {
+		for _, i := range e.bucketLists[bi] {
 			reply := absorbPush(responder, exs[i].push)
 			e.shards[w].RecordMessage(repKind, descriptorsWireSize(reply))
 			if !e.lost(respID) {
@@ -452,46 +488,58 @@ func (e *Engine) enqueue(from news.NodeID, sends []core.Send) {
 // put in a deterministic total order, and the round is delivered grouped
 // per receiver; the sends it produces form the next round.
 func (e *Engine) drain(now int64) {
-	batch := e.batch
-	e.batch = nil
-	for len(batch) > 0 {
-		batch = e.deliverRound(batch, now)
+	for len(e.batch) > 0 {
+		e.deliverRound(now)
 	}
 }
 
-// deliverRound delivers one hop of BEEP traffic and returns the next hop.
-func (e *Engine) deliverRound(batch []envelope, now int64) []envelope {
+// deliverRound delivers one hop of BEEP traffic, consuming e.batch and
+// leaving the next hop in it.
+func (e *Engine) deliverRound(now int64) {
+	batch := e.batch
 	// Total order: by receiver, then sender, then item. A node forwards a
 	// given item at most once (SIR), so the triple is unique within a round.
-	sort.Slice(batch, func(i, j int) bool {
-		a, b := &batch[i], &batch[j]
-		if a.to != b.to {
-			return a.to < b.to
+	slices.SortFunc(batch, func(a, b envelope) int {
+		switch {
+		case a.to != b.to:
+			if a.to < b.to {
+				return -1
+			}
+			return 1
+		case a.from != b.from:
+			if a.from < b.from {
+				return -1
+			}
+			return 1
+		case a.msg.Item.ID < b.msg.Item.ID:
+			return -1
+		case a.msg.Item.ID > b.msg.Item.ID:
+			return 1
+		default:
+			return 0
 		}
-		if a.from != b.from {
-			return a.from < b.from
-		}
-		return a.msg.Item.ID < b.msg.Item.ID
 	})
 	// Partition into per-receiver segments; each segment is applied by one
 	// worker, so a receiver's state and RNG are touched by one goroutine
 	// and always in the same (from, item) order.
-	type segment struct {
-		lo, hi     int
-		deliveries []core.Delivery
-		sends      []envelope
-	}
-	segs := make([]segment, 0, len(batch))
+	e.segs = e.segs[:0]
 	for lo := 0; lo < len(batch); {
 		hi := lo + 1
 		for hi < len(batch) && batch[hi].to == batch[lo].to {
 			hi++
 		}
-		segs = append(segs, segment{lo: lo, hi: hi})
+		e.segs = append(e.segs, segment{lo: lo, hi: hi})
 		lo = hi
 	}
-	e.parallelFor(len(segs), func(w, si int) {
-		seg := &segs[si]
+	for w := range e.sendBufs {
+		e.sendBufs[w] = e.sendBufs[w][:0]
+		e.delivBufs[w] = e.delivBufs[w][:0]
+	}
+	// parallelFor hands each worker a contiguous span of segments, so the
+	// per-worker buffers, concatenated in worker order, reproduce the global
+	// segment (receiver) order exactly.
+	e.parallelFor(len(e.segs), func(w, si int) {
+		seg := e.segs[si]
 		recv := e.byID[batch[seg.lo].to]
 		col := e.shards[w]
 		for k := seg.lo; k < seg.hi; k++ {
@@ -509,28 +557,28 @@ func (e *Engine) deliverRound(batch []envelope, now int64) []envelope {
 			}
 			col.RecordDelivery(d)
 			if e.cfg.OnDelivery != nil {
-				seg.deliveries = append(seg.deliveries, d)
+				e.delivBufs[w] = append(e.delivBufs[w], d)
 			}
 			if len(sends) > 0 {
 				col.RecordForward(d.Liked, d.Hops)
 			}
 			for _, s := range sends {
-				seg.sends = append(seg.sends, envelope{from: env.to, to: s.To, msg: s.Msg})
+				e.sendBufs[w] = append(e.sendBufs[w], envelope{from: env.to, to: s.To, msg: s.Msg})
 			}
 		}
 	})
 	// Assemble the next hop and fire callbacks in segment (receiver) order,
 	// keeping user-visible side effects deterministic.
-	var next []envelope
-	for si := range segs {
+	e.next = e.next[:0]
+	for w := range e.sendBufs {
 		if e.cfg.OnDelivery != nil {
-			for _, d := range segs[si].deliveries {
+			for _, d := range e.delivBufs[w] {
 				e.cfg.OnDelivery(d, now)
 			}
 		}
-		next = append(next, segs[si].sends...)
+		e.next = append(e.next, e.sendBufs[w]...)
 	}
-	return next
+	e.batch, e.next = e.next, e.batch
 }
 
 // WUPGraph snapshots the directed graph formed by the peers' WUP views,
@@ -544,9 +592,10 @@ func (e *Engine) WUPGraph() *graph.Directed {
 		if p.WUP() == nil {
 			continue
 		}
-		for _, d := range p.WUP().View().Entries() {
-			g.AddEdge(int(p.ID()), int(d.Node))
-		}
+		id := int(p.ID())
+		p.WUP().View().ForEach(func(d overlay.Descriptor) {
+			g.AddEdge(id, int(d.Node))
+		})
 	}
 	return g
 }

@@ -42,6 +42,35 @@ func AppendString(b []byte, s string) []byte {
 	return append(b, s...)
 }
 
+// UintLen returns the exact number of bytes AppendUint writes for v,
+// without encoding. Used by the simulator's bandwidth accounting so the
+// legacy WireSize estimates and the live codec agree on one source of truth.
+func UintLen(v uint64) int {
+	return (bits.Len64(v|1) + 6) / 7
+}
+
+// IntLen returns the exact number of bytes AppendInt writes for v.
+func IntLen(v int64) int {
+	return UintLen(uint64(v)<<1 ^ uint64(v>>63)) // zigzag, as binary.AppendVarint
+}
+
+// StringLen returns the exact number of bytes AppendString writes for s.
+func StringLen(s string) int {
+	return UintLen(uint64(len(s))) + len(s)
+}
+
+// ScoreLen returns the exact number of bytes AppendScore writes for f.
+func ScoreLen(f float64) int {
+	switch f {
+	case 0, 1:
+		return 1
+	}
+	if rev := bits.ReverseBytes64(math.Float64bits(f)); rev <= math.MaxUint64-3 {
+		return UintLen(3 + rev)
+	}
+	return 1 + 8 // escape code + raw bits
+}
+
 // Uint decodes an unsigned varint, returning the value and remaining bytes.
 func Uint(data []byte) (uint64, []byte, error) {
 	v, n := binary.Uvarint(data)
