@@ -33,7 +33,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("whatsup-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		runList       = fs.String("run", "all", "comma-separated experiments: table1,table2,table3,table4,table5,table6,fig3,fig4,fig5,fig6,fig7,fig8,fig9,fig10,fig11,ablations,live or 'all'; plus hotpath (microbenchmarks + BENCH trajectory, never part of 'all')")
+		runList       = fs.String("run", "all", "comma-separated experiments: table1,table2,table3,table4,table5,table6,fig3,fig4,fig5,fig6,fig7,fig8,fig9,fig10,fig11,ablations,live or 'all'; plus hotpath and churn (machine benchmarks + BENCH trajectories, never part of 'all')")
 		scale         = fs.Float64("scale", 0.5, "dataset scale (1.0 = paper sizes)")
 		seed          = fs.Int64("seed", 1, "experiment seed")
 		workers       = fs.Int("workers", 0, "parallel sweep points (0 = NumCPU)")
@@ -42,8 +42,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		transport     = fs.String("transport", "channel", "network for the 'live' scenario: channel (in-memory emulation) or tcp (loopback sockets)")
 		batchWindow   = fs.Duration("batch-window", 0, "TCP write-coalescing window for the 'live' scenario (0 = opportunistic batching)")
 		benchOut      = fs.String("bench-out", "BENCH_hotpath.json", "trajectory file the 'hotpath' scenario appends its measurements to")
-		benchLabel    = fs.String("bench-label", "", "optional label recorded with the 'hotpath' trajectory entry")
-		cyclePeers    = fs.Int("cycle-peers", 5000, "population of the 'hotpath' full-cycle scenario")
+		benchLabel    = fs.String("bench-label", "", "optional label recorded with the 'hotpath' and 'churn' trajectory entries")
+		cyclePeers    = fs.Int("cycle-peers", 5000, "population of the 'hotpath' full-cycle and 'churn' scenarios")
+		churnOut      = fs.String("churn-out", "BENCH_churn.json", "trajectory file the 'churn' scenario appends its measurements to")
+		churnRate     = fs.Float64("churn-rate", 0.20, "population fraction churning in the 'churn' scenario")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -131,7 +133,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			EngineWorkers: *engineWorkers,
 		})
 		r.Label = *benchLabel
-		if err := appendTrajectory(*benchOut, r); err != nil {
+		if err := appendTrajectoryEntry(*benchOut, "whatsup-bench/hotpath/v1", r); err != nil {
 			hotpathErr = err
 			return stringer(r.String() + "\n  [trajectory write failed: " + err.Error() + "]")
 		}
@@ -139,6 +141,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if selected["hotpath"] {
 		runExp("hotpath", runHotpath)
+	}
+	// The churn scenario likewise runs only when explicitly selected: a 5k-peer
+	// dynamic-membership run (flash crowd + crash/rejoin/leave trace with view
+	// eviction) measured end to end and appended to its own trajectory.
+	var churnErr error
+	if selected["churn"] {
+		runExp("churn", func() fmt.Stringer {
+			r := experiments.ChurnBench(experiments.ChurnBenchConfig{
+				Peers:         *cyclePeers,
+				ChurnRate:     *churnRate,
+				EngineWorkers: *engineWorkers,
+			})
+			r.Label = *benchLabel
+			if err := appendTrajectoryEntry(*churnOut, "whatsup-bench/churn/v1", r); err != nil {
+				churnErr = err
+				return stringer(r.String() + "\n  [trajectory write failed: " + err.Error() + "]")
+			}
+			return stringer(r.String() + "\n  [appended to " + *churnOut + "]")
+		})
 	}
 
 	if ran == 0 {
@@ -153,23 +174,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "hotpath scenario failed: %v\n", hotpathErr)
 		return 2
 	}
+	if churnErr != nil {
+		fmt.Fprintf(stderr, "churn scenario failed: %v\n", churnErr)
+		return 2
+	}
 	return 0
 }
 
-// trajectory is the BENCH_hotpath.json layout: one entry per recorded run,
-// oldest first, so successive PRs grow a comparable perf history.
-type trajectory struct {
-	Schema string                      `json:"schema"`
-	Runs   []experiments.HotPathResult `json:"runs"`
-}
-
-// appendTrajectory adds one run to the trajectory file, creating it if
-// needed and preserving previously recorded entries.
-func appendTrajectory(path string, r experiments.HotPathResult) error {
-	t := trajectory{Schema: "whatsup-bench/hotpath/v1"}
+// appendTrajectoryEntry adds one run to a BENCH trajectory file (one entry
+// per recorded run, oldest first, so successive PRs grow a comparable perf
+// history), creating the file if needed and preserving previously recorded
+// entries. The hotpath and churn trajectories share this layout and differ
+// only in schema string and entry type.
+func appendTrajectoryEntry[T any](path, schema string, r T) error {
+	var t struct {
+		Schema string `json:"schema"`
+		Runs   []T    `json:"runs"`
+	}
+	t.Schema = schema
 	if data, err := os.ReadFile(path); err == nil {
 		if err := json.Unmarshal(data, &t); err != nil {
 			return fmt.Errorf("existing trajectory %s is corrupt: %w", path, err)
+		}
+		if t.Schema != schema {
+			return fmt.Errorf("trajectory %s has schema %q, want %q — refusing to mix histories", path, t.Schema, schema)
 		}
 	} else if !os.IsNotExist(err) {
 		return err

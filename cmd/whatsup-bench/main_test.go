@@ -132,3 +132,75 @@ func TestRunRejectsUnknownExperiment(t *testing.T) {
 		t.Fatalf("stderr=%q", errOut.String())
 	}
 }
+
+func TestRunChurnEmitsTrajectory(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_churn.json")
+	var stdout, stderr strings.Builder
+	code := run([]string{"-run", "churn", "-cycle-peers", "200",
+		"-churn-out", out, "-bench-label", "test"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%q", code, stderr.String())
+	}
+	for _, want := range []string{"Churn bench", "churn (", "ghost-fraction(end)"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Fatalf("expected %q in output:\n%s", want, stdout.String())
+		}
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traj struct {
+		Schema string `json:"schema"`
+		Runs   []struct {
+			Label        string  `json:"label"`
+			Peers        int     `json:"peers"`
+			Events       int     `json:"events"`
+			WallMs       float64 `json:"wall_ms"`
+			GhostEndFrac float64 `json:"ghost_end_fraction"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &traj); err != nil {
+		t.Fatalf("trajectory is not valid JSON: %v", err)
+	}
+	if traj.Schema != "whatsup-bench/churn/v1" || len(traj.Runs) != 1 {
+		t.Fatalf("unexpected trajectory shape: %+v", traj)
+	}
+	r0 := traj.Runs[0]
+	if r0.Label != "test" || r0.Peers != 200 || r0.Events == 0 || r0.WallMs <= 0 {
+		t.Fatalf("trajectory entry incomplete: %+v", r0)
+	}
+	if r0.GhostEndFrac != 0 {
+		t.Fatalf("views must heal by the end of the bench run, ghost fraction %v", r0.GhostEndFrac)
+	}
+	// A second run must append, not overwrite.
+	if code := run([]string{"-run", "churn", "-cycle-peers", "200", "-churn-out", out},
+		&stdout, &stderr); code != 0 {
+		t.Fatalf("second run exit=%d stderr=%q", code, stderr.String())
+	}
+	data, _ = os.ReadFile(out)
+	if err := json.Unmarshal(data, &traj); err != nil || len(traj.Runs) != 2 {
+		t.Fatalf("trajectory must append runs: err=%v runs=%d", err, len(traj.Runs))
+	}
+}
+
+func TestTrajectorySchemaMismatchRefused(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_hotpath.json")
+	if err := os.WriteFile(out, []byte(`{"schema":"whatsup-bench/hotpath/v1","runs":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr strings.Builder
+	// Pointing the churn scenario at the hotpath trajectory must fail
+	// instead of silently rewriting the recorded history.
+	if code := run([]string{"-run", "churn", "-cycle-peers", "120", "-churn-out", out},
+		&stdout, &stderr); code != 2 {
+		t.Fatalf("exit=%d want 2 (stderr=%q)", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String()+stderr.String(), "refusing to mix histories") {
+		t.Fatalf("expected schema refusal, stderr=%q", stderr.String())
+	}
+	data, _ := os.ReadFile(out)
+	if !strings.Contains(string(data), `"runs": []`) && !strings.Contains(string(data), `"runs":[]`) {
+		t.Fatalf("existing trajectory must be left untouched, got: %s", data)
+	}
+}

@@ -1,12 +1,15 @@
 // Command whatsup-sim runs a single deterministic simulation point: one
 // algorithm on one workload at one fanout, and prints the user and system
-// metrics.
+// metrics. With -churn or -flash-crowd it runs the dynamic-membership
+// scenario instead: a churning population with per-cohort quality metrics
+// and view self-healing statistics.
 //
 // Usage:
 //
 //	whatsup-sim -dataset survey -alg whatsup -fanout 10 -scale 0.5
 //	whatsup-sim -dataset digg -alg cf-cos -fanout 25 -loss 0.2
 //	whatsup-sim -dataset synthetic -workers 8 -scale 1
+//	whatsup-sim -dataset survey -churn 0.2 -flash-crowd 50 -descriptor-ttl 15
 package main
 
 import (
@@ -38,6 +41,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		loss    = fs.Float64("loss", 0, "uniform message-loss rate")
 		ttl     = fs.Int("ttl", 0, "dislike TTL (0 = default 4, negative = 0)")
 		workers = fs.Int("workers", 0, "engine worker pool (0 = GOMAXPROCS); results are identical for any value")
+
+		churnRate  = fs.Float64("churn", 0, "expected fraction of the population hit by a churn event over the run (enables the churn scenario)")
+		flashCrowd = fs.Int("flash-crowd", 0, "extra nodes joining as a flash crowd a third into the run (enables the churn scenario)")
+		descTTL    = fs.Int64("descriptor-ttl", 0, "view eviction horizon in cycles for the churn scenario (0 = scenario default 15)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -61,6 +68,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 	engineWorkers := *workers
 	if engineWorkers <= 0 {
 		engineWorkers = runtime.GOMAXPROCS(0) // a single point gets the machine
+	}
+
+	if *churnRate > 0 || *flashCrowd > 0 {
+		// The churn scenario is WhatsUp-only: lifecycle cold starts need the
+		// full node (Section II-D); baselines keep the static path.
+		if a != experiments.WhatsUp {
+			fmt.Fprintf(stderr, "-churn/-flash-crowd support only -alg whatsup (got %q)\n", *alg)
+			return 2
+		}
+		r := experiments.ChurnRun(experiments.Options{Seed: *seed, Scale: *scale}, experiments.ChurnConfig{
+			Dataset:       *dsName,
+			Fanout:        *fanout,
+			FlashCrowd:    *flashCrowd,
+			ChurnRate:     *churnRate,
+			DescriptorTTL: *descTTL,
+			TTL:           *ttl,
+			Loss:          *loss,
+			Workers:       engineWorkers,
+		})
+		fmt.Fprintln(stdout, r)
+		return 0
 	}
 
 	o := experiments.Options{Seed: *seed, Scale: *scale}.WithDefaults()

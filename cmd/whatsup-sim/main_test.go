@@ -38,3 +38,28 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		t.Fatalf("exit=%d want 2", code)
 	}
 }
+
+func TestRunChurnScenario(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-dataset", "survey", "-scale", "0.08", "-churn", "0.2",
+		"-flash-crowd", "10", "-workers", "2"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%q", code, errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{"Churn scenario", "stable", "joiner", "ghost-fraction(end)"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunChurnRejectsBaselines(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-alg", "gossip", "-churn", "0.2"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit=%d want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "only -alg whatsup") {
+		t.Fatalf("stderr=%q", errOut.String())
+	}
+}

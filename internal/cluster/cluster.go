@@ -134,6 +134,15 @@ func (p *Protocol) AverageSimilarity(own *profile.Profile) float64 {
 	return sum / float64(p.view.Len())
 }
 
+// EvictOlderThan drops view entries whose descriptors are older than
+// minStamp. The clustering view needs this even more than the RPS: its
+// similarity-based trim would otherwise keep a well-matching ghost forever,
+// because nothing in the merge rule ever demotes a high-similarity entry of
+// a node that no longer exists. Reports how many entries were evicted.
+func (p *Protocol) EvictOlderThan(minStamp int64) int {
+	return p.view.EvictOlderThan(minStamp)
+}
+
 // Crash clears the view for failure-injection tests.
 func (p *Protocol) Crash() {
 	p.view = overlay.NewView(p.view.Capacity())

@@ -43,6 +43,16 @@ type Config struct {
 	// ColdStartRatings is the number of popular items a joining node rates
 	// to build its initial profile (3 in Section II-D).
 	ColdStartRatings int
+	// DescriptorTTL is the view eviction horizon, in the same unit as
+	// ProfileWindow (cycles under simulation, milliseconds live): at the
+	// start of each cycle the node drops every RPS and WUP view entry whose
+	// descriptor stamp is older than now-DescriptorTTL. Live nodes refresh
+	// their descriptors every exchange, so only descriptors of departed (or
+	// long-partitioned) nodes age past the horizon — this is what lets views
+	// self-heal under churn instead of gossiping ghosts forever. Zero or
+	// negative disables eviction (the static-population default, which keeps
+	// churn-free runs bit-identical with historical results).
+	DescriptorTTL int64
 }
 
 // WithDefaults returns a copy of c with unset fields replaced by the

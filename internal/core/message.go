@@ -3,6 +3,7 @@ package core
 import (
 	"whatsup/internal/news"
 	"whatsup/internal/profile"
+	"whatsup/internal/wire"
 )
 
 // ItemMessage is one BEEP dissemination message: the item, the item profile
@@ -19,15 +20,18 @@ type ItemMessage struct {
 	ViaDislike bool
 }
 
-// WireSize reports the on-wire size of the message for bandwidth
-// accounting (Figure 8b). The item-profile part is the exact packed-codec
-// byte count (profile.WireSize); the item part is news.Item.WireSize's
-// content approximation, which slightly over-counts the fixed fields and
-// omits the varint framing — the live codec (AppendWire) is the source of
-// truth for exact frame lengths. The item id itself is not transmitted
-// (II-A).
+// WireSize reports the exact on-wire size of the message for bandwidth
+// accounting (Figure 8b): WireSize == len(AppendWire(nil)), computed
+// without encoding. Every part shares the codec's own length helpers —
+// news.Item.WireSize for the item fields, profile.WireSize for the packed
+// item profile, internal/wire for the counters and flags — so the
+// simulator's byte counts and the live frames cannot drift. The item id
+// itself is not transmitted (II-A).
 func (m ItemMessage) WireSize() int {
-	size := m.Item.WireSize()
+	size := m.Item.WireSize() +
+		wire.IntLen(int64(m.Dislikes)) + wire.IntLen(int64(m.Hops)) +
+		1 + // via-dislike flag, a 1-byte uvarint
+		1 // profile presence flag
 	if m.Profile != nil {
 		size += m.Profile.WireSize()
 	}

@@ -70,9 +70,15 @@ func (n *Node) SeedViews(descs []overlay.Descriptor) {
 }
 
 // BeginCycle runs the periodic maintenance that precedes gossiping: purging
-// the user profile of entries older than the profile window (Section II-E).
+// the user profile of entries older than the profile window (Section II-E)
+// and, when a DescriptorTTL is configured, evicting view descriptors older
+// than the horizon so departed nodes age out of both overlays.
 func (n *Node) BeginCycle(now int64) {
 	n.user.PurgeOlderThan(now - n.cfg.ProfileWindow)
+	if n.cfg.DescriptorTTL > 0 {
+		n.rps.EvictOlderThan(now - n.cfg.DescriptorTTL)
+		n.wup.EvictOlderThan(now - n.cfg.DescriptorTTL)
+	}
 }
 
 // InjectRPSCandidates feeds the current RPS view into the clustering layer,
@@ -190,10 +196,30 @@ func (n *Node) forward(msg ItemMessage, liked bool, now int64) []Send {
 	return sends
 }
 
-// Crash wipes the node's volatile overlay state (views), modelling a restart
-// for failure-injection tests; the user profile survives as it is local
-// durable state in the prototype.
+// Crash wipes the node's volatile overlay state (views), modelling an
+// abrupt failure; the user profile survives as it is local durable state in
+// the prototype. A crashed node may later Rejoin.
 func (n *Node) Crash() {
 	n.rps.Crash()
 	n.wup.Crash()
+}
+
+// Leave is the graceful departure: the node stops participating and drops
+// its view state. Unlike Crash it is final — the membership layer marks the
+// node departed and its descriptors age out of the remaining population's
+// views within one eviction horizon (Config.DescriptorTTL).
+func (n *Node) Leave() {
+	n.Crash()
+}
+
+// Rejoin resumes a crashed node: its views were wiped with the crash, so it
+// re-seeds both overlays from the supplied bootstrap descriptors (a sample
+// of the currently online population). The user profile was retained across
+// the downtime but is purged to the window at the resume time, so a node
+// that stayed down longer than a profile window resumes with an empty
+// profile exactly like the inactive-node scenario of Section II-E.
+func (n *Node) Rejoin(bootstrap []overlay.Descriptor, now int64) {
+	n.Crash()
+	n.user.PurgeOlderThan(now - n.cfg.ProfileWindow)
+	n.SeedViews(bootstrap)
 }

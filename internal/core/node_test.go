@@ -311,3 +311,64 @@ func TestCrashClearsViewsKeepsProfile(t *testing.T) {
 		t.Fatal("crash must keep the durable user profile")
 	}
 }
+
+// TestLeaveAndRejoinLifecycle pins the node-side lifecycle next to Crash:
+// Leave wipes views; Rejoin wipes views and re-seeds from the bootstrap
+// sample while retaining the profile.
+func TestLeaveAndRejoinLifecycle(t *testing.T) {
+	n := NewNode(1, "", Config{FLike: 3}, likeAll(), rand.New(rand.NewSource(1)))
+	seed := []overlay.Descriptor{
+		{Node: 2, Stamp: 1, Profile: profile.New()},
+		{Node: 3, Stamp: 1, Profile: profile.New()},
+	}
+	n.SeedViews(seed)
+	n.UserProfile().Set(10, 5, 1)
+
+	n.Leave()
+	if n.RPS().View().Len() != 0 || n.WUP().View().Len() != 0 {
+		t.Fatal("Leave must wipe both views")
+	}
+	if n.UserProfile().Len() != 1 {
+		t.Fatal("Leave must not touch the durable profile")
+	}
+
+	n.SeedViews(seed)
+	fresh := []overlay.Descriptor{{Node: 4, Stamp: 9, Profile: profile.New()}}
+	n.Rejoin(fresh, 9)
+	if n.RPS().View().Contains(2) || n.RPS().View().Contains(3) {
+		t.Fatal("Rejoin must wipe the pre-crash views")
+	}
+	if !n.RPS().View().Contains(4) || !n.WUP().View().Contains(4) {
+		t.Fatal("Rejoin must seed both views from the bootstrap sample")
+	}
+	if n.UserProfile().Len() != 1 {
+		t.Fatal("Rejoin must retain the profile")
+	}
+}
+
+// TestBeginCycleEvictsStaleDescriptors pins the DescriptorTTL wiring: with
+// a TTL set, BeginCycle drops view entries older than the horizon from both
+// layers; without one, views are untouched (the static-population default).
+func TestBeginCycleEvictsStaleDescriptors(t *testing.T) {
+	mk := func(ttl int64) *Node {
+		n := NewNode(1, "", Config{FLike: 3, DescriptorTTL: ttl}, likeAll(), rand.New(rand.NewSource(2)))
+		n.SeedViews([]overlay.Descriptor{
+			{Node: 2, Stamp: 5, Profile: profile.New()},  // stale at now=30, ttl=20
+			{Node: 3, Stamp: 25, Profile: profile.New()}, // fresh
+		})
+		return n
+	}
+	n := mk(20)
+	n.BeginCycle(30)
+	if n.RPS().View().Contains(2) || n.WUP().View().Contains(2) {
+		t.Fatal("stale descriptor must be evicted from both views")
+	}
+	if !n.RPS().View().Contains(3) || !n.WUP().View().Contains(3) {
+		t.Fatal("fresh descriptor must survive")
+	}
+	off := mk(0)
+	off.BeginCycle(30)
+	if !off.RPS().View().Contains(2) || !off.WUP().View().Contains(2) {
+		t.Fatal("with DescriptorTTL disabled BeginCycle must not evict")
+	}
+}

@@ -98,3 +98,28 @@ func TestItemMessageWireTruncatedPrefixes(t *testing.T) {
 		}
 	}
 }
+
+// TestWireSizeIsExactEncodedLength pins the accounting contract completed
+// in this PR: ItemMessage.WireSize (and therefore news.Item.WireSize under
+// it) is the exact encoded byte count, not an estimate — the simulator's
+// Figure 8b bandwidth numbers and the live frames agree byte-for-byte.
+func TestWireSizeIsExactEncodedLength(t *testing.T) {
+	long := make([]byte, 300)
+	for i := range long {
+		long[i] = 'x'
+	}
+	cases := map[string]ItemMessage{
+		"full":        wireItemMsg(),
+		"nil-profile": {Item: news.New("t", "", "", -1, news.NoNode)},
+		"empty-item":  {Item: news.New("", "", "", 0, 0), Profile: profile.New()},
+		"long-strings": {
+			Item:     news.New(string(long), string(long[:200]), "l", 1<<40, 70000),
+			Dislikes: 130, Hops: 1 << 20,
+		},
+	}
+	for name, m := range cases {
+		if got, want := m.WireSize(), len(m.AppendWire(nil)); got != want {
+			t.Fatalf("%s: WireSize()=%d, encoded=%dB", name, got, want)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"whatsup/internal/core"
+	"whatsup/internal/metrics"
+	"whatsup/internal/news"
+	"whatsup/internal/sim"
+)
+
+// The churn bench measures the membership subsystem at scale: a 5k-peer
+// 4-community world where 20% of the population churns (half crashes with
+// rejoin, half graceful leaves) plus a flash crowd, with descriptor-TTL
+// eviction active. `whatsup-bench -run churn` serializes the measurement
+// into the BENCH_churn.json trajectory; the same world backs the
+// `churn-cycle-*` scenario of the BenchmarkHotPath family, which the CI
+// benchdiff gate pins by allocs/op.
+
+// ChurnBenchConfig sizes the churn bench world.
+type ChurnBenchConfig struct {
+	// Peers is the base population (default 5000).
+	Peers int
+	// Cycles is the measured run length (default 45).
+	Cycles int
+	// ChurnRate is the expected fraction of the base population hit by a
+	// churn event over the run. Zero means no trace churn (the flash crowd
+	// still arrives), so a churn-free baseline entry can be recorded; the
+	// CLI flag supplies the canonical 0.20 default.
+	ChurnRate float64
+	// FlashCrowd is the number of extra joiners arriving a third in
+	// (default Peers/20).
+	FlashCrowd int
+	// EngineWorkers is the engine pool (0 = serial).
+	EngineWorkers int
+}
+
+func (c ChurnBenchConfig) withDefaults() ChurnBenchConfig {
+	if c.Peers <= 0 {
+		c.Peers = 5000
+	}
+	if c.Cycles <= 0 {
+		c.Cycles = 45
+	}
+	if c.ChurnRate < 0 {
+		c.ChurnRate = 0
+	}
+	if c.FlashCrowd <= 0 {
+		c.FlashCrowd = c.Peers / 20
+	}
+	return c
+}
+
+// churnBenchWorld builds the bench world: peers in 4 interest communities,
+// a steady publication schedule, a churn trace across the middle of the run
+// and a flash crowd a third in. Returns the engine and the schedule it was
+// built with.
+func churnBenchWorld(cfg ChurnBenchConfig) (*sim.Engine, sim.ChurnSchedule, *metrics.Collector) {
+	const itemsPerCycle = 6
+	opinions := core.OpinionFunc(func(node news.NodeID, item news.ID) bool {
+		return int(node)%4 == int(item)%4
+	})
+	const ttl, downtime = 15, 6
+	nodeCfg := core.Config{FLike: 6, RPSViewSize: 20, DescriptorTTL: ttl}
+	peers := make([]sim.Peer, cfg.Peers)
+	for i := 0; i < cfg.Peers; i++ {
+		peers[i] = core.NewNode(news.NodeID(i), "", nodeCfg, opinions, nodeRNG(1, i))
+	}
+
+	// The churn window closes one eviction horizon plus one downtime before
+	// the end, so the run itself proves self-healing: every crasher has
+	// rejoined and every departed descriptor has aged out by the last cycle
+	// (GhostEndFrac must come back 0).
+	churnFrom := int64(cfg.Cycles / 5)
+	churnTo := int64(cfg.Cycles - ttl - downtime)
+	if churnTo <= churnFrom {
+		churnTo = churnFrom + 1
+	}
+	perCycle := cfg.ChurnRate / float64(churnTo-churnFrom)
+	schedule := sim.ChurnTrace(sim.ChurnTraceConfig{
+		Seed:      99,
+		Nodes:     cfg.Peers,
+		From:      churnFrom,
+		To:        churnTo,
+		CrashRate: perCycle / 2,
+		LeaveRate: perCycle / 2,
+		Downtime:  downtime,
+	})
+	schedule.Merge(sim.FlashCrowd(int64(cfg.Cycles/3), news.NodeID(cfg.Peers), cfg.FlashCrowd, cfg.FlashCrowd/5+1))
+
+	col := metrics.NewCollector()
+	pubs := make([]sim.Publication, 0, cfg.Cycles*itemsPerCycle)
+	for c := 1; c <= cfg.Cycles; c++ {
+		for k := 0; k < itemsPerCycle; k++ {
+			src := news.NodeID((c*itemsPerCycle + k) % cfg.Peers)
+			it := news.New(fmt.Sprintf("churn-%d-%d", c, k), "d", "l", int64(c), src)
+			it.ID = news.ID(c*itemsPerCycle + k)
+			pubs = append(pubs, sim.Publication{Cycle: int64(c), Source: src, Item: it})
+			col.RegisterItem(it.ID, (cfg.Peers+cfg.FlashCrowd)/4)
+		}
+	}
+	interests := cfg.Cycles * itemsPerCycle / 4
+	for i := 0; i < cfg.Peers+cfg.FlashCrowd; i++ {
+		col.RegisterNode(news.NodeID(i), interests)
+	}
+	for id, c := range CohortsFromSchedule(schedule) {
+		col.SetCohort(id, c)
+	}
+
+	e := sim.New(sim.Config{
+		Seed: 1, Cycles: cfg.Cycles, Workers: cfg.EngineWorkers,
+		BootstrapDegree: 5, Publications: pubs, Churn: schedule,
+		NewPeer: func(id news.NodeID) sim.Peer {
+			return core.NewNode(id, "", nodeCfg, opinions, nodeRNG(1, int(id)))
+		},
+	}, peers, col)
+	e.Bootstrap()
+	return e, schedule, col
+}
+
+// ChurnBenchResult is one BENCH_churn.json trajectory entry.
+type ChurnBenchResult struct {
+	Label      string  `json:"label,omitempty"`
+	GoVersion  string  `json:"go"`
+	MaxProcs   int     `json:"maxprocs"`
+	Peers      int     `json:"peers"`
+	FlashCrowd int     `json:"flash_crowd"`
+	Cycles     int     `json:"cycles"`
+	ChurnRate  float64 `json:"churn_rate"`
+	Events     int     `json:"events"`
+
+	WallMs       float64 `json:"wall_ms"`      // full run wall-clock
+	NsPerCycle   float64 `json:"ns_per_cycle"` // average cycle cost under churn
+	FinalOnline  int     `json:"final_online"`
+	F1           float64 `json:"f1"`
+	StableF1     float64 `json:"stable_f1"`
+	JoinerF1     float64 `json:"joiner_f1"`
+	RejoinerF1   float64 `json:"rejoiner_f1"`
+	GhostEndFrac float64 `json:"ghost_end_fraction"` // must be 0: views healed
+}
+
+// ChurnBench runs the churn scenario once and returns the trajectory entry.
+func ChurnBench(cfg ChurnBenchConfig) ChurnBenchResult {
+	cfg = cfg.withDefaults()
+	e, schedule, col := churnBenchWorld(cfg)
+	start := time.Now()
+	e.Run()
+	wall := time.Since(start)
+
+	return ChurnBenchResult{
+		GoVersion:    runtime.Version(),
+		MaxProcs:     runtime.GOMAXPROCS(0),
+		Peers:        cfg.Peers,
+		FlashCrowd:   cfg.FlashCrowd,
+		Cycles:       cfg.Cycles,
+		ChurnRate:    cfg.ChurnRate,
+		Events:       len(schedule.Events),
+		WallMs:       float64(wall.Nanoseconds()) / 1e6,
+		NsPerCycle:   float64(wall.Nanoseconds()) / float64(cfg.Cycles),
+		FinalOnline:  e.OnlineCount(),
+		F1:           col.F1(),
+		StableF1:     col.CohortSummary(metrics.CohortStable).F1(),
+		JoinerF1:     col.CohortSummary(metrics.CohortJoiner).F1(),
+		RejoinerF1:   col.CohortSummary(metrics.CohortRejoiner).F1(),
+		GhostEndFrac: ghostFraction(e),
+	}
+}
+
+// String renders the bench entry.
+func (r ChurnBenchResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Churn bench (%s, GOMAXPROCS=%d): %d peers +%d flash crowd, %d cycles, %.0f%% churn (%d events)\n",
+		r.GoVersion, r.MaxProcs, r.Peers, r.FlashCrowd, r.Cycles, r.ChurnRate*100, r.Events)
+	fmt.Fprintf(&b, "  wall %.0f ms (%.1f ms/cycle)  online(end)=%d  ghost-fraction(end)=%.4f\n",
+		r.WallMs, r.NsPerCycle/1e6, r.FinalOnline, r.GhostEndFrac)
+	fmt.Fprintf(&b, "  F1: population %.3f  stable %.3f  joiner %.3f  rejoiner %.3f",
+		r.F1, r.StableF1, r.JoinerF1, r.RejoinerF1)
+	return b.String()
+}

@@ -4,6 +4,10 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"whatsup/internal/metrics"
+	"whatsup/internal/news"
+	"whatsup/internal/sim"
 )
 
 // tiny returns fast options for tests: small scale, fixed seed.
@@ -327,5 +331,94 @@ func TestRunDeterministicAcrossCalls(t *testing.T) {
 	b := Run(RunConfig{Dataset: ds, Alg: WhatsUp, Fanout: 6, Seed: 5})
 	if a.Col.F1() != b.Col.F1() || a.Col.TotalMessages() != b.Col.TotalMessages() {
 		t.Fatal("identical configs must reproduce identical outcomes")
+	}
+}
+
+func TestChurnRunCohortsAndHealing(t *testing.T) {
+	r := ChurnRun(tiny(), ChurnConfig{
+		Dataset:    "survey",
+		Fanout:     6,
+		FlashCrowd: 10,
+		ChurnRate:  0.25,
+	})
+	if r.Events == 0 {
+		t.Fatal("churn scenario produced no membership events")
+	}
+	if r.Joiner.Nodes == 0 {
+		t.Fatal("flash-crowd joiners missing from the joiner cohort")
+	}
+	if r.Stable.Nodes == 0 {
+		t.Fatal("stable cohort empty")
+	}
+	if r.Stable.Received == 0 {
+		t.Fatal("stable peers received nothing; the run is broken")
+	}
+	if r.Joiner.Received == 0 {
+		t.Fatal("joiners never received an item after cold start")
+	}
+	if r.FinalOnline <= 0 || r.FinalOnline > r.BaseUsers+r.Joiners {
+		t.Fatalf("implausible online count %d", r.FinalOnline)
+	}
+	if len(r.GhostFraction) != r.Cycles {
+		t.Fatalf("ghost fraction sampled %d times, want %d", len(r.GhostFraction), r.Cycles)
+	}
+	// Self-healing: by the end of the run (eviction horizon past the last
+	// departure) the online views must be ghost-free.
+	if last := r.GhostFraction[len(r.GhostFraction)-1]; last != 0 {
+		t.Fatalf("views never healed: final ghost fraction %v", last)
+	}
+	if r.LastDeparture >= 0 && r.HealedAt < 0 {
+		t.Fatal("healing cycle not detected despite departures")
+	}
+	if s := r.String(); s == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestChurnRunDeterministicAcrossEngineWorkers(t *testing.T) {
+	run := func(workers int) ChurnResult {
+		return ChurnRun(tiny(), ChurnConfig{
+			Dataset: "survey", Fanout: 6, FlashCrowd: 8, ChurnRate: 0.2, Workers: workers,
+		})
+	}
+	a, b := run(1), run(4)
+	if a.F1 != b.F1 || a.Recall != b.Recall || a.Precision != b.Precision {
+		t.Fatalf("population metrics diverged across engine workers: %+v vs %+v", a, b)
+	}
+	if a.Stable != b.Stable || a.Joiner != b.Joiner || a.Rejoiner != b.Rejoiner {
+		t.Fatal("cohort summaries diverged across engine workers")
+	}
+	if a.HealedAt != b.HealedAt {
+		t.Fatalf("healing cycle diverged: %d vs %d", a.HealedAt, b.HealedAt)
+	}
+}
+
+func TestCohortsFromSchedule(t *testing.T) {
+	var s sim.ChurnSchedule
+	s.Add(5, sim.ChurnJoin, 100)
+	s.Add(6, sim.ChurnCrash, 1)
+	s.Add(9, sim.ChurnRejoin, 1)
+	s.Add(7, sim.ChurnCrash, 2) // never rejoins
+	s.Add(8, sim.ChurnLeave, 3)
+	s.Add(10, sim.ChurnJoin, 101)
+	s.Add(12, sim.ChurnCrash, 101) // joiner that crashes and stays down
+	// Out of slice order on purpose: the rejoin (cycle 20) is listed before
+	// the crash (cycle 15); the cohort scan must order by cycle like the
+	// engine does and label node 6 a rejoiner, not departed.
+	s.Add(20, sim.ChurnRejoin, 6)
+	s.Add(15, sim.ChurnCrash, 6)
+	cohorts := CohortsFromSchedule(s)
+	for id, want := range map[int]metrics.Cohort{
+		100: metrics.CohortJoiner,
+		1:   metrics.CohortRejoiner,
+		2:   metrics.CohortDeparted,
+		3:   metrics.CohortDeparted,
+		101: metrics.CohortDeparted,
+		6:   metrics.CohortRejoiner,
+		4:   metrics.CohortStable,
+	} {
+		if got := cohorts[news.NodeID(id)]; got != want {
+			t.Fatalf("node %d: cohort %v, want %v", id, got, want)
+		}
 	}
 }

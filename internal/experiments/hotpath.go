@@ -110,13 +110,30 @@ func hotPathView() (v *overlay.View, descs []overlay.Descriptor, self *profile.P
 	return v, descs, self
 }
 
-// hotPathWorld builds the full-cycle scenario world.
-func hotPathWorld(cfg HotPathConfig) *sim.Engine {
+// hotPathWorld builds the full-cycle scenario world. When churn is true it
+// adds a sustained crash-and-rejoin trace (≈1% of the population crashing
+// per cycle, back after 5) with descriptor-TTL eviction active, so the
+// measured steady-state cycle exercises the whole membership path: event
+// application, view wipes, bootstrap-from-online-sample and per-cycle
+// eviction scans.
+func hotPathWorld(cfg HotPathConfig, churn bool) *sim.Engine {
 	const scheduledCycles = 2000
 	opinions := core.OpinionFunc(func(node news.NodeID, item news.ID) bool {
 		return int(node)%4 == int(item)%4
 	})
 	nodeCfg := core.Config{FLike: 6, RPSViewSize: 20}
+	var schedule sim.ChurnSchedule
+	if churn {
+		nodeCfg.DescriptorTTL = 15
+		schedule = sim.ChurnTrace(sim.ChurnTraceConfig{
+			Seed:      7,
+			Nodes:     cfg.CyclePeers,
+			From:      1,
+			To:        scheduledCycles,
+			CrashRate: 0.01, // steady-state churn: crashers rejoin, population holds
+			Downtime:  5,
+		})
+	}
 	peers := make([]sim.Peer, cfg.CyclePeers)
 	for i := 0; i < cfg.CyclePeers; i++ {
 		peers[i] = core.NewNode(news.NodeID(i), "", nodeCfg, opinions,
@@ -138,7 +155,7 @@ func hotPathWorld(cfg HotPathConfig) *sim.Engine {
 	}
 	e := sim.New(sim.Config{
 		Seed: 1, Cycles: scheduledCycles, Workers: cfg.EngineWorkers,
-		BootstrapDegree: 5, Publications: pubs,
+		BootstrapDegree: 5, Publications: pubs, Churn: schedule,
 	}, peers, col)
 	e.Bootstrap()
 	return e
@@ -149,7 +166,7 @@ func hotPathWorld(cfg HotPathConfig) *sim.Engine {
 // successive steady-state cycles.
 func HotPathBenchmarks(cfg HotPathConfig) []NamedBench {
 	cfg = cfg.withDefaults()
-	var engine *sim.Engine
+	var engine, churnEngine *sim.Engine
 	return []NamedBench{
 		{Name: "merge", Bench: func(b *testing.B) {
 			item, user := hotPathProfiles()
@@ -199,13 +216,24 @@ func HotPathBenchmarks(cfg HotPathConfig) []NamedBench {
 		}},
 		{Name: fmt.Sprintf("cycle-%dpeers", cfg.CyclePeers), Bench: func(b *testing.B) {
 			if engine == nil {
-				engine = hotPathWorld(cfg)
+				engine = hotPathWorld(cfg, false)
 				engine.Step() // warm caches and scratch before measuring
 				b.ResetTimer()
 			}
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				engine.Step()
+			}
+		}},
+		{Name: fmt.Sprintf("churn-cycle-%dpeers", cfg.CyclePeers), Bench: func(b *testing.B) {
+			if churnEngine == nil {
+				churnEngine = hotPathWorld(cfg, true)
+				churnEngine.Step()
+				b.ResetTimer()
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				churnEngine.Step()
 			}
 		}},
 	}

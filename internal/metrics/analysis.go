@@ -149,6 +149,14 @@ func (c *Collector) Merge(other *Collector) {
 		dst.ReceivedLiked += ns.ReceivedLiked
 		dst.DislikeDeliveries += ns.DislikeDeliveries
 	}
+	for id, co := range other.cohorts {
+		// Highest label wins: commutative, and the precedence order of the
+		// Cohort constants makes the outcome the semantically right one
+		// (rejoiner > joiner > stable) whatever the merge order.
+		if co > c.cohorts[id] {
+			c.cohorts[id] = co
+		}
+	}
 	for k := MessageKind(0); k < numMessageKinds; k++ {
 		c.msgCount[k] += other.msgCount[k]
 		c.msgBytes[k] += other.msgBytes[k]

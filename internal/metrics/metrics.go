@@ -44,6 +44,40 @@ func (k MessageKind) String() string {
 	}
 }
 
+// Cohort labels a node sub-population for churn-aware analysis: under a
+// dynamic membership schedule, recall and precision are reported separately
+// for the peers that stayed up, the late joiners, and the crash-and-return
+// rejoiners (plus the departed, whose truncated participation would
+// otherwise drag the population averages).
+type Cohort uint8
+
+// The churn cohorts. Ordered by precedence: when merging collectors the
+// higher label wins, so a joiner that later crashes and rejoins ends up a
+// rejoiner in every merge order.
+const (
+	CohortStable Cohort = iota
+	CohortJoiner
+	CohortRejoiner
+	CohortDeparted
+	NumCohorts
+)
+
+// String implements fmt.Stringer.
+func (c Cohort) String() string {
+	switch c {
+	case CohortStable:
+		return "stable"
+	case CohortJoiner:
+		return "joiner"
+	case CohortRejoiner:
+		return "rejoiner"
+	case CohortDeparted:
+		return "departed"
+	default:
+		return fmt.Sprintf("cohort(%d)", int(c))
+	}
+}
+
 // ItemStats accumulates per-item dissemination outcomes.
 type ItemStats struct {
 	Interested        int  // users who like the item per the trace
@@ -75,8 +109,9 @@ func (ns *NodeStats) F1() float64 {
 // experiment run. It is not safe for concurrent use; concurrent engines
 // aggregate into per-worker collectors and Merge them.
 type Collector struct {
-	items map[news.ID]*ItemStats
-	nodes map[news.NodeID]*NodeStats
+	items   map[news.ID]*ItemStats
+	nodes   map[news.NodeID]*NodeStats
+	cohorts map[news.NodeID]Cohort // unlabelled nodes are CohortStable
 
 	msgCount [numMessageKinds]int64
 	msgBytes [numMessageKinds]int64
@@ -97,6 +132,7 @@ func NewCollector() *Collector {
 	return &Collector{
 		items:                  make(map[news.ID]*ItemStats),
 		nodes:                  make(map[news.NodeID]*NodeStats),
+		cohorts:                make(map[news.NodeID]Cohort),
 		ForwardByLike:          make(map[int]int),
 		ForwardByDislike:       make(map[int]int),
 		InfectionByLike:        make(map[int]int),
@@ -122,6 +158,75 @@ func (c *Collector) RegisterWarmupItem(id news.ID, interested int) {
 // trace (the per-node recall denominator of the sociability analysis).
 func (c *Collector) RegisterNode(id news.NodeID, interested int) {
 	c.nodes[id] = &NodeStats{Interested: interested}
+}
+
+// SetCohort labels a node's churn cohort (registration-side, like
+// RegisterNode: experiment drivers call it once from the schedule; engine
+// shards never do).
+func (c *Collector) SetCohort(id news.NodeID, co Cohort) {
+	if co == CohortStable {
+		delete(c.cohorts, id)
+		return
+	}
+	c.cohorts[id] = co
+}
+
+// CohortOf returns a node's cohort label (CohortStable when unlabelled).
+func (c *Collector) CohortOf(id news.NodeID) Cohort { return c.cohorts[id] }
+
+// CohortSummary aggregates the per-node outcomes of one cohort. Precision
+// and recall here are micro-averages over the cohort's nodes — the
+// per-cohort split of the sociability analysis's node-level quantities.
+type CohortSummary struct {
+	Cohort        Cohort
+	Nodes         int
+	Interested    int // sum of per-node interest counts (recall denominator)
+	Received      int // deliveries to the cohort (precision denominator)
+	ReceivedLiked int // deliveries the receiving node liked
+}
+
+// Precision is the fraction of the cohort's deliveries that were liked.
+func (s CohortSummary) Precision() float64 {
+	if s.Received == 0 {
+		return 0
+	}
+	return float64(s.ReceivedLiked) / float64(s.Received)
+}
+
+// Recall is the fraction of the cohort's interests that were satisfied.
+func (s CohortSummary) Recall() float64 {
+	if s.Interested == 0 {
+		return 0
+	}
+	return float64(s.ReceivedLiked) / float64(s.Interested)
+}
+
+// F1 is the harmonic mean of the cohort's precision and recall.
+func (s CohortSummary) F1() float64 { return F1Of(s.Precision(), s.Recall()) }
+
+// Dissemination is the average number of deliveries per cohort node.
+func (s CohortSummary) Dissemination() float64 {
+	if s.Nodes == 0 {
+		return 0
+	}
+	return float64(s.Received) / float64(s.Nodes)
+}
+
+// CohortSummary folds the per-node statistics of every node labelled with
+// the given cohort.
+func (c *Collector) CohortSummary(co Cohort) CohortSummary {
+	s := CohortSummary{Cohort: co}
+	for _, id := range c.NodeIDs() {
+		if c.CohortOf(id) != co {
+			continue
+		}
+		ns := c.nodes[id]
+		s.Nodes++
+		s.Interested += ns.Interested
+		s.Received += ns.Received
+		s.ReceivedLiked += ns.ReceivedLiked
+	}
+	return s
 }
 
 // RecordDelivery folds a non-duplicate delivery into the per-item and

@@ -258,3 +258,61 @@ func TestF1Of(t *testing.T) {
 		t.Fatal("F1Of(1,1)")
 	}
 }
+
+func TestCohortSummaryAndMerge(t *testing.T) {
+	c := NewCollector()
+	for id := news.NodeID(0); id < 4; id++ {
+		c.RegisterNode(id, 10)
+	}
+	c.SetCohort(2, CohortJoiner)
+	c.SetCohort(3, CohortRejoiner)
+	c.RegisterItem(1, 4)
+	// Node 0 (stable): 2 liked of 3 received; node 2 (joiner): 1 liked of 2.
+	deliver := func(node news.NodeID, liked bool) {
+		c.RecordDelivery(core.Delivery{Node: node, Item: 1, Liked: liked})
+	}
+	// Distinct items per delivery are irrelevant to node stats; reuse item 1.
+	deliver(0, true)
+	deliver(0, true)
+	deliver(0, false)
+	deliver(2, true)
+	deliver(2, false)
+
+	st := c.CohortSummary(CohortStable)
+	if st.Nodes != 2 || st.Received != 3 || st.ReceivedLiked != 2 || st.Interested != 20 {
+		t.Fatalf("stable summary %+v", st)
+	}
+	if got := st.Precision(); got != 2.0/3.0 {
+		t.Fatalf("stable precision %v", got)
+	}
+	jo := c.CohortSummary(CohortJoiner)
+	if jo.Nodes != 1 || jo.Received != 2 || jo.ReceivedLiked != 1 {
+		t.Fatalf("joiner summary %+v", jo)
+	}
+	if got := jo.Recall(); got != 0.1 {
+		t.Fatalf("joiner recall %v", got)
+	}
+	if d := c.CohortSummary(CohortRejoiner).Dissemination(); d != 0 {
+		t.Fatalf("rejoiner dissemination %v", d)
+	}
+
+	// Merge: cohort labels union commutatively with highest-label-wins.
+	a, b := NewCollector(), NewCollector()
+	a.SetCohort(7, CohortJoiner)
+	b.SetCohort(7, CohortRejoiner)
+	b.SetCohort(8, CohortDeparted)
+	a.Merge(b)
+	if a.CohortOf(7) != CohortRejoiner || a.CohortOf(8) != CohortDeparted {
+		t.Fatalf("merge labels: %v, %v", a.CohortOf(7), a.CohortOf(8))
+	}
+	b2, a2 := NewCollector(), NewCollector()
+	b2.SetCohort(7, CohortRejoiner)
+	a2.SetCohort(7, CohortJoiner)
+	b2.Merge(a2)
+	if b2.CohortOf(7) != a.CohortOf(7) {
+		t.Fatal("cohort merge is not commutative")
+	}
+	if a.CohortOf(99) != CohortStable {
+		t.Fatal("unlabelled nodes default to the stable cohort")
+	}
+}

@@ -12,6 +12,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
+
+	"whatsup/internal/wire"
 )
 
 // ID is the 8-byte identifier of a news item. It is the FNV-1a hash of the
@@ -83,11 +85,14 @@ func New(title, description, link string, created int64, source NodeID) Item {
 	}
 }
 
-// WireSize returns the approximate number of bytes the item occupies in a
-// BEEP message: content plus timestamp and dislike counter, without the ID
-// (which is recomputed at the receiver, II-A).
+// WireSize returns the exact number of bytes the item occupies in a BEEP
+// message: the three length-prefixed content strings plus the varint
+// timestamp and source, matching byte-for-byte the item fields
+// core.ItemMessage.AppendWire encodes. The ID is not counted — it is
+// recomputed at the receiver, never transmitted (II-A) — and neither are
+// the dataset ground-truth fields Topic and Community, which are never
+// gossiped.
 func (it Item) WireSize() int {
-	const timestampBytes, dislikeCounterBytes = 8, 2
-	return len(it.Title) + len(it.Description) + len(it.Link) +
-		timestampBytes + dislikeCounterBytes
+	return wire.StringLen(it.Title) + wire.StringLen(it.Description) + wire.StringLen(it.Link) +
+		wire.IntLen(it.Created) + wire.IntLen(int64(it.Source))
 }

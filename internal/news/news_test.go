@@ -3,6 +3,8 @@ package news
 import (
 	"testing"
 	"testing/quick"
+
+	"whatsup/internal/wire"
 )
 
 func TestHashDeterministic(t *testing.T) {
@@ -101,5 +103,23 @@ func TestHashPropertyNoEasyCollisions(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestWireSizeMatchesWireHelpers pins that Item.WireSize is computed with
+// the exact internal/wire length helpers: varint-prefixed strings plus
+// varint timestamp and source, no fixed-width approximation.
+func TestWireSizeMatchesWireHelpers(t *testing.T) {
+	it := New("headline", "a short description", "https://example.org/a", 42, 7)
+	want := wire.StringLen(it.Title) + wire.StringLen(it.Description) + wire.StringLen(it.Link) +
+		wire.IntLen(it.Created) + wire.IntLen(int64(it.Source))
+	if got := it.WireSize(); got != want {
+		t.Fatalf("WireSize=%d, helpers say %d", got, want)
+	}
+	// A 300-byte title needs a 2-byte length prefix; the old fixed estimate
+	// could not represent that.
+	big := New(string(make([]byte, 300)), "", "", 0, 0)
+	if got := big.WireSize(); got != 2+300+1+1+1+1 {
+		t.Fatalf("big WireSize=%d, want %d", got, 2+300+1+1+1+1)
 	}
 }

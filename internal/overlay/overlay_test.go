@@ -398,3 +398,56 @@ func TestWireSize(t *testing.T) {
 		t.Fatal("view wire size must sum entries")
 	}
 }
+
+func TestEvictOlderThanPreservesOrderAndIndex(t *testing.T) {
+	v := NewView(10)
+	for i := news.NodeID(1); i <= 6; i++ {
+		v.Insert(desc(i, int64(i*10), news.ID(i)))
+	}
+	if evicted := v.EvictOlderThan(35); evicted != 3 {
+		t.Fatalf("evicted %d entries, want 3 (stamps 10,20,30)", evicted)
+	}
+	want := []news.NodeID{4, 5, 6}
+	got := make([]news.NodeID, 0, 3)
+	v.ForEach(func(d Descriptor) { got = append(got, d.Node) })
+	for i, id := range want {
+		if got[i] != id {
+			t.Fatalf("survivor order %v, want %v (insertion order must be preserved)", got, want)
+		}
+	}
+	for _, id := range want {
+		d, ok := v.Get(id)
+		if !ok || d.Node != id {
+			t.Fatalf("index broken for node %d after eviction", id)
+		}
+	}
+	for _, id := range []news.NodeID{1, 2, 3} {
+		if v.Contains(id) {
+			t.Fatalf("node %d should have been evicted", id)
+		}
+	}
+	if v.EvictOlderThan(35) != 0 {
+		t.Fatal("second eviction at the same horizon must be a no-op")
+	}
+	// Survivors must still be removable/insertable through the index.
+	v.Remove(5)
+	if v.Len() != 2 || v.Contains(5) {
+		t.Fatal("Remove after eviction broke the view")
+	}
+}
+
+func TestEvictOlderThanBoundary(t *testing.T) {
+	v := NewView(5)
+	v.Insert(desc(1, 10))
+	v.Insert(desc(2, 11))
+	if v.EvictOlderThan(10) != 0 {
+		t.Fatal("entries stamped exactly at the horizon must survive (strictly-older rule)")
+	}
+	if v.EvictOlderThan(11) != 1 || v.Contains(1) {
+		t.Fatal("entry below the horizon must go")
+	}
+	empty := NewView(3)
+	if empty.EvictOlderThan(100) != 0 {
+		t.Fatal("evicting an empty view must be a no-op")
+	}
+}

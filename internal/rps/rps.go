@@ -96,6 +96,14 @@ func (p *Protocol) merge(received []overlay.Descriptor) {
 	p.view.TrimRandom(p.rng)
 }
 
+// EvictOlderThan drops view entries whose descriptors are older than
+// minStamp — the age-based self-healing rule that flushes descriptors of
+// departed nodes (their stamps stop advancing once they leave). Reports how
+// many entries were evicted.
+func (p *Protocol) EvictOlderThan(minStamp int64) int {
+	return p.view.EvictOlderThan(minStamp)
+}
+
 // Crash clears the view, used by failure-injection tests to model a node
 // that lost its state.
 func (p *Protocol) Crash() {

@@ -24,6 +24,16 @@
 //   - Metrics are recorded into per-worker metrics.Collector shards and
 //     merged into the main collector at the end of every cycle; all merged
 //     quantities are integers, so the merge is order-independent.
+//
+// Membership is dynamic (see membership.go): peers are members with
+// lifecycle states (Online, Offline, Departed) held at stable dense
+// indices, and a declarative ChurnSchedule drives joins, graceful leaves,
+// crashes and rejoins. The determinism contract extends to churn: a given
+// seed and schedule produce bit-identical results for any worker count,
+// because events are applied serially at the cycle boundary and consume
+// randomness only from the affected peer's stream, while departed members
+// keep their index so the phase sharding never shifts. An empty schedule
+// reproduces the historical fixed-population behaviour bit-identically.
 package sim
 
 import (
@@ -85,6 +95,16 @@ type Config struct {
 	// Publications is the item schedule; entries outside [1, Cycles] never
 	// fire under Run (Step honours whatever cycle it reaches).
 	Publications []Publication
+	// Churn is the declarative membership schedule: the events of cycle c
+	// are applied serially at the start of cycle c, before any peer acts.
+	// An empty schedule reproduces the historical fixed-peer behaviour
+	// bit-identically.
+	Churn ChurnSchedule
+	// NewPeer constructs the peer object for a scheduled ChurnJoin event.
+	// Required when the schedule contains joins (join events are skipped
+	// otherwise); the engine bootstraps the new peer's views from the
+	// online population.
+	NewPeer func(id news.NodeID) Peer
 	// OnCycleEnd, if set, is invoked after each cycle with the engine; used
 	// by the dynamics experiments (Figure 7) to sample view similarity.
 	OnCycleEnd func(e *Engine, now int64)
@@ -115,13 +135,15 @@ type segment struct {
 type Engine struct {
 	cfg     Config
 	workers int
-	peers   []Peer
-	byID    map[news.NodeID]Peer
+	members []member                   // lifecycle-aware membership table, dense stable indices
+	idx     map[news.NodeID]int        // node id -> dense index in members
+	online  int                        // count of members in state Online
 	streams map[news.NodeID]*rand.Rand // engine-side per-peer randomness
 	col     *metrics.Collector
 	shards  []*metrics.Collector // per-worker scratch collectors
 	now     int64
 	pubs    map[int64][]Publication
+	churn   map[int64][]ChurnEvent
 
 	batch       []envelope // sends of the current BEEP hop
 	next        []envelope // assembly buffer for the following hop
@@ -146,11 +168,12 @@ func New(cfg Config, peers []Peer, col *metrics.Collector) *Engine {
 	e := &Engine{
 		cfg:       cfg,
 		workers:   workers,
-		byID:      make(map[news.NodeID]Peer, len(peers)),
+		idx:       make(map[news.NodeID]int, len(peers)),
 		streams:   make(map[news.NodeID]*rand.Rand, len(peers)),
 		col:       col,
 		shards:    make([]*metrics.Collector, workers),
 		pubs:      make(map[int64][]Publication),
+		churn:     make(map[int64][]ChurnEvent),
 		bucketIdx: make(map[news.NodeID]int, len(peers)),
 		sendBufs:  make([][]envelope, workers),
 		delivBufs: make([][]core.Delivery, workers),
@@ -163,6 +186,9 @@ func New(cfg Config, peers []Peer, col *metrics.Collector) *Engine {
 	}
 	for _, pub := range cfg.Publications {
 		e.pubs[pub.Cycle] = append(e.pubs[pub.Cycle], pub)
+	}
+	for _, ev := range cfg.Churn.Events {
+		e.churn[ev.Cycle] = append(e.churn[ev.Cycle], ev)
 	}
 	return e
 }
@@ -178,21 +204,241 @@ func streamSeed(seed int64, id news.NodeID) int64 {
 	return int64(z)
 }
 
+// addPeer appends a member in state Online at the next dense index. Indices
+// are stable for the lifetime of the engine: departures never compact the
+// table, so worker-span sharding and per-peer RNG streams are unaffected by
+// how much churn preceded the current cycle.
 func (e *Engine) addPeer(p Peer) {
-	e.peers = append(e.peers, p)
-	e.byID[p.ID()] = p
+	e.idx[p.ID()] = len(e.members)
+	e.members = append(e.members, member{peer: p, state: Online})
+	e.online++
 	e.streams[p.ID()] = rand.New(rand.NewSource(streamSeed(e.cfg.Seed, p.ID())))
 }
 
 // AddPeer registers a peer between cycles (the joining-node experiment of
-// Figure 7). The caller is responsible for cold-starting its views.
-func (e *Engine) AddPeer(p Peer) { e.addPeer(p) }
+// Figure 7). The caller is responsible for cold-starting its views; joins
+// scheduled through Config.Churn are bootstrapped by the engine instead.
+// Registering an id that already exists is a no-op.
+func (e *Engine) AddPeer(p Peer) {
+	if _, exists := e.idx[p.ID()]; exists {
+		return
+	}
+	e.addPeer(p)
+}
 
-// Peers returns the engine's peers in registration order.
-func (e *Engine) Peers() []Peer { return e.peers }
+// Peers returns a copy of the engine's peers in registration order,
+// regardless of lifecycle state. The returned slice is the caller's to keep:
+// mutating it cannot corrupt the engine's membership table or its sharding
+// invariants (the engine's internal slice must stay dense and stable).
+func (e *Engine) Peers() []Peer {
+	out := make([]Peer, len(e.members))
+	for i, m := range e.members {
+		out[i] = m.peer
+	}
+	return out
+}
 
-// Peer returns the peer with the given id, or nil.
-func (e *Engine) Peer(id news.NodeID) Peer { return e.byID[id] }
+// OnlinePeers returns a copy of the currently online peers in registration
+// order.
+func (e *Engine) OnlinePeers() []Peer {
+	out := make([]Peer, 0, e.online)
+	for _, m := range e.members {
+		if m.state == Online {
+			out = append(out, m.peer)
+		}
+	}
+	return out
+}
+
+// Peer returns the peer with the given id in any lifecycle state, or nil.
+func (e *Engine) Peer(id news.NodeID) Peer {
+	if i, ok := e.idx[id]; ok {
+		return e.members[i].peer
+	}
+	return nil
+}
+
+// State returns the lifecycle state of a member; ok is false for ids the
+// engine has never seen.
+func (e *Engine) State(id news.NodeID) (MemberState, bool) {
+	if i, ok := e.idx[id]; ok {
+		return e.members[i].state, true
+	}
+	return Departed, false
+}
+
+// OnlineCount returns the number of members currently online.
+func (e *Engine) OnlineCount() int { return e.online }
+
+// MemberCount returns the total number of members ever registered,
+// including offline and departed ones.
+func (e *Engine) MemberCount() int { return len(e.members) }
+
+// onlinePeer returns the peer for an id only when it is online.
+func (e *Engine) onlinePeer(id news.NodeID) Peer {
+	if i, ok := e.idx[id]; ok && e.members[i].state == Online {
+		return e.members[i].peer
+	}
+	return nil
+}
+
+// setState transitions one member, maintaining the online count.
+func (e *Engine) setState(i int, s MemberState) {
+	if e.members[i].state == Online {
+		e.online--
+	}
+	e.members[i].state = s
+	if s == Online {
+		e.online++
+	}
+}
+
+// Leave gracefully departs a member (final). Reports whether the member
+// existed and was not already departed.
+func (e *Engine) Leave(id news.NodeID) bool {
+	i, ok := e.idx[id]
+	if !ok || e.members[i].state == Departed {
+		return false
+	}
+	e.setState(i, Departed)
+	if l, isLeaver := e.members[i].peer.(Leaver); isLeaver {
+		l.Leave()
+	}
+	return true
+}
+
+// Crash abruptly takes an online member offline, wiping its volatile state
+// (views) when the peer supports it. Reports whether the member was online.
+func (e *Engine) Crash(id news.NodeID) bool {
+	i, ok := e.idx[id]
+	if !ok || e.members[i].state != Online {
+		return false
+	}
+	e.setState(i, Offline)
+	if c, isCrasher := e.members[i].peer.(Crasher); isCrasher {
+		c.Crash()
+	}
+	return true
+}
+
+// Rejoin brings a crashed (offline) member back online: views are wiped and
+// re-seeded from a random sample of the online population drawn from the
+// member's own engine stream, the profile is whatever the peer retained.
+// Reports whether the member was offline.
+func (e *Engine) Rejoin(id news.NodeID) bool {
+	i, ok := e.idx[id]
+	if !ok || e.members[i].state != Offline {
+		return false
+	}
+	e.setState(i, Online)
+	p := e.members[i].peer
+	if c, isCrasher := p.(Crasher); isCrasher {
+		c.Crash() // ensure stale views are gone even if the crash hook was absent
+	}
+	e.seedFromOnline(p, e.now)
+	return true
+}
+
+// Join registers a brand-new peer and bootstraps its views from the online
+// population (ColdStarter peers inherit a random online host's views, the
+// paper's Section II-D procedure; others get a random descriptor sample).
+// Reports whether the id was new.
+func (e *Engine) Join(p Peer) bool {
+	if _, exists := e.idx[p.ID()]; exists {
+		return false
+	}
+	e.addPeer(p)
+	stream := e.streams[p.ID()]
+	if cs, isCold := p.(ColdStarter); isCold {
+		if host := e.randomOnlineHost(p.ID(), stream); host != nil && host.RPS() != nil && host.WUP() != nil {
+			cs.ColdStart(host.RPS().View().Entries(), host.WUP().View().Entries(), e.now)
+			return true
+		}
+	}
+	e.seedFromOnline(p, e.now)
+	return true
+}
+
+// randomOnlineHost picks a uniformly random online member other than self,
+// drawing from the given stream; nil when none exists. Candidates are
+// enumerated in dense-index order, so the draw is independent of the worker
+// count.
+func (e *Engine) randomOnlineHost(self news.NodeID, stream *rand.Rand) Peer {
+	candidates := 0
+	for _, m := range e.members {
+		if m.state == Online && m.peer.ID() != self {
+			candidates++
+		}
+	}
+	if candidates == 0 {
+		return nil
+	}
+	pick := stream.Intn(candidates)
+	for _, m := range e.members {
+		if m.state == Online && m.peer.ID() != self {
+			if pick == 0 {
+				return m.peer
+			}
+			pick--
+		}
+	}
+	return nil
+}
+
+// seedFromOnline seeds a joining or rejoining peer's views with up to
+// BootstrapDegree fresh descriptors of online members, sampled from the
+// peer's own engine stream (the only randomness the operation consumes).
+func (e *Engine) seedFromOnline(p Peer, now int64) {
+	descs := make([]overlay.Descriptor, 0, e.cfg.BootstrapDegree)
+	stream := e.streams[p.ID()]
+	for _, j := range stream.Perm(len(e.members)) {
+		m := e.members[j]
+		if m.state != Online || m.peer.ID() == p.ID() {
+			continue
+		}
+		descs = append(descs, descriptorOf(m.peer, now))
+		if len(descs) == e.cfg.BootstrapDegree {
+			break
+		}
+	}
+	if r, isRejoiner := p.(Rejoiner); isRejoiner {
+		r.Rejoin(descs, now)
+		return
+	}
+	if p.RPS() != nil {
+		p.RPS().Seed(descs)
+	}
+	if p.WUP() != nil {
+		p.WUP().Seed(descs, p.UserProfile())
+	}
+}
+
+// applyChurn applies the scheduled membership events of one cycle, serially
+// and in schedule order. Randomness is only ever drawn from the stream of
+// the event's own node, so schedules preserve the worker-count determinism
+// contract.
+func (e *Engine) applyChurn(now int64) {
+	for _, ev := range e.churn[now] {
+		switch ev.Kind {
+		case ChurnJoin:
+			if e.cfg.NewPeer == nil {
+				continue
+			}
+			if _, exists := e.idx[ev.Node]; exists {
+				continue
+			}
+			if p := e.cfg.NewPeer(ev.Node); p != nil && p.ID() == ev.Node {
+				e.Join(p)
+			}
+		case ChurnLeave:
+			e.Leave(ev.Node)
+		case ChurnCrash:
+			e.Crash(ev.Node)
+		case ChurnRejoin:
+			e.Rejoin(ev.Node)
+		}
+	}
+}
 
 // Collector returns the metrics collector.
 func (e *Engine) Collector() *metrics.Collector { return e.col }
@@ -247,24 +493,27 @@ func descriptorOf(p Peer, now int64) overlay.Descriptor {
 	return overlay.Descriptor{Node: p.ID(), Stamp: now, Profile: p.UserProfile().Clone()}
 }
 
-// Bootstrap seeds every peer's views with BootstrapDegree random
-// descriptors, forming the initial random graph. Each peer samples its
-// neighbours from its own engine stream, so the graph is independent of the
-// worker count.
+// Bootstrap seeds every online peer's views with BootstrapDegree random
+// descriptors of other online peers, forming the initial random graph. Each
+// peer samples its neighbours from its own engine stream, so the graph is
+// independent of the worker count.
 func (e *Engine) Bootstrap() {
-	n := len(e.peers)
+	n := len(e.members)
 	if n < 2 {
 		return
 	}
 	e.parallelFor(n, func(_, i int) {
-		p := e.peers[i]
+		if e.members[i].state != Online {
+			return
+		}
+		p := e.members[i].peer
 		descs := make([]overlay.Descriptor, 0, e.cfg.BootstrapDegree)
 		for _, j := range e.streams[p.ID()].Perm(n) {
-			q := e.peers[j]
-			if q.ID() == p.ID() {
+			m := e.members[j]
+			if m.state != Online || m.peer.ID() == p.ID() {
 				continue
 			}
-			descs = append(descs, descriptorOf(q, 0))
+			descs = append(descs, descriptorOf(m.peer, 0))
 			if len(descs) == e.cfg.BootstrapDegree {
 				break
 			}
@@ -301,17 +550,26 @@ func descriptorsWireSize(batch []overlay.Descriptor) int {
 	return total
 }
 
-// Step advances the simulation by one cycle.
+// Step advances the simulation by one cycle: membership events first, then
+// per-peer maintenance, the two gossip rounds, scheduled publications and
+// the BEEP drain. Offline and departed members take part in nothing;
+// messages addressed to them are dropped exactly where an unknown
+// destination's would be.
 func (e *Engine) Step() {
 	e.now++
 	now := e.now
 
-	e.parallelFor(len(e.peers), func(_, i int) { e.peers[i].BeginCycle(now) })
+	e.applyChurn(now)
+	e.parallelFor(len(e.members), func(_, i int) {
+		if e.members[i].state == Online {
+			e.members[i].peer.BeginCycle(now)
+		}
+	})
 	e.gossipRPS(now)
 	e.gossipWUP(now)
 
 	for _, pub := range e.pubs[now] {
-		src := e.byID[pub.Source]
+		src := e.onlinePeer(pub.Source)
 		if src == nil {
 			continue
 		}
@@ -360,7 +618,7 @@ func (e *Engine) bucketByResponder(exs []exchange, hasLayer func(Peer) bool) []n
 		if !ex.ok || ex.lost {
 			continue
 		}
-		r := e.byID[ex.target]
+		r := e.onlinePeer(ex.target)
 		if r == nil || !hasLayer(r) {
 			continue
 		}
@@ -393,14 +651,17 @@ func (e *Engine) gossipRound(reqKind, repKind metrics.MessageKind,
 	absorbPush func(responder Peer, push []overlay.Descriptor) (reply []overlay.Descriptor),
 	absorbReply func(initiator Peer, reply []overlay.Descriptor),
 ) {
-	n := len(e.peers)
+	n := len(e.members)
 	if cap(e.exs) < n {
 		e.exs = make([]exchange, n)
 	}
 	exs := e.exs[:n]
 	clear(exs) // also drops the previous round's push/reply refs
 	e.parallelFor(n, func(w, i int) {
-		p := e.peers[i]
+		if e.members[i].state != Online {
+			return
+		}
+		p := e.members[i].peer
 		if !has(p) {
 			return
 		}
@@ -415,7 +676,7 @@ func (e *Engine) gossipRound(reqKind, repKind metrics.MessageKind,
 	order := e.bucketByResponder(exs, has)
 	e.parallelFor(len(order), func(w, bi int) {
 		respID := order[bi]
-		responder := e.byID[respID]
+		responder := e.onlinePeer(respID)
 		for _, i := range e.bucketLists[bi] {
 			reply := absorbPush(responder, exs[i].push)
 			e.shards[w].RecordMessage(repKind, descriptorsWireSize(reply))
@@ -427,7 +688,7 @@ func (e *Engine) gossipRound(reqKind, repKind metrics.MessageKind,
 
 	e.parallelFor(n, func(_, i int) {
 		if exs[i].reply != nil {
-			absorbReply(e.peers[i], exs[i].reply)
+			absorbReply(e.members[i].peer, exs[i].reply)
 		}
 	})
 }
@@ -540,7 +801,7 @@ func (e *Engine) deliverRound(now int64) {
 	// segment (receiver) order exactly.
 	e.parallelFor(len(e.segs), func(w, si int) {
 		seg := e.segs[si]
-		recv := e.byID[batch[seg.lo].to]
+		recv := e.onlinePeer(batch[seg.lo].to)
 		col := e.shards[w]
 		for k := seg.lo; k < seg.hi; k++ {
 			env := &batch[k]
@@ -581,19 +842,20 @@ func (e *Engine) deliverRound(now int64) {
 	e.batch, e.next = e.next, e.batch
 }
 
-// WUPGraph snapshots the directed graph formed by the peers' WUP views,
-// for the connectivity and clustering analyses (Figure 4, Section V-A).
-// Peers without a clustering layer contribute no edges. Node ids must be
-// dense in [0, len(peers)) for the returned graph indices to be meaningful;
-// engines built by the experiment harness guarantee this.
+// WUPGraph snapshots the directed graph formed by the online peers' WUP
+// views, for the connectivity and clustering analyses (Figure 4,
+// Section V-A). Offline and departed members contribute no edges (their
+// views are wiped or frozen); peers without a clustering layer likewise.
+// Node ids must be dense in [0, MemberCount) for the returned graph indices
+// to be meaningful; engines built by the experiment harness guarantee this.
 func (e *Engine) WUPGraph() *graph.Directed {
-	g := graph.NewDirected(len(e.peers))
-	for _, p := range e.peers {
-		if p.WUP() == nil {
+	g := graph.NewDirected(len(e.members))
+	for _, m := range e.members {
+		if m.state != Online || m.peer.WUP() == nil {
 			continue
 		}
-		id := int(p.ID())
-		p.WUP().View().ForEach(func(d overlay.Descriptor) {
+		id := int(m.peer.ID())
+		m.peer.WUP().View().ForEach(func(d overlay.Descriptor) {
 			g.AddEdge(id, int(d.Node))
 		})
 	}

@@ -56,7 +56,31 @@ type (
 	Dataset = dataset.Dataset
 	// Profile is an interest profile.
 	Profile = profile.Profile
+	// ChurnSchedule declares membership events (joins, leaves, crashes,
+	// rejoins) by cycle; see NewSimulation and sim.ChurnSchedule.
+	ChurnSchedule = sim.ChurnSchedule
+	// ChurnEvent is one scheduled membership transition.
+	ChurnEvent = sim.ChurnEvent
+	// MemberState is a peer's lifecycle state (Online, Offline, Departed).
+	MemberState = sim.MemberState
 )
+
+// Churn event kinds and lifecycle states, re-exported for schedule building.
+const (
+	ChurnJoin   = sim.ChurnJoin
+	ChurnLeave  = sim.ChurnLeave
+	ChurnCrash  = sim.ChurnCrash
+	ChurnRejoin = sim.ChurnRejoin
+
+	Online   = sim.Online
+	Offline  = sim.Offline
+	Departed = sim.Departed
+)
+
+// FlashCrowd builds a flash-crowd join schedule (see sim.FlashCrowd).
+func FlashCrowd(start int64, firstID NodeID, joiners, perCycle int) ChurnSchedule {
+	return sim.FlashCrowd(start, firstID, joiners, perCycle)
+}
 
 // Metrics for clustering and orientation.
 var (
@@ -116,6 +140,13 @@ type SimulationConfig struct {
 	// bit-identical for any value; see internal/sim for the determinism
 	// contract.
 	Workers int
+	// Churn schedules membership events; an empty schedule keeps the
+	// population static (and results bit-identical with earlier releases).
+	// Scheduled joiners are built as WhatsUp nodes with the workload's
+	// opinions (ids past the workload population reuse id mod Users) and
+	// cold-start from a live host (Section II-D). Set Node.DescriptorTTL so
+	// the surviving views evict departed peers' descriptors.
+	Churn ChurnSchedule
 	// OnDelivery observes every first-time delivery.
 	OnDelivery func(d Delivery, cycle int64)
 }
@@ -156,10 +187,28 @@ func NewSimulation(ds *Dataset, cfg SimulationConfig) *Simulation {
 		LossRate:     cfg.LossRate,
 		Workers:      cfg.Workers,
 		Publications: pubs,
-		OnDelivery:   cfg.OnDelivery,
+		Churn:        cfg.Churn,
+		NewPeer: func(id news.NodeID) sim.Peer {
+			opID := id
+			if int(opID) >= ds.Users {
+				opID = news.NodeID(int(opID) % ds.Users)
+			}
+			joinOp := core.OpinionFunc(func(_ news.NodeID, item news.ID) bool {
+				return op.Likes(opID, item)
+			})
+			return core.NewNode(id, "", cfg.Node, joinOp,
+				rand.New(rand.NewSource(cfg.Seed*1_000_003+int64(id))))
+		},
+		OnDelivery: cfg.OnDelivery,
 	}, peers, col)
 	engine.Bootstrap()
 	return &Simulation{engine: engine, col: col, ds: ds}
+}
+
+// MemberState returns a node's lifecycle state (ok is false for unknown
+// ids); Online/Leave-style transitions are driven by SimulationConfig.Churn.
+func (s *Simulation) MemberState(id NodeID) (MemberState, bool) {
+	return s.engine.State(id)
 }
 
 // Step advances one gossip cycle.

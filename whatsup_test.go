@@ -103,3 +103,32 @@ func TestMetricsExposed(t *testing.T) {
 		t.Fatal("collector must be populated")
 	}
 }
+
+func TestSimulationChurnSchedule(t *testing.T) {
+	ds := SurveyDataset(3, 0.08)
+	schedule := FlashCrowd(5, NodeID(ds.Users), 6, 3)
+	schedule.Add(8, ChurnCrash, 0)
+	schedule.Add(12, ChurnRejoin, 0)
+	schedule.Add(9, ChurnLeave, 1)
+	s := NewSimulation(ds, SimulationConfig{
+		Node:  Config{FLike: 5, DescriptorTTL: 10},
+		Seed:  4,
+		Churn: schedule,
+	})
+	s.Run()
+	if st, ok := s.MemberState(NodeID(ds.Users)); !ok || st != Online {
+		t.Fatalf("flash-crowd joiner state = %v, %v", st, ok)
+	}
+	if st, _ := s.MemberState(0); st != Online {
+		t.Fatalf("rejoined node state = %v", st)
+	}
+	if st, _ := s.MemberState(1); st != Departed {
+		t.Fatalf("departed node state = %v", st)
+	}
+	if joiner := s.Node(NodeID(ds.Users)); joiner == nil || joiner.WUP().View().Len() == 0 {
+		t.Fatal("joiner must exist with bootstrapped views")
+	}
+	if s.Results().F1 <= 0 {
+		t.Fatal("churning run produced no quality signal")
+	}
+}
