@@ -41,6 +41,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		skipLive      = fs.Bool("skip-live", false, "skip the live (ModelNet/PlanetLab) runs in fig8 and the 'live' scenario")
 		transport     = fs.String("transport", "channel", "network for the 'live' scenario: channel (in-memory emulation) or tcp (loopback sockets)")
 		batchWindow   = fs.Duration("batch-window", 0, "TCP write-coalescing window for the 'live' scenario (0 = opportunistic batching)")
+		liveChurn     = fs.Float64("live-churn", 0, "population fraction hit by churn in the 'live' scenario (crash+rejoin and graceful leaves; 0 = static fleet)")
+		liveFlash     = fs.Int("live-flash-crowd", 0, "flash-crowd joiners arriving a third into the 'live' scenario")
 		benchOut      = fs.String("bench-out", "BENCH_hotpath.json", "trajectory file the 'hotpath' scenario appends its measurements to")
 		benchLabel    = fs.String("bench-label", "", "optional label recorded with the 'hotpath' and 'churn' trajectory entries")
 		cyclePeers    = fs.Int("cycle-peers", 5000, "population of the 'hotpath' full-cycle and 'churn' scenarios")
@@ -109,6 +111,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		r, err := experiments.LiveRun(o, experiments.LiveRunConfig{
 			Transport: *transport, BatchWindow: *batchWindow,
+			ChurnRate: *liveChurn, FlashCrowd: *liveFlash,
 		})
 		if err != nil {
 			liveErr = err

@@ -45,6 +45,21 @@ func TestRunLiveTransportScenario(t *testing.T) {
 	}
 }
 
+func TestRunLiveChurnScenario(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-run", "live", "-transport", "channel", "-scale", "0.1",
+		"-live-churn", "0.25", "-live-flash-crowd", "6"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%q", code, errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{"Live transport run: channel", "churn:", "joiner", "ghost-fraction(end)"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("expected %q in output:\n%s", want, got)
+		}
+	}
+}
+
 func TestRunSkipLiveSkipsLiveScenario(t *testing.T) {
 	var out, errOut strings.Builder
 	if code := run([]string{"-run", "live", "-skip-live"}, &out, &errOut); code != 0 {

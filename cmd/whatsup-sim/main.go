@@ -2,7 +2,9 @@
 // algorithm on one workload at one fanout, and prints the user and system
 // metrics. With -churn or -flash-crowd it runs the dynamic-membership
 // scenario instead: a churning population with per-cohort quality metrics
-// and view self-healing statistics.
+// and view self-healing statistics. With -live the same churn flags drive
+// the concurrent live runtime (goroutine-per-node over a real transport)
+// instead of the deterministic simulator.
 //
 // Usage:
 //
@@ -10,6 +12,7 @@
 //	whatsup-sim -dataset digg -alg cf-cos -fanout 25 -loss 0.2
 //	whatsup-sim -dataset synthetic -workers 8 -scale 1
 //	whatsup-sim -dataset survey -churn 0.2 -flash-crowd 50 -descriptor-ttl 15
+//	whatsup-sim -live -live-transport channel -churn 0.2 -flash-crowd 20
 package main
 
 import (
@@ -44,7 +47,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 		churnRate  = fs.Float64("churn", 0, "expected fraction of the population hit by a churn event over the run (enables the churn scenario)")
 		flashCrowd = fs.Int("flash-crowd", 0, "extra nodes joining as a flash crowd a third into the run (enables the churn scenario)")
-		descTTL    = fs.Int64("descriptor-ttl", 0, "view eviction horizon in cycles for the churn scenario (0 = scenario default 15)")
+		descTTL    = fs.Int64("descriptor-ttl", 0, "view eviction horizon in cycles for the churn scenario (0 = scenario default)")
+
+		liveRun       = fs.Bool("live", false, "run on the concurrent live runtime (goroutine-per-node, real transports) instead of the deterministic simulator; combines with -churn/-flash-crowd")
+		liveTransport = fs.String("live-transport", "channel", "live transport: channel (in-memory emulation) or tcp (loopback sockets)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -68,6 +74,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 	engineWorkers := *workers
 	if engineWorkers <= 0 {
 		engineWorkers = runtime.GOMAXPROCS(0) // a single point gets the machine
+	}
+
+	if *liveRun {
+		// The live runtime is WhatsUp-only, like the paper's deployments, and
+		// runs the survey workload; churn flags feed its membership
+		// controller instead of the simulator's schedule.
+		if a != experiments.WhatsUp {
+			fmt.Fprintf(stderr, "-live supports only -alg whatsup (got %q)\n", *alg)
+			return 2
+		}
+		r, err := experiments.LiveRun(experiments.Options{Seed: *seed, Scale: *scale}, experiments.LiveRunConfig{
+			Transport:     *liveTransport,
+			Fanout:        *fanout,
+			LossRate:      *loss,
+			ChurnRate:     *churnRate,
+			FlashCrowd:    *flashCrowd,
+			DescriptorTTL: *descTTL,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		fmt.Fprintln(stdout, r)
+		return 0
 	}
 
 	if *churnRate > 0 || *flashCrowd > 0 {

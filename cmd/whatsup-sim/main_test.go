@@ -54,6 +54,38 @@ func TestRunChurnScenario(t *testing.T) {
 	}
 }
 
+func TestRunLiveChurnScenario(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-live", "-live-transport", "channel", "-scale", "0.12",
+		"-churn", "0.25", "-flash-crowd", "6"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%q", code, errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{"Live transport run", "churn:", "joiner", "ghost-fraction(end)"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunLiveRejectsBaselines(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-live", "-alg", "gossip"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit=%d want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "only -alg whatsup") {
+		t.Fatalf("stderr=%q", errOut.String())
+	}
+}
+
+func TestRunLiveRejectsUnknownTransport(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-live", "-live-transport", "smoke-signal"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit=%d want 2", code)
+	}
+}
+
 func TestRunChurnRejectsBaselines(t *testing.T) {
 	var out, errOut strings.Builder
 	if code := run([]string{"-alg", "gossip", "-churn", "0.2"}, &out, &errOut); code != 2 {

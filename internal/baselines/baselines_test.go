@@ -13,10 +13,15 @@ import (
 	"whatsup/internal/sim"
 )
 
-// The gossip and CF peers must satisfy the engine contract.
+// The gossip and CF peers must satisfy the engine contract, including the
+// lifecycle hooks so scheduled crashes wipe their views like WhatsUp's.
 var (
-	_ sim.Peer = (*Gossip)(nil)
-	_ sim.Peer = (*CF)(nil)
+	_ sim.Peer    = (*Gossip)(nil)
+	_ sim.Peer    = (*CF)(nil)
+	_ sim.Crasher = (*Gossip)(nil)
+	_ sim.Crasher = (*CF)(nil)
+	_ sim.Leaver  = (*Gossip)(nil)
+	_ sim.Leaver  = (*CF)(nil)
 )
 
 func likeEven() core.Opinions {
@@ -131,6 +136,58 @@ func TestCFRunsUnderEngine(t *testing.T) {
 	}
 	if col.Messages(metrics.MsgBeep) == 0 || col.GossipMessages() == 0 {
 		t.Fatal("traffic must be accounted")
+	}
+}
+
+// TestBaselineCrashWipesViews pins the lifecycle bugfix: a scheduled crash
+// of a Gossip or CF peer must leave no pre-crash descriptors behind — the
+// stale view made churn comparisons against WhatsUp apples-to-oranges — and
+// a rejoin must re-seed from the online population.
+func TestBaselineCrashWipesViews(t *testing.T) {
+	const n = 24
+	op := likeEven()
+	build := map[string]func(i int) sim.Peer{
+		"gossip": func(i int) sim.Peer {
+			return NewGossip(news.NodeID(i), 3, 8, op, rand.New(rand.NewSource(int64(i))))
+		},
+		"cf": func(i int) sim.Peer {
+			return NewCF(news.NodeID(i), 3, 8, 100, profile.WUP{}, op, rand.New(rand.NewSource(int64(i))))
+		},
+	}
+	for name, mk := range build {
+		t.Run(name, func(t *testing.T) {
+			peers := make([]sim.Peer, n)
+			for i := 0; i < n; i++ {
+				peers[i] = mk(i)
+			}
+			e := sim.New(sim.Config{Seed: 11, Cycles: 10, BootstrapDegree: 4}, peers, metrics.NewCollector())
+			e.Bootstrap()
+			e.Step()
+			e.Step()
+			p := e.Peer(0)
+			if p.RPS().View().Len() == 0 {
+				t.Fatal("pre-crash RPS view empty; nothing to exercise")
+			}
+			pre := p.RPS().View().Nodes()
+			if !e.Crash(0) {
+				t.Fatal("crash must succeed")
+			}
+			if got := p.RPS().View().Len(); got != 0 {
+				t.Fatalf("crashed peer still holds %d RPS descriptors (pre-crash: %v)", got, pre)
+			}
+			if p.WUP() != nil && p.WUP().View().Len() != 0 {
+				t.Fatalf("crashed CF peer still holds %d kNN descriptors", p.WUP().View().Len())
+			}
+			if !e.Rejoin(0) {
+				t.Fatal("rejoin must succeed")
+			}
+			if p.RPS().View().Len() == 0 {
+				t.Fatal("rejoin must re-seed the RPS view from the online population")
+			}
+			if p.WUP() != nil && p.WUP().View().Len() == 0 {
+				t.Fatal("rejoin must re-seed the kNN view")
+			}
+		})
 	}
 }
 

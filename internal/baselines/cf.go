@@ -108,6 +108,21 @@ func (c *CF) Receive(msg core.ItemMessage, now int64) (core.Delivery, []core.Sen
 	return d, c.spread(msg.Item, msg.Hops+1)
 }
 
+// Crash implements sim.Crasher: both overlay layers — the RPS sample and
+// the kNN neighbourhood — are volatile and wiped by an abrupt failure, like
+// core.Node.Crash; the profile survives as durable local state. Without
+// this hook a scheduled crash left the pre-crash neighbourhood intact. The
+// engine re-seeds both layers from an online sample on rejoin.
+func (c *CF) Crash() {
+	c.rps.Crash()
+	c.knn.Crash()
+}
+
+// Leave implements sim.Leaver: graceful departures drop the view state too.
+func (c *CF) Leave() {
+	c.Crash()
+}
+
 func (c *CF) spread(item news.Item, hops int) []core.Send {
 	view := c.knn.View()
 	if view.Len() == 0 {

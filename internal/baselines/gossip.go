@@ -100,6 +100,21 @@ func (g *Gossip) Receive(msg core.ItemMessage, now int64) (core.Delivery, []core
 	return d, g.spread(msg.Item, msg.Hops+1)
 }
 
+// Crash implements sim.Crasher: an abrupt failure wipes the volatile view
+// state, exactly like core.Node.Crash. Without this hook a scheduled crash
+// would flip the member's state but leave its pre-crash view intact, making
+// churn comparisons against WhatsUp apples-to-oranges. The engine re-seeds
+// the view from an online sample on rejoin.
+func (g *Gossip) Crash() {
+	g.rps.Crash()
+}
+
+// Leave implements sim.Leaver: a graceful departure drops the view like a
+// crash (the state is volatile either way; departure is final).
+func (g *Gossip) Leave() {
+	g.Crash()
+}
+
 func (g *Gossip) spread(item news.Item, hops int) []core.Send {
 	targets := g.rps.View().RandomSample(g.rng, g.fanout)
 	if len(targets) == 0 {

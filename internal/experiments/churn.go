@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"whatsup/internal/core"
+	"whatsup/internal/dataset"
 	"whatsup/internal/metrics"
 	"whatsup/internal/news"
 	"whatsup/internal/overlay"
@@ -118,6 +119,33 @@ func mapJoiner(id news.NodeID, base int) news.NodeID {
 		return news.NodeID(int(id) % base)
 	}
 	return id
+}
+
+// joinCyclesOf extracts each scheduled joiner's arrival cycle (the first
+// ChurnJoin event for the id).
+func joinCyclesOf(s sim.ChurnSchedule) map[news.NodeID]int64 {
+	out := make(map[news.NodeID]int64)
+	for _, ev := range s.Events {
+		if ev.Kind != sim.ChurnJoin {
+			continue
+		}
+		if c, seen := out[ev.Node]; !seen || ev.Cycle < c {
+			out[ev.Node] = ev.Cycle
+		}
+	}
+	return out
+}
+
+// eligibleInterests counts the items a joiner likes among those published at
+// or after its join cycle — the join-time-aware recall denominator.
+func eligibleInterests(ds *dataset.Dataset, op core.Opinions, id news.NodeID, joined int64) int {
+	n := 0
+	for i := range ds.Items {
+		if ds.Items[i].Cycle >= joined && op.Likes(id, ds.Items[i].News.ID) {
+			n++
+		}
+	}
+	return n
 }
 
 // CohortsFromSchedule derives each node's churn cohort from the schedule:
@@ -244,8 +272,13 @@ func ChurnRun(o Options, cfg ChurnConfig) ChurnResult {
 	for u := 0; u < ds.Users; u++ {
 		col.RegisterNode(news.NodeID(u), ds.UserInterestCount(news.NodeID(u)))
 	}
+	joinCycles := joinCyclesOf(schedule)
 	for _, id := range joinerIDs {
 		col.RegisterNode(id, ds.UserInterestCount(mapJoiner(id, ds.Users)))
+		// Join-time-aware recall denominator: a flash-crowd joiner can only
+		// ever receive items published from its join cycle on, so the fair
+		// figure counts those; the whole-trace denominator stays alongside.
+		col.SetEligibleInterested(id, eligibleInterests(ds, op, id, joinCycles[id]))
 	}
 	for id, c := range CohortsFromSchedule(schedule) {
 		col.SetCohort(id, c)
@@ -335,14 +368,15 @@ func (r ChurnResult) String() string {
 	fmt.Fprintf(&b, "Churn scenario (%s, %d base users +%d flash-crowd joiners, %d cycles, %d events, %d online at end)\n",
 		r.Dataset, r.BaseUsers, r.Joiners, r.Cycles, r.Events, r.FinalOnline)
 	fmt.Fprintf(&b, "  population: precision %.3f  recall %.3f  f1 %.3f\n", r.Precision, r.Recall, r.F1)
-	b.WriteString("  cohort     nodes  precision  recall  f1     deliveries/node\n")
+	b.WriteString("  cohort     nodes  precision  recall  recall*  f1     f1*    deliveries/node\n")
 	for _, s := range []metrics.CohortSummary{r.Stable, r.Joiner, r.Rejoiner, r.Departed} {
 		if s.Nodes == 0 {
 			continue
 		}
-		fmt.Fprintf(&b, "  %-9s  %-5d  %-9.3f  %-6.3f  %-5.3f  %.1f\n",
-			s.Cohort, s.Nodes, s.Precision(), s.Recall(), s.F1(), s.Dissemination())
+		fmt.Fprintf(&b, "  %-9s  %-5d  %-9.3f  %-6.3f  %-7.3f  %-5.3f  %-5.3f  %.1f\n",
+			s.Cohort, s.Nodes, s.Precision(), s.Recall(), s.EligibleRecall(), s.F1(), s.EligibleF1(), s.Dissemination())
 	}
+	b.WriteString("  (* join-time-aware: denominator counts only items published after the node joined)\n")
 	last := 0.0
 	if len(r.GhostFraction) > 0 {
 		last = r.GhostFraction[len(r.GhostFraction)-1]

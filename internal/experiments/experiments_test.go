@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -267,6 +268,94 @@ func TestLiveRunRejectsUnknownTransport(t *testing.T) {
 	if _, err := LiveRun(tiny(), LiveRunConfig{Transport: "carrier-pigeon"}); err == nil {
 		t.Fatal("unknown transport must error")
 	}
+}
+
+// waitLiveGoroutines polls the goroutine count back to the pre-run baseline;
+// the live churn machinery must not leak node, pump or writer goroutines.
+func waitLiveGoroutines(t *testing.T, base int) {
+	t.Helper()
+	for start := time.Now(); time.Since(start) < 5*time.Second; {
+		if runtime.NumGoroutine() <= base+2 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked by the live run: %d > base %d", runtime.NumGoroutine(), base)
+}
+
+// liveChurnAsserts are the acceptance checks shared by both transports: the
+// run completes with per-cohort metrics, membership arithmetic holds, and
+// the end-of-run ghost-descriptor fraction is 0 (the schedule leaves one
+// eviction horizon plus slack after the last departure).
+func liveChurnAsserts(t *testing.T, r LiveRunResult, flash int) {
+	t.Helper()
+	if r.Events < flash {
+		t.Fatalf("schedule produced %d events, want >= %d joins", r.Events, flash)
+	}
+	if r.Joiner.Nodes != flash {
+		t.Fatalf("joiner cohort has %d nodes, want %d", r.Joiner.Nodes, flash)
+	}
+	if r.FinalOnline <= 0 || r.FinalOnline > r.Users+flash {
+		t.Fatalf("implausible online count %d of %d+%d", r.FinalOnline, r.Users, flash)
+	}
+	if r.Stable.Nodes == 0 || r.Stable.Received == 0 {
+		t.Fatalf("stable cohort broken: %+v", r.Stable)
+	}
+	if r.Joiner.EligibleInterested <= 0 || r.Joiner.EligibleInterested >= r.Joiner.Interested {
+		t.Fatalf("join-aware denominator must shrink: eligible %d vs %d",
+			r.Joiner.EligibleInterested, r.Joiner.Interested)
+	}
+	if r.Joiner.EligibleRecall() < r.Joiner.Recall() {
+		t.Fatal("join-aware recall cannot be below the conservative figure")
+	}
+	if r.GhostEndFraction != 0 {
+		t.Fatalf("online views not ghost-free at end: %v", r.GhostEndFraction)
+	}
+}
+
+func TestLiveRunChurnChannelTransport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live runs in -short mode")
+	}
+	base := runtime.NumGoroutine()
+	const flash = 6
+	r, err := LiveRun(tiny(), LiveRunConfig{
+		Transport: "channel", Cycles: 40, CycleLength: 4 * time.Millisecond,
+		ChurnRate: 0.3, FlashCrowd: flash, DescriptorTTL: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveChurnAsserts(t, r, flash)
+	if r.Joiner.Received == 0 {
+		t.Fatal("flash-crowd joiners never received a post-join item")
+	}
+	for _, want := range []string{"churn:", "joiner", "recall*", "ghost-fraction(end)"} {
+		if !strings.Contains(r.String(), want) {
+			t.Fatalf("rendering missing %q:\n%s", want, r)
+		}
+	}
+	waitLiveGoroutines(t, base)
+}
+
+func TestLiveRunChurnTCPTransport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live runs in -short mode")
+	}
+	base := runtime.NumGoroutine()
+	const flash = 4
+	r, err := LiveRun(tiny(), LiveRunConfig{
+		Transport: "tcp", Cycles: 40, CycleLength: 7 * time.Millisecond,
+		ChurnRate: 0.25, FlashCrowd: flash, DescriptorTTL: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveChurnAsserts(t, r, flash)
+	if r.Messages == 0 || r.TotalBytes == 0 {
+		t.Fatalf("traffic must be measured: %+v", r)
+	}
+	waitLiveGoroutines(t, base)
 }
 
 func TestFig9CentralizedUpperBound(t *testing.T) {

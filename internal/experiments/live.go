@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math/rand"
 	"strings"
 	"time"
 
@@ -9,11 +10,17 @@ import (
 	"whatsup/internal/dataset"
 	"whatsup/internal/live"
 	"whatsup/internal/metrics"
+	"whatsup/internal/news"
+	"whatsup/internal/sim"
 )
 
 // LiveRunConfig tunes the live-transport scenario of cmd/whatsup-bench: one
 // deployment-sized run over a real transport, reporting quality together
-// with bandwidth measured from the encoded bytes on the wire.
+// with bandwidth measured from the encoded bytes on the wire. With ChurnRate
+// or FlashCrowd set it becomes the live churn scenario — the same schedule
+// shapes as ChurnRun, applied by the runtime's membership controller at
+// cycle-tick boundaries — and the result gains per-cohort quality splits and
+// the end-of-run ghost-descriptor fraction.
 type LiveRunConfig struct {
 	// Transport selects the network: "channel" (ModelNet-style in-memory
 	// emulation) or "tcp" (PlanetLab-style loopback sockets).
@@ -28,6 +35,24 @@ type LiveRunConfig struct {
 	LossRate float64
 	// BatchWindow is the TCP transport's write-coalescing window.
 	BatchWindow time.Duration
+
+	// ChurnRate is the expected fraction of the base population hit by a
+	// churn event over the run (half crashes-with-rejoin, half graceful
+	// leaves). 0 = static fleet.
+	ChurnRate float64
+	// FlashCrowd is the number of brand-new nodes joining as a flash crowd
+	// one third into the run (0 = none). Joiners cold-start from a live
+	// host's views and adopt the interests of base users in round-robin,
+	// exactly like ChurnRun's.
+	FlashCrowd int
+	// Downtime is how many cycles a crashed node stays offline before its
+	// rejoin (default 5).
+	Downtime int64
+	// DescriptorTTL is the view eviction horizon in cycles, applied when
+	// churn is enabled (default 8). The churn window is sized so the last
+	// departure sits at least one horizon plus one downtime before the end
+	// of the run, so a healthy run ends ghost-free.
+	DescriptorTTL int64
 }
 
 func (c LiveRunConfig) withDefaults() LiveRunConfig {
@@ -45,8 +70,17 @@ func (c LiveRunConfig) withDefaults() LiveRunConfig {
 	} else if c.LossRate < 0 {
 		c.LossRate = 0
 	}
+	if c.Downtime <= 0 {
+		c.Downtime = 5
+	}
+	if c.DescriptorTTL <= 0 {
+		c.DescriptorTTL = 8
+	}
 	return c
 }
+
+// churned reports whether the config enables the churn scenario.
+func (c LiveRunConfig) churned() bool { return c.ChurnRate > 0 || c.FlashCrowd > 0 }
 
 // LiveRunResult is the outcome of one live-transport run.
 type LiveRunResult struct {
@@ -64,6 +98,51 @@ type LiveRunResult struct {
 	GossipBytes int64
 	BeepBytes   int64
 	TotalKbps   float64
+
+	// Churn-scenario fields (zero when the fleet was static).
+	Joiners     int
+	Events      int
+	FinalOnline int
+	// Per-cohort node-level splits, mirroring ChurnRun.
+	Stable, Joiner, Rejoiner, Departed metrics.CohortSummary
+	// GhostEndFraction is the fraction of descriptors in online views that
+	// point at a non-online member when the run ends; the schedule leaves at
+	// least one eviction horizon after the last departure, so a healthy run
+	// reports 0.
+	GhostEndFraction float64
+}
+
+// liveChurnSchedule builds the churn schedule for a live run: trace churn
+// across the middle of the run, closed one TTL horizon plus one downtime
+// before the end so the run itself proves self-healing, plus a flash crowd
+// one third in.
+func liveChurnSchedule(o Options, cfg LiveRunConfig, users int) sim.ChurnSchedule {
+	churnFrom := int64(cfg.Cycles / 4)
+	// Close the window one horizon plus one downtime before the end, with a
+	// few extra cycles of slack for wall-clock tick jitter, so the run
+	// itself proves self-healing (GhostEndFraction must come back 0).
+	churnTo := int64(cfg.Cycles) - cfg.DescriptorTTL - cfg.Downtime - 3
+	if churnTo <= churnFrom {
+		churnTo = churnFrom + 1
+	}
+	var schedule sim.ChurnSchedule
+	if cfg.ChurnRate > 0 {
+		perCycle := cfg.ChurnRate / float64(churnTo-churnFrom)
+		schedule.Merge(sim.ChurnTrace(sim.ChurnTraceConfig{
+			Seed:      o.Seed + 7717,
+			Nodes:     users,
+			From:      churnFrom,
+			To:        churnTo,
+			CrashRate: perCycle / 2,
+			LeaveRate: perCycle / 2,
+			Downtime:  cfg.Downtime,
+		}))
+	}
+	if cfg.FlashCrowd > 0 {
+		perCycle := (cfg.FlashCrowd + 4) / 5
+		schedule.Merge(sim.FlashCrowd(int64(cfg.Cycles/3), news.NodeID(users), cfg.FlashCrowd, perCycle))
+	}
+	return schedule
 }
 
 // LiveRun executes the live-transport scenario on the deployment-sized
@@ -87,13 +166,60 @@ func LiveRun(o Options, cfg LiveRunConfig) (LiveRunResult, error) {
 	if cfg.Fanout > 0 {
 		nodeCfg.FLike = cfg.Fanout
 	}
-	r := live.NewRunner(live.Config{
+
+	liveCfg := live.Config{
 		Seed: o.Seed, Cycles: cfg.Cycles, CycleLength: cfg.CycleLength, NodeConfig: nodeCfg,
-	}, ds, network)
-	r.Run()
+	}
+	var schedule sim.ChurnSchedule
+	op := churnOpinions{base: ds.Opinions(), n: ds.Users}
+	if cfg.churned() {
+		// Churn needs self-healing views: thread the eviction horizon into
+		// every node's config, and the schedule + joiner factory into the
+		// runtime's membership controller.
+		liveCfg.NodeConfig.DescriptorTTL = cfg.DescriptorTTL
+		schedule = liveChurnSchedule(o, cfg, ds.Users)
+		liveCfg.Churn = schedule
+		liveCfg.NewNode = func(id news.NodeID, rng *rand.Rand) *core.Node {
+			return core.NewNode(id, "", liveCfg.NodeConfig, op, rng)
+		}
+	}
+
+	r := live.NewRunner(liveCfg, ds, network)
 	col := r.Collector()
+	// Register the flash-crowd joiners: mapped interests, join-time-aware
+	// recall denominators, and churn cohort labels — the same bookkeeping
+	// ChurnRun performs for the simulator.
+	joinCycles := joinCyclesOf(schedule)
+	if len(joinCycles) > 0 {
+		// Each item's interested-denominator grows by the joiners that like
+		// it, so item recall stays <= 1 with the crowd counted in. Safe to
+		// re-register here: the fleet has not started, nothing was delivered.
+		for i := range ds.Items {
+			it := ds.Items[i]
+			interested := it.Interested
+			for id := range joinCycles {
+				if op.Likes(id, it.News.ID) {
+					interested++
+				}
+			}
+			if ds.IsWarmup(i) {
+				col.RegisterWarmupItem(it.News.ID, interested)
+			} else {
+				col.RegisterItem(it.News.ID, interested)
+			}
+		}
+	}
+	for id, joined := range joinCycles {
+		col.RegisterNode(id, ds.UserInterestCount(mapJoiner(id, ds.Users)))
+		col.SetEligibleInterested(id, eligibleInterests(ds, op, id, joined))
+	}
+	for id, c := range CohortsFromSchedule(schedule) {
+		col.SetCohort(id, c)
+	}
+
+	r.Run()
 	const cycleSeconds = 30 // deployment gossip period (Section V-D)
-	return LiveRunResult{
+	res := LiveRunResult{
 		Transport:   cfg.Transport,
 		Users:       ds.Users,
 		Cycles:      cfg.Cycles,
@@ -105,7 +231,18 @@ func LiveRun(o Options, cfg LiveRunConfig) (LiveRunResult, error) {
 		GossipBytes: col.GossipBytes(),
 		BeepBytes:   col.Bytes(metrics.MsgBeep),
 		TotalKbps:   metrics.KbpsPerNode(col.TotalBytes(), cfg.Cycles, cycleSeconds, ds.Users),
-	}, nil
+	}
+	if cfg.churned() {
+		res.Joiners = cfg.FlashCrowd
+		res.Events = len(schedule.Events)
+		res.FinalOnline = r.OnlineCount()
+		res.Stable = col.CohortSummary(metrics.CohortStable)
+		res.Joiner = col.CohortSummary(metrics.CohortJoiner)
+		res.Rejoiner = col.CohortSummary(metrics.CohortRejoiner)
+		res.Departed = col.CohortSummary(metrics.CohortDeparted)
+		res.GhostEndFraction = r.GhostFraction()
+	}
+	return res, nil
 }
 
 // String renders the run in the style of the paper's deployment tables.
@@ -117,5 +254,18 @@ func (r LiveRunResult) String() string {
 		r.Messages, r.TotalBytes, r.GossipBytes, r.BeepBytes)
 	fmt.Fprintf(&b, "  ≈ %.2f kbps per node at the deployment's 30 s cycle (Fig. 8b scale)",
 		r.TotalKbps)
+	if r.Events > 0 {
+		fmt.Fprintf(&b, "\n  churn: %d events, +%d flash-crowd joiners, %d online at end, ghost-fraction(end)=%.4f\n",
+			r.Events, r.Joiners, r.FinalOnline, r.GhostEndFraction)
+		b.WriteString("  cohort     nodes  precision  recall  recall*  f1     deliveries/node\n")
+		for _, s := range []metrics.CohortSummary{r.Stable, r.Joiner, r.Rejoiner, r.Departed} {
+			if s.Nodes == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "  %-9s  %-5d  %-9.3f  %-6.3f  %-7.3f  %-5.3f  %.1f\n",
+				s.Cohort, s.Nodes, s.Precision(), s.Recall(), s.EligibleRecall(), s.F1(), s.Dissemination())
+		}
+		b.WriteString("  (* join-time-aware recall: items published after the node joined)")
+	}
 	return b.String()
 }

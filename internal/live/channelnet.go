@@ -37,13 +37,24 @@ func NewChannelNet(seed int64, loss float64, latency time.Duration) *ChannelNet 
 	}
 }
 
-// Register implements Network.
+// Register implements Network. Re-registering a disconnected id opens a
+// fresh inbox (a rejoining node).
 func (c *ChannelNet) Register(id news.NodeID) <-chan envelope {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	box := make(chan envelope, 4096)
 	c.boxes[id] = box
 	return box
+}
+
+// Disconnect implements Network: the node's inbox leaves the delivery table,
+// so frames addressed to it — including latency-delayed ones already in
+// flight, which captured the orphaned box — are lost. In-memory channels
+// hold no pending batches, so graceful and abrupt teardown coincide.
+func (c *ChannelNet) Disconnect(id news.NodeID, graceful bool) {
+	c.mu.Lock()
+	delete(c.boxes, id)
+	c.mu.Unlock()
 }
 
 // Send implements Network: drops with the configured probability, otherwise

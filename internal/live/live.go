@@ -12,11 +12,25 @@
 // simulator's synchronous calls, so the runtime exercises genuine
 // concurrency, reordering and loss. Results are therefore not
 // bit-deterministic — exactly like the testbeds they stand in for.
+//
+// Membership is dynamic: Config.Churn accepts the same declarative
+// sim.ChurnSchedule the simulator runs, and a controller goroutine applies
+// its events at cycle-tick boundaries. Joins spawn a fresh node goroutine
+// that cold-starts from a live host's views (paper Section II-D), crashes
+// tear the node's transport endpoints down abruptly — in-flight frames to
+// the dead peer drop as congestion — graceful leaves flush pending batches
+// first, and rejoins re-register with the transport and re-seed their wiped
+// views from a sample of the online population. Event *timing* is wall-clock
+// (whichever tick the controller reaches next), so unlike the simulator the
+// exact interleaving of churn with in-flight traffic is not reproducible;
+// the schedule itself — which node churns at which cycle — is.
 package live
 
 import (
 	"math/rand"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"whatsup/internal/core"
@@ -24,6 +38,7 @@ import (
 	"whatsup/internal/metrics"
 	"whatsup/internal/news"
 	"whatsup/internal/overlay"
+	"whatsup/internal/sim"
 )
 
 // wireKind tags the message types exchanged by live nodes.
@@ -83,9 +98,17 @@ func (e envelope) kind() metrics.MessageKind {
 // Network is a transport for live runs.
 type Network interface {
 	// Register allocates the inbound queue of a node and returns it.
+	// Registering an id again after Disconnect opens a fresh endpoint (a
+	// rejoining node gets a new inbox and, on TCP, a new listener address).
 	Register(id news.NodeID) <-chan envelope
 	// Send delivers (or drops) an envelope asynchronously.
 	Send(env envelope)
+	// Disconnect tears down one node's endpoints. With graceful=false
+	// (a crash) pending outbound batches to the node are discarded and its
+	// connections close immediately, so in-flight frames drop as congestion;
+	// with graceful=true (a leave) pending batches are flushed first.
+	// Sends to a disconnected id drop without blocking.
+	Disconnect(id news.NodeID, graceful bool)
 	// Close tears the transport down.
 	Close()
 }
@@ -105,6 +128,16 @@ type Config struct {
 	// OnDelivery, if set, observes every non-duplicate delivery. It is
 	// invoked from node goroutines under the collector lock; keep it short.
 	OnDelivery func(d core.Delivery)
+	// Churn is the declarative membership schedule (shared with the
+	// simulator): the events of cycle c are applied by the controller at the
+	// c-th cycle tick, before the fleet's node tickers fire again. An empty
+	// schedule reproduces the historical fixed-fleet behaviour.
+	Churn sim.ChurnSchedule
+	// NewNode builds the node for a scheduled join. When nil, joins use a
+	// default factory over the run's dataset opinions (ids beyond the
+	// dataset population then like nothing; experiment drivers supply a
+	// factory with mapped opinions instead).
+	NewNode func(id news.NodeID, rng *rand.Rand) *core.Node
 }
 
 func (c Config) withDefaults() Config {
@@ -120,33 +153,94 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Runner owns a fleet of live nodes over a Network.
+// Runner owns a fleet of live nodes over a Network. The fleet is dynamic:
+// Run doubles as the membership controller, applying Config.Churn events at
+// cycle-tick boundaries. The controller goroutine is the sole owner of the
+// membership bookkeeping (fleet, order, states); node goroutines never touch
+// it, so it needs no lock — but it is only safe to read through the
+// accessors below once Run has returned.
 type Runner struct {
 	cfg   Config
 	ds    *dataset.Dataset
 	net   Network
-	nodes []*liveNode
 	col   *metrics.Collector
 	colMu sync.Mutex
+
+	fleet  map[news.NodeID]*liveNode
+	order  []news.NodeID // registration order, joins appended
+	states map[news.NodeID]sim.MemberState
+	churn  map[int64][]sim.ChurnEvent
+	// ctrlRNG drives the controller's own sampling (cold-start hosts,
+	// rejoin bootstrap); node randomness stays per-node.
+	ctrlRNG *rand.Rand
+	wg      sync.WaitGroup
+	// cycle is the fleet clock, advanced by the controller at every tick.
+	// Node loops resync their local counter to it, so a node whose ticker
+	// dropped ticks under scheduler pressure does not fall behind: its
+	// descriptor stamps and DescriptorTTL eviction horizon stay aligned
+	// with the fleet, as a wall-clock deployment's would.
+	cycle atomic.Int64
 }
 
 // liveNode wraps a core.Node with its goroutine state. The node's protocol
-// state is only touched by its own goroutine; the collector is shared and
-// locked.
+// state is only touched by its own goroutine — except between a lifecycle
+// stop and restart, when the controller owns it (the goroutine has exited).
+// The collector is shared and locked.
 type liveNode struct {
 	node   *core.Node
 	inbox  <-chan envelope
 	quit   chan struct{}
 	done   chan struct{}
+	ctl    chan ctlRequest
 	runner *Runner
 	rng    *rand.Rand
-	pubs   []dataset.Item // items this node publishes, by cycle
+	pubs   []dataset.Item // items this node publishes, sorted by cycle
+	// pubIdx is the next unpublished entry of pubs: publications catch up
+	// to the node's clock instead of requiring an exact tick match, so a
+	// dropped ticker tick delays a publication rather than losing it.
+	pubIdx int
+	// startCycle aligns a joiner or rejoiner with the fleet's clock: its
+	// local cycle counter starts here instead of 0, so its descriptor stamps
+	// are not instantly older than every DescriptorTTL horizon.
+	startCycle int64
+}
+
+// ctlRequest asks a node goroutine for a state snapshot, serialized with its
+// protocol handling so the controller never races node state.
+type ctlRequest struct {
+	reply chan ctlSnapshot
+}
+
+// ctlSnapshot is a node's answer: a fresh descriptor of itself plus copies
+// of both views (descriptors are immutable, profiles copy-on-write).
+type ctlSnapshot struct {
+	desc overlay.Descriptor
+	rps  []overlay.Descriptor
+	wup  []overlay.Descriptor
+}
+
+// nodeRNG derives the per-node randomness stream, shared by the initial
+// fleet and scheduled joiners.
+func nodeRNG(seed int64, id news.NodeID) *rand.Rand {
+	return rand.New(rand.NewSource(seed*999983 + int64(id)))
 }
 
 // NewRunner builds a live fleet over the given network.
 func NewRunner(cfg Config, ds *dataset.Dataset, net Network) *Runner {
 	cfg = cfg.withDefaults()
-	r := &Runner{cfg: cfg, ds: ds, net: net, col: metrics.NewCollector()}
+	r := &Runner{
+		cfg:     cfg,
+		ds:      ds,
+		net:     net,
+		col:     metrics.NewCollector(),
+		fleet:   make(map[news.NodeID]*liveNode, ds.Users),
+		states:  make(map[news.NodeID]sim.MemberState, ds.Users),
+		churn:   make(map[int64][]sim.ChurnEvent),
+		ctrlRNG: rand.New(rand.NewSource(cfg.Seed*7919 + 17)),
+	}
+	for _, ev := range cfg.Churn.Events {
+		r.churn[ev.Cycle] = append(r.churn[ev.Cycle], ev)
+	}
 	for i := range ds.Items {
 		if ds.IsWarmup(i) {
 			r.col.RegisterWarmupItem(ds.Items[i].News.ID, ds.Items[i].Interested)
@@ -155,39 +249,47 @@ func NewRunner(cfg Config, ds *dataset.Dataset, net Network) *Runner {
 		}
 	}
 	op := ds.Opinions()
+	initial := make([]*liveNode, 0, ds.Users)
 	for u := 0; u < ds.Users; u++ {
 		id := news.NodeID(u)
 		r.col.RegisterNode(id, ds.UserInterestCount(id))
-		rng := rand.New(rand.NewSource(cfg.Seed*999983 + int64(u)))
+		rng := nodeRNG(cfg.Seed, id)
 		ln := &liveNode{
 			node:   core.NewNode(id, "", cfg.NodeConfig, op, rng),
 			inbox:  net.Register(id),
 			quit:   make(chan struct{}),
 			done:   make(chan struct{}),
+			ctl:    make(chan ctlRequest),
 			runner: r,
 			rng:    rng,
 		}
-		r.nodes = append(r.nodes, ln)
+		initial = append(initial, ln)
+		r.fleet[id] = ln
+		r.order = append(r.order, id)
+		r.states[id] = sim.Online
 	}
-	// Assign publications to their source nodes.
+	// Assign publications to their source nodes, in cycle order.
 	for i := range ds.Items {
 		src := ds.Items[i].News.Source
-		if src >= 0 && int(src) < len(r.nodes) {
-			r.nodes[src].pubs = append(r.nodes[src].pubs, ds.Items[i])
+		if ln := r.fleet[src]; ln != nil {
+			ln.pubs = append(ln.pubs, ds.Items[i])
 		}
+	}
+	for _, ln := range initial {
+		sort.SliceStable(ln.pubs, func(i, j int) bool { return ln.pubs[i].Cycle < ln.pubs[j].Cycle })
 	}
 	// Bootstrap: random initial views.
 	boot := rand.New(rand.NewSource(cfg.Seed))
-	for _, ln := range r.nodes {
+	for _, ln := range initial {
 		var descs []overlay.Descriptor
-		for _, j := range boot.Perm(len(r.nodes)) {
+		for _, j := range boot.Perm(len(initial)) {
 			if news.NodeID(j) == ln.node.ID() {
 				continue
 			}
 			descs = append(descs, overlay.Descriptor{
 				Node:    news.NodeID(j),
 				Stamp:   0,
-				Profile: r.nodes[j].node.UserProfile().Clone(),
+				Profile: initial[j].node.UserProfile().Clone(),
 			})
 			if len(descs) == cfg.BootstrapDegree {
 				break
@@ -202,24 +304,239 @@ func NewRunner(cfg Config, ds *dataset.Dataset, net Network) *Runner {
 // returns.
 func (r *Runner) Collector() *metrics.Collector { return r.col }
 
-// Run starts every node goroutine, lets them gossip for the configured
-// number of cycles, then stops the fleet and returns.
+// State returns the lifecycle state of a member; ok is false for ids the
+// runner has never seen. Safe to call after Run returns.
+func (r *Runner) State(id news.NodeID) (sim.MemberState, bool) {
+	st, ok := r.states[id]
+	return st, ok
+}
+
+// OnlineCount returns the number of members online at the end of the run.
+// Safe to call after Run returns.
+func (r *Runner) OnlineCount() int {
+	n := 0
+	for _, st := range r.states {
+		if st == sim.Online {
+			n++
+		}
+	}
+	return n
+}
+
+// MemberCount returns the number of members ever registered, including
+// offline and departed ones.
+func (r *Runner) MemberCount() int { return len(r.fleet) }
+
+// Node returns the node with the given id in any lifecycle state, or nil.
+// Only safe once Run has returned (node goroutines own their state while
+// running).
+func (r *Runner) Node(id news.NodeID) *core.Node {
+	if ln := r.fleet[id]; ln != nil {
+		return ln.node
+	}
+	return nil
+}
+
+// GhostFraction measures the self-healing state of the overlay after the
+// run: the fraction of descriptors across online nodes' RPS and WUP views
+// that point at a member that is not online. Only safe once Run has
+// returned.
+func (r *Runner) GhostFraction() float64 {
+	total, ghosts := 0, 0
+	count := func(id news.NodeID) {
+		total++
+		if st, ok := r.states[id]; !ok || st != sim.Online {
+			ghosts++
+		}
+	}
+	for _, id := range r.order {
+		if r.states[id] != sim.Online {
+			continue
+		}
+		n := r.fleet[id].node
+		n.RPS().View().ForEach(func(d overlay.Descriptor) { count(d.Node) })
+		n.WUP().View().ForEach(func(d overlay.Descriptor) { count(d.Node) })
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(ghosts) / float64(total)
+}
+
+// start launches a node goroutine.
+func (r *Runner) start(ln *liveNode) {
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		ln.loop()
+	}()
+}
+
+// Run starts every node goroutine, drives the membership schedule at cycle
+// boundaries for the configured number of cycles, then stops the fleet and
+// returns.
 func (r *Runner) Run() {
-	var wg sync.WaitGroup
-	for _, ln := range r.nodes {
-		wg.Add(1)
-		go func(ln *liveNode) {
-			defer wg.Done()
-			ln.loop()
-		}(ln)
+	for _, id := range r.order {
+		r.start(r.fleet[id])
 	}
-	total := time.Duration(r.cfg.Cycles) * r.cfg.CycleLength
-	time.Sleep(total)
-	for _, ln := range r.nodes {
-		close(ln.quit)
+	ticker := time.NewTicker(r.cfg.CycleLength)
+	defer ticker.Stop()
+	for c := int64(1); c <= int64(r.cfg.Cycles); c++ {
+		<-ticker.C
+		r.cycle.Store(c)
+		r.applyChurn(c)
 	}
-	wg.Wait()
+	for _, id := range r.order {
+		if r.states[id] == sim.Online {
+			close(r.fleet[id].quit)
+		}
+	}
+	r.wg.Wait()
 	r.net.Close()
+}
+
+// applyChurn applies the scheduled membership events of one cycle tick, in
+// schedule order.
+func (r *Runner) applyChurn(now int64) {
+	for _, ev := range r.churn[now] {
+		switch ev.Kind {
+		case sim.ChurnJoin:
+			r.join(ev.Node, now)
+		case sim.ChurnLeave:
+			r.stop(ev.Node, true)
+		case sim.ChurnCrash:
+			r.stop(ev.Node, false)
+		case sim.ChurnRejoin:
+			r.rejoin(ev.Node, now)
+		}
+	}
+}
+
+// snapshot asks a running node goroutine for a state snapshot. Must only be
+// called by the controller, for nodes it knows to be online.
+func (ln *liveNode) snapshot() ctlSnapshot {
+	req := ctlRequest{reply: make(chan ctlSnapshot, 1)}
+	ln.ctl <- req
+	return <-req.reply
+}
+
+// randomOnline picks a uniformly random online member other than self, nil
+// when none exists.
+func (r *Runner) randomOnline(self news.NodeID) *liveNode {
+	candidates := make([]news.NodeID, 0, len(r.order))
+	for _, id := range r.order {
+		if id != self && r.states[id] == sim.Online {
+			candidates = append(candidates, id)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	return r.fleet[candidates[r.ctrlRNG.Intn(len(candidates))]]
+}
+
+// onlineDescriptors samples up to BootstrapDegree fresh descriptors of
+// online members (excluding self), each obtained from the member's own
+// goroutine so profiles are consistent snapshots stamped with the host's
+// current cycle.
+func (r *Runner) onlineDescriptors(self news.NodeID) []overlay.Descriptor {
+	descs := make([]overlay.Descriptor, 0, r.cfg.BootstrapDegree)
+	for _, j := range r.ctrlRNG.Perm(len(r.order)) {
+		id := r.order[j]
+		if id == self || r.states[id] != sim.Online {
+			continue
+		}
+		snap := r.fleet[id].snapshot()
+		descs = append(descs, snap.desc)
+		if len(descs) == r.cfg.BootstrapDegree {
+			break
+		}
+	}
+	return descs
+}
+
+// join registers a brand-new node and cold-starts it from a live host's
+// views (paper Section II-D) before its goroutine spawns.
+func (r *Runner) join(id news.NodeID, now int64) {
+	if _, exists := r.fleet[id]; exists {
+		return
+	}
+	rng := nodeRNG(r.cfg.Seed, id)
+	var node *core.Node
+	if r.cfg.NewNode != nil {
+		node = r.cfg.NewNode(id, rng)
+	} else {
+		node = core.NewNode(id, "", r.cfg.NodeConfig, r.ds.Opinions(), rng)
+	}
+	if node == nil || node.ID() != id {
+		return
+	}
+	ln := &liveNode{
+		node:       node,
+		inbox:      r.net.Register(id),
+		quit:       make(chan struct{}),
+		done:       make(chan struct{}),
+		ctl:        make(chan ctlRequest),
+		runner:     r,
+		rng:        rng,
+		startCycle: now,
+	}
+	if host := r.randomOnline(id); host != nil {
+		snap := host.snapshot()
+		node.ColdStart(snap.rps, snap.wup, now)
+	}
+	r.fleet[id] = ln
+	r.order = append(r.order, id)
+	r.states[id] = sim.Online
+	r.start(ln)
+}
+
+// stop takes an online node down: its goroutine exits, its views are wiped,
+// and its transport endpoints are torn down — abruptly on a crash (pending
+// frames drop), flushing pending batches first on a graceful leave.
+func (r *Runner) stop(id news.NodeID, graceful bool) {
+	ln := r.fleet[id]
+	if ln == nil || r.states[id] != sim.Online {
+		return
+	}
+	close(ln.quit)
+	<-ln.done // the goroutine has exited; the controller owns the node now
+	if graceful {
+		ln.node.Leave()
+		r.states[id] = sim.Departed
+	} else {
+		ln.node.Crash()
+		r.states[id] = sim.Offline
+	}
+	r.net.Disconnect(id, graceful)
+}
+
+// rejoin brings a crashed node back: a fresh transport endpoint, views
+// re-seeded from an online sample (profile retained across the downtime),
+// and a new goroutine continuing at the fleet's current cycle.
+func (r *Runner) rejoin(id news.NodeID, now int64) {
+	old := r.fleet[id]
+	if old == nil || r.states[id] != sim.Offline {
+		return
+	}
+	ln := &liveNode{
+		node:       old.node,
+		inbox:      r.net.Register(id),
+		quit:       make(chan struct{}),
+		done:       make(chan struct{}),
+		ctl:        make(chan ctlRequest),
+		runner:     r,
+		rng:        old.rng,
+		pubs:       old.pubs,
+		startCycle: now,
+	}
+	// Publications scheduled during the downtime never fire, like a post
+	// from a crashed client (the simulator drops offline publications too).
+	ln.pubIdx = sort.Search(len(ln.pubs), func(i int) bool { return ln.pubs[i].Cycle >= now })
+	ln.node.Rejoin(r.onlineDescriptors(id), now)
+	r.fleet[id] = ln
+	r.states[id] = sim.Online
+	r.start(ln)
 }
 
 // record safely updates the shared collector.
@@ -240,25 +557,51 @@ func (r *Runner) send(env envelope) {
 	putBuf(buf)
 }
 
-// loop is the node goroutine: a cycle ticker interleaved with inbound
-// message processing.
+// loop is the node goroutine: a fleet-clock poll interleaved with inbound
+// message processing and controller snapshot requests.
+//
+// Nodes do not count their own ticks. The controller's fleet clock is the
+// only cycle authority: the node polls it at twice the cycle rate and runs
+// its periodic actions when the clock has advanced. A free-running per-node
+// ticker would drift against the controller under scheduler pressure — in
+// either direction — leaving descriptor stamps and DescriptorTTL horizons
+// meaningless across the fleet (a departed node could end up stamped
+// "fresher" than every survivor's eviction threshold). With the shared
+// clock a node performs at most one RPS and one WUP exchange per fleet
+// cycle, exactly like the simulator's peers; a starved node skips cycles
+// instead of lagging (publications catch up through pubIdx).
 func (ln *liveNode) loop() {
 	defer close(ln.done)
-	ticker := time.NewTicker(ln.runner.cfg.CycleLength)
+	poll := ln.runner.cfg.CycleLength / 2
+	if poll <= 0 {
+		poll = ln.runner.cfg.CycleLength
+	}
+	ticker := time.NewTicker(poll)
 	defer ticker.Stop()
-	cycle := int64(0)
+	cycle := ln.startCycle
 	for {
 		select {
 		case <-ln.quit:
 			return
 		case <-ticker.C:
-			cycle++
+			g := ln.runner.cycle.Load()
+			if g <= cycle {
+				continue // the fleet clock has not advanced yet
+			}
+			cycle = g
 			ln.onCycle(cycle)
 		case env, ok := <-ln.inbox:
 			if !ok {
 				return
 			}
 			ln.onMessage(env, cycle)
+		case req := <-ln.ctl:
+			n := ln.node
+			req.reply <- ctlSnapshot{
+				desc: overlay.Descriptor{Node: n.ID(), Stamp: cycle, Profile: n.UserProfile().Clone()},
+				rps:  n.RPS().View().Entries(),
+				wup:  n.WUP().View().Entries(),
+			}
 		}
 	}
 }
@@ -279,13 +622,28 @@ func (ln *liveNode) onCycle(cycle int64) {
 		ln.runner.send(envelope{Kind: wireWUPRequest, From: n.ID(), To: target.Node, Descs: push})
 	}
 
-	for _, it := range ln.pubs {
-		if it.Cycle == cycle {
-			for _, s := range n.Publish(it.News, cycle) {
-				ln.runner.send(envelope{Kind: wireItem, From: n.ID(), To: s.To, Item: s.Msg})
-			}
+	for ln.pubIdx < len(ln.pubs) && ln.pubs[ln.pubIdx].Cycle <= cycle {
+		it := ln.pubs[ln.pubIdx]
+		ln.pubIdx++
+		for _, s := range n.Publish(it.News, cycle) {
+			ln.runner.send(envelope{Kind: wireItem, From: n.ID(), To: s.To, Item: s.Msg})
 		}
 	}
+}
+
+// evictStale re-applies the descriptor-TTL horizon after a gossip merge.
+// Unlike the simulator's barrier-aligned cycles, a live node absorbs pushes
+// and replies between its ticks, so one tick-starved peer gossiping a view
+// it has not purged yet would re-seed descriptors of departed members into
+// views that had already healed; evicting at ingestion keeps a healed view
+// healed.
+func (ln *liveNode) evictStale(cycle int64) {
+	ttl := ln.node.Config().DescriptorTTL
+	if ttl <= 0 {
+		return
+	}
+	ln.node.RPS().EvictOlderThan(cycle - ttl)
+	ln.node.WUP().EvictOlderThan(cycle - ttl)
 }
 
 // onMessage dispatches one inbound envelope.
@@ -294,14 +652,18 @@ func (ln *liveNode) onMessage(env envelope, cycle int64) {
 	switch env.Kind {
 	case wireRPSRequest:
 		reply := n.RPS().AcceptPush(env.Descs, n.RPS().Descriptor(cycle, n.UserProfile()))
+		ln.evictStale(cycle)
 		ln.runner.send(envelope{Kind: wireRPSReply, From: n.ID(), To: env.From, Descs: reply})
 	case wireRPSReply:
 		n.RPS().AcceptReply(env.Descs)
+		ln.evictStale(cycle)
 	case wireWUPRequest:
 		reply := n.WUP().AcceptPush(env.Descs, n.WUP().Descriptor(cycle, n.UserProfile()), n.UserProfile())
+		ln.evictStale(cycle)
 		ln.runner.send(envelope{Kind: wireWUPReply, From: n.ID(), To: env.From, Descs: reply})
 	case wireWUPReply:
 		n.WUP().AcceptReply(env.Descs, n.UserProfile())
+		ln.evictStale(cycle)
 	case wireItem:
 		d, sends := n.Receive(env.Item, cycle)
 		if d.Duplicate {

@@ -30,6 +30,7 @@ type TCPNet struct {
 	boxes      map[news.NodeID]chan envelope
 	listeners  map[news.NodeID]net.Listener
 	conns      map[string]*outConn
+	inbound    map[news.NodeID]map[net.Conn]struct{} // accepted conns per node, for teardown
 	queueCap   int
 	slowCap    int
 	slowEvery  int // every n-th registered node is overloaded (0 = none)
@@ -105,6 +106,7 @@ func NewTCPNet(cfg TCPNetConfig) *TCPNet {
 		boxes:      make(map[news.NodeID]chan envelope),
 		listeners:  make(map[news.NodeID]net.Listener),
 		conns:      make(map[string]*outConn),
+		inbound:    make(map[news.NodeID]map[net.Conn]struct{}),
 		queueCap:   cfg.QueueCap,
 		slowCap:    cfg.SlowQueueCap,
 		slowEvery:  cfg.SlowEvery,
@@ -114,12 +116,18 @@ func NewTCPNet(cfg TCPNetConfig) *TCPNet {
 }
 
 // Register implements Network: open a loopback listener for the node and
-// start its accept/decode pump.
+// start its accept/decode pump. Re-registering an id that was disconnected
+// opens a fresh listener on a new address (a rejoining node).
 func (t *TCPNet) Register(id news.NodeID) <-chan envelope {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		panic("live: cannot listen on loopback: " + err.Error())
 	}
+	// inConns tracks this registration's accepted connections so Disconnect
+	// can kill the reader pumps; each registration generation has its own
+	// set (readers of a torn-down generation remove themselves from the
+	// detached set harmlessly).
+	inConns := make(map[net.Conn]struct{})
 	t.mu.Lock()
 	t.registered++
 	capacity := t.queueCap
@@ -130,6 +138,7 @@ func (t *TCPNet) Register(id news.NodeID) <-chan envelope {
 	t.addrs[id] = ln.Addr().String()
 	t.boxes[id] = box
 	t.listeners[id] = ln
+	t.inbound[id] = inConns
 	t.mu.Unlock()
 
 	t.wg.Add(1)
@@ -140,10 +149,24 @@ func (t *TCPNet) Register(id news.NodeID) <-chan envelope {
 			if err != nil {
 				return // listener closed
 			}
+			t.mu.Lock()
+			if t.closed || t.listeners[id] != ln {
+				// Torn down between Accept and registration.
+				t.mu.Unlock()
+				conn.Close()
+				continue
+			}
+			inConns[conn] = struct{}{}
 			t.wg.Add(1)
+			t.mu.Unlock()
 			go func(conn net.Conn) {
 				defer t.wg.Done()
-				defer conn.Close()
+				defer func() {
+					t.mu.Lock()
+					delete(inConns, conn)
+					t.mu.Unlock()
+					conn.Close()
+				}()
 				br := bufio.NewReaderSize(conn, 32<<10)
 				for {
 					env, err := readFrame(br)
@@ -164,6 +187,69 @@ func (t *TCPNet) Register(id news.NodeID) <-chan envelope {
 		}
 	}()
 	return box
+}
+
+// Disconnect implements Network: tear down one node's endpoints. A crash
+// (graceful=false) discards pending outbound batches to the node and closes
+// its connections immediately — in-flight frames drop as congestion, and the
+// per-destination writer goroutine exits instead of blocking on a dead peer.
+// A graceful leave flushes pending batches before closing, and leaves the
+// node's reader pumps to exit with the flushing connection. Either way the
+// id vanishes from the address table, so later sends drop without blocking,
+// and the node's inbox channel is left open (never again written) for the
+// departed node's goroutine to abandon.
+func (t *TCPNet) Disconnect(id news.NodeID, graceful bool) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	addr, ok := t.addrs[id]
+	if !ok {
+		t.mu.Unlock()
+		return
+	}
+	delete(t.addrs, id)
+	delete(t.boxes, id)
+	ln := t.listeners[id]
+	delete(t.listeners, id)
+	sc := t.conns[addr]
+	delete(t.conns, addr)
+	inConns := t.inbound[id]
+	delete(t.inbound, id)
+	conns := make([]net.Conn, 0, len(inConns))
+	for c := range inConns {
+		conns = append(conns, c)
+	}
+	t.mu.Unlock()
+
+	if ln != nil {
+		ln.Close() // no new inbound connections
+	}
+	if sc != nil {
+		if graceful {
+			// The writer drains whatever senders queued, then closes; the
+			// node's reader pump exits when the drained connection closes.
+			close(sc.quit)
+		} else {
+			// Abrupt: discard pending, close the socket out from under any
+			// in-flight Write so the writer unblocks with an error, and wake
+			// the writer to observe quit.
+			sc.mu.Lock()
+			sc.dead = true
+			sc.pending = nil
+			sc.mu.Unlock()
+			sc.c.Close()
+			close(sc.quit)
+		}
+	}
+	if !graceful {
+		// Kill the reader pumps: frames already in flight are lost with the
+		// crashed process.
+		for _, c := range conns {
+			c.Close()
+		}
+	}
 }
 
 // Send implements Network: append the encoded frame to the destination's

@@ -2,6 +2,7 @@ package live
 
 import (
 	"net"
+	"runtime"
 	"testing"
 	"time"
 
@@ -87,6 +88,107 @@ func TestTCPNetPendingCapDropsOverflow(t *testing.T) {
 	}
 	if got > 3 {
 		t.Fatalf("pending cap of 3 frames delivered %d/%d envelopes", got, n)
+	}
+}
+
+// pollDrain drains the box until it has seen want envelopes or the deadline
+// passes, returning the count.
+func pollDrain(box <-chan envelope, want int, deadline time.Duration) int {
+	got := 0
+	timeout := time.After(deadline)
+	for got < want {
+		select {
+		case _, ok := <-box:
+			if !ok {
+				return got
+			}
+			got++
+		case <-timeout:
+			return got
+		}
+	}
+	return got
+}
+
+// TestTCPNetDisconnectGracefulFlushesPending pins the leave semantics:
+// envelopes queued behind a lingering batch window still reach the
+// destination when it disconnects gracefully — the teardown flushes the
+// pending batch instead of discarding it.
+func TestTCPNetDisconnectGracefulFlushesPending(t *testing.T) {
+	const n = 30
+	tn := NewTCPNet(TCPNetConfig{SlowEvery: 0, BatchWindow: 30 * time.Second})
+	defer tn.Close()
+	box := tn.Register(1)
+	for i := 0; i < n; i++ {
+		tn.Send(testItemEnvelope(i, 1))
+	}
+	tn.Disconnect(1, true) // the writer abandons its window and drains
+	if got := pollDrain(box, n, 5*time.Second); got != n {
+		t.Fatalf("graceful disconnect delivered %d/%d envelopes", got, n)
+	}
+	tn.Send(testItemEnvelope(99, 1)) // disconnected id: dropped, not blocked
+}
+
+// TestTCPNetDisconnectCrashDropsPendingWithoutLeaks pins the crash-teardown
+// audit: a peer crashing mid-batch loses the pending frames (congestion, not
+// delivery), later sends to it drop without blocking, and neither the
+// per-destination writer goroutine nor the reader pumps leak.
+func TestTCPNetDisconnectCrashDropsPendingWithoutLeaks(t *testing.T) {
+	base := runtime.NumGoroutine()
+	const n = 40
+	tn := NewTCPNet(TCPNetConfig{SlowEvery: 0, BatchWindow: 30 * time.Second})
+	box := tn.Register(1)
+	tn.Register(2)
+	for i := 0; i < n; i++ {
+		tn.Send(testItemEnvelope(i, 1)) // held by the writer's batch window
+	}
+	tn.Disconnect(1, false) // crash mid-batch
+
+	// Sends to the crashed peer must drop immediately, not block on a dead
+	// connection.
+	sent := make(chan struct{})
+	go func() {
+		for i := 0; i < 2*n; i++ {
+			tn.Send(testItemEnvelope(i, 1))
+		}
+		close(sent)
+	}()
+	select {
+	case <-sent:
+	case <-time.After(5 * time.Second):
+		t.Fatal("send to a crashed peer blocked")
+	}
+	if got := pollDrain(box, 1, 100*time.Millisecond); got != 0 {
+		t.Fatalf("crash teardown delivered %d pending envelopes, want 0", got)
+	}
+	tn.Close()
+	// The writer goroutine of the crashed destination, its reader pumps and
+	// every transport goroutine must be gone.
+	for start := time.Now(); time.Since(start) < 5*time.Second; {
+		if runtime.NumGoroutine() <= base+1 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<16)
+	m := runtime.Stack(buf, true)
+	t.Fatalf("goroutines leaked after crash teardown: %d > %d\n%s", runtime.NumGoroutine(), base, buf[:m])
+}
+
+// TestTCPNetReRegisterAfterDisconnect pins the rejoin path: a disconnected
+// id that registers again gets a fresh endpoint and receives new traffic.
+func TestTCPNetReRegisterAfterDisconnect(t *testing.T) {
+	const n = 10
+	tn := NewTCPNet(TCPNetConfig{SlowEvery: 0})
+	defer tn.Close()
+	tn.Register(1)
+	tn.Disconnect(1, false)
+	box := tn.Register(1)
+	for i := 0; i < n; i++ {
+		tn.Send(testItemEnvelope(i, 1))
+	}
+	if got := pollDrain(box, n, 5*time.Second); got != n {
+		t.Fatalf("re-registered endpoint received %d/%d envelopes", got, n)
 	}
 }
 

@@ -145,6 +145,7 @@ func (c *Collector) Merge(other *Collector) {
 			c.nodes[id] = dst
 		}
 		dst.Interested += ns.Interested
+		dst.EligibleInterested += ns.EligibleInterested
 		dst.Received += ns.Received
 		dst.ReceivedLiked += ns.ReceivedLiked
 		dst.DislikeDeliveries += ns.DislikeDeliveries

@@ -92,6 +92,14 @@ type NodeStats struct {
 	Received          int // items delivered to this node
 	ReceivedLiked     int // delivered items the node liked
 	DislikeDeliveries int // deliveries that arrived via a dislike-forward
+	// EligibleInterested is the join-time-aware recall denominator: the
+	// node's liked items that were published after it joined. For nodes
+	// present from the start it equals Interested (RegisterNode's default);
+	// churn drivers lower it for late joiners via SetEligibleInterested, so
+	// a flash-crowd member is not penalized for items that disseminated
+	// before it existed. The trace-wide Interested stays alongside as the
+	// conservative figure.
+	EligibleInterested int
 }
 
 // F1 returns the node-level F1-Score: precision over received items and
@@ -155,9 +163,32 @@ func (c *Collector) RegisterWarmupItem(id news.ID, interested int) {
 }
 
 // RegisterNode declares a node and the number of items it likes in the
-// trace (the per-node recall denominator of the sociability analysis).
+// trace (the per-node recall denominator of the sociability analysis). The
+// join-aware denominator defaults to the same count; late joiners get a
+// smaller one via SetEligibleInterested — in either call order: an eligible
+// override already in place survives a later registration.
 func (c *Collector) RegisterNode(id news.NodeID, interested int) {
-	c.nodes[id] = &NodeStats{Interested: interested}
+	if ns := c.nodes[id]; ns != nil {
+		ns.Interested = interested
+		if ns.EligibleInterested == 0 {
+			ns.EligibleInterested = interested
+		}
+		return
+	}
+	c.nodes[id] = &NodeStats{Interested: interested, EligibleInterested: interested}
+}
+
+// SetEligibleInterested overrides a node's join-time-aware recall
+// denominator: the number of its liked items published after it joined.
+// Registration-side, like RegisterNode — churn drivers call it once per
+// scheduled joiner; engine shards never do.
+func (c *Collector) SetEligibleInterested(id news.NodeID, eligible int) {
+	ns := c.nodes[id]
+	if ns == nil {
+		ns = &NodeStats{}
+		c.nodes[id] = ns
+	}
+	ns.EligibleInterested = eligible
 }
 
 // SetCohort labels a node's churn cohort (registration-side, like
@@ -178,11 +209,15 @@ func (c *Collector) CohortOf(id news.NodeID) Cohort { return c.cohorts[id] }
 // and recall here are micro-averages over the cohort's nodes — the
 // per-cohort split of the sociability analysis's node-level quantities.
 type CohortSummary struct {
-	Cohort        Cohort
-	Nodes         int
-	Interested    int // sum of per-node interest counts (recall denominator)
-	Received      int // deliveries to the cohort (precision denominator)
-	ReceivedLiked int // deliveries the receiving node liked
+	Cohort     Cohort
+	Nodes      int
+	Interested int // sum of per-node interest counts (recall denominator)
+	// EligibleInterested sums the join-time-aware denominators: liked items
+	// published after each node joined. Equals Interested for cohorts
+	// present from the start.
+	EligibleInterested int
+	Received           int // deliveries to the cohort (precision denominator)
+	ReceivedLiked      int // deliveries the receiving node liked
 }
 
 // Precision is the fraction of the cohort's deliveries that were liked.
@@ -201,8 +236,23 @@ func (s CohortSummary) Recall() float64 {
 	return float64(s.ReceivedLiked) / float64(s.Interested)
 }
 
+// EligibleRecall is the join-time-aware recall: the fraction of the
+// cohort's *eligible* interests — liked items published after each node
+// joined — that were satisfied. For a cohort of late joiners this is the
+// fair figure; Recall, whose denominator spans the whole trace, stays
+// alongside as the conservative one.
+func (s CohortSummary) EligibleRecall() float64 {
+	if s.EligibleInterested == 0 {
+		return 0
+	}
+	return float64(s.ReceivedLiked) / float64(s.EligibleInterested)
+}
+
 // F1 is the harmonic mean of the cohort's precision and recall.
 func (s CohortSummary) F1() float64 { return F1Of(s.Precision(), s.Recall()) }
+
+// EligibleF1 pairs precision with the join-time-aware recall.
+func (s CohortSummary) EligibleF1() float64 { return F1Of(s.Precision(), s.EligibleRecall()) }
 
 // Dissemination is the average number of deliveries per cohort node.
 func (s CohortSummary) Dissemination() float64 {
@@ -223,6 +273,7 @@ func (c *Collector) CohortSummary(co Cohort) CohortSummary {
 		ns := c.nodes[id]
 		s.Nodes++
 		s.Interested += ns.Interested
+		s.EligibleInterested += ns.EligibleInterested
 		s.Received += ns.Received
 		s.ReceivedLiked += ns.ReceivedLiked
 	}

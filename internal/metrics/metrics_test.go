@@ -316,3 +316,52 @@ func TestCohortSummaryAndMerge(t *testing.T) {
 		t.Fatal("unlabelled nodes default to the stable cohort")
 	}
 }
+
+// TestEligibleRecall pins the join-time-aware recall denominator: a late
+// joiner's eligible interest count shrinks its recall denominator while the
+// conservative whole-trace figure stays.
+func TestEligibleRecall(t *testing.T) {
+	c := NewCollector()
+	c.RegisterNode(1, 10) // joined late: only 4 of its 10 liked items post-join
+	c.SetEligibleInterested(1, 4)
+	c.SetCohort(1, CohortJoiner)
+	c.RegisterNode(2, 10) // stable: eligible defaults to the full count
+	for i := 0; i < 2; i++ {
+		c.RecordDelivery(core.Delivery{Node: 1, Item: news.ID(i), Liked: true})
+	}
+	jo := c.CohortSummary(CohortJoiner)
+	if jo.Interested != 10 || jo.EligibleInterested != 4 {
+		t.Fatalf("joiner denominators %+v", jo)
+	}
+	if got := jo.Recall(); got != 0.2 {
+		t.Fatalf("conservative recall %v, want 0.2", got)
+	}
+	if got := jo.EligibleRecall(); got != 0.5 {
+		t.Fatalf("join-aware recall %v, want 0.5", got)
+	}
+	if jo.EligibleF1() <= jo.F1() {
+		t.Fatal("join-aware F1 must exceed the conservative one here")
+	}
+	st := c.CohortSummary(CohortStable)
+	if st.EligibleInterested != st.Interested {
+		t.Fatalf("stable eligible denominator must default to the full count: %+v", st)
+	}
+
+	// The denominator survives a merge (registration-side, like Interested).
+	m := NewCollector()
+	m.Merge(c)
+	if got := m.CohortSummary(CohortJoiner).EligibleInterested; got != 4 {
+		t.Fatalf("merge lost the eligible denominator: %d", got)
+	}
+	// SetEligibleInterested before registration must not be lost — a later
+	// RegisterNode updates Interested but keeps the eligible override.
+	pre := NewCollector()
+	pre.SetEligibleInterested(5, 3)
+	if pre.Node(5).EligibleInterested != 3 {
+		t.Fatal("pre-registration eligible count dropped")
+	}
+	pre.RegisterNode(5, 10)
+	if ns := pre.Node(5); ns.Interested != 10 || ns.EligibleInterested != 3 {
+		t.Fatalf("RegisterNode wiped the eligible override: %+v", ns)
+	}
+}

@@ -267,6 +267,15 @@ type LiveConfig struct {
 	// UseTCP runs over real TCP loopback sockets with the congestion model
 	// instead of in-memory channels.
 	UseTCP bool
+	// Churn schedules membership events for the live fleet, applied by the
+	// runtime's membership controller at cycle-tick boundaries: joins spawn
+	// fresh node goroutines that cold-start from a live host, crashes tear
+	// the node's transport endpoints down abruptly, graceful leaves flush
+	// pending batches first, and rejoins re-register and re-seed views from
+	// an online sample. Joining ids beyond the dataset population like
+	// nothing under the dataset's opinions; set Node.DescriptorTTL so the
+	// surviving views evict departed members' descriptors.
+	Churn ChurnSchedule
 }
 
 // RunLive executes a live (concurrent, wall-clock) run of the workload and
@@ -283,6 +292,7 @@ func RunLive(ds *Dataset, cfg LiveConfig) *Collector {
 		Cycles:      cfg.Cycles,
 		CycleLength: cfg.CycleLength,
 		NodeConfig:  cfg.Node,
+		Churn:       cfg.Churn,
 	}, ds, network)
 	r.Run()
 	return r.Collector()

@@ -95,6 +95,27 @@ func TestRunLiveChannels(t *testing.T) {
 	t.Fatal("live run must deliver")
 }
 
+func TestRunLiveChurnSchedule(t *testing.T) {
+	// The façade threads a churn schedule into the live runtime's membership
+	// controller: a crash+rejoin and a graceful leave over the channel
+	// transport must complete and still deliver traffic.
+	ds := SurveyDataset(6, 0.05)
+	var schedule ChurnSchedule
+	schedule.Add(4, ChurnCrash, 0)
+	schedule.Add(10, ChurnRejoin, 0)
+	schedule.Add(7, ChurnLeave, 1)
+	col := RunLive(ds, LiveConfig{
+		Node:        Config{FLike: 4, ProfileWindow: 25, DescriptorTTL: 8},
+		Seed:        1,
+		Cycles:      25,
+		CycleLength: 4 * time.Millisecond,
+		Churn:       schedule,
+	})
+	if col.TotalMessages() == 0 {
+		t.Fatal("churning live run produced no traffic")
+	}
+}
+
 func TestMetricsExposed(t *testing.T) {
 	ds := SurveyDataset(5, 0.05)
 	s := NewSimulation(ds, SimulationConfig{Node: Config{FLike: 4}, Seed: 2})
