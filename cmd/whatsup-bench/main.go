@@ -48,6 +48,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cyclePeers    = fs.Int("cycle-peers", 5000, "population of the 'hotpath' full-cycle and 'churn' scenarios")
 		churnOut      = fs.String("churn-out", "BENCH_churn.json", "trajectory file the 'churn' scenario appends its measurements to")
 		churnRate     = fs.Float64("churn-rate", 0.20, "population fraction churning in the 'churn' scenario")
+		churnDepart   = fs.Bool("churn-departures", true, "enable graceful-departure notices in the 'churn' and 'live' scenarios")
+		churnRefill   = fs.Float64("churn-refill", 0.5, "anti-entropy view-refill watermark for the 'churn' and 'live' scenarios (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -112,6 +114,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		r, err := experiments.LiveRun(o, experiments.LiveRunConfig{
 			Transport: *transport, BatchWindow: *batchWindow,
 			ChurnRate: *liveChurn, FlashCrowd: *liveFlash,
+			DepartureNotices: *churnDepart, RefillWatermark: *churnRefill,
 		})
 		if err != nil {
 			liveErr = err
@@ -152,9 +155,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if selected["churn"] {
 		runExp("churn", func() fmt.Stringer {
 			r := experiments.ChurnBench(experiments.ChurnBenchConfig{
-				Peers:         *cyclePeers,
-				ChurnRate:     *churnRate,
-				EngineWorkers: *engineWorkers,
+				Peers:            *cyclePeers,
+				ChurnRate:        *churnRate,
+				EngineWorkers:    *engineWorkers,
+				DepartureNotices: *churnDepart,
+				RefillWatermark:  *churnRefill,
 			})
 			r.Label = *benchLabel
 			if err := appendTrajectoryEntry(*churnOut, "whatsup-bench/churn/v1", r); err != nil {

@@ -45,9 +45,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ttl     = fs.Int("ttl", 0, "dislike TTL (0 = default 4, negative = 0)")
 		workers = fs.Int("workers", 0, "engine worker pool (0 = GOMAXPROCS); results are identical for any value")
 
-		churnRate  = fs.Float64("churn", 0, "expected fraction of the population hit by a churn event over the run (enables the churn scenario)")
-		flashCrowd = fs.Int("flash-crowd", 0, "extra nodes joining as a flash crowd a third into the run (enables the churn scenario)")
-		descTTL    = fs.Int64("descriptor-ttl", 0, "view eviction horizon in cycles for the churn scenario (0 = scenario default)")
+		churnRate   = fs.Float64("churn", 0, "expected fraction of the population hit by a churn event over the run (enables the churn scenario)")
+		flashCrowd  = fs.Int("flash-crowd", 0, "extra nodes joining as a flash crowd a third into the run (enables the churn scenario)")
+		descTTL     = fs.Int64("descriptor-ttl", 0, "view eviction horizon in cycles for the churn scenario (0 = scenario default)")
+		churnDepart = fs.Bool("churn-departures", false, "enable graceful-departure notices in the churn scenario")
+		churnRefill = fs.Float64("churn-refill", 0, "anti-entropy view-refill watermark for the churn scenario (0 = off)")
 
 		liveRun       = fs.Bool("live", false, "run on the concurrent live runtime (goroutine-per-node, real transports) instead of the deterministic simulator; combines with -churn/-flash-crowd")
 		liveTransport = fs.String("live-transport", "channel", "live transport: channel (in-memory emulation) or tcp (loopback sockets)")
@@ -85,12 +87,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		r, err := experiments.LiveRun(experiments.Options{Seed: *seed, Scale: *scale}, experiments.LiveRunConfig{
-			Transport:     *liveTransport,
-			Fanout:        *fanout,
-			LossRate:      *loss,
-			ChurnRate:     *churnRate,
-			FlashCrowd:    *flashCrowd,
-			DescriptorTTL: *descTTL,
+			Transport:        *liveTransport,
+			Fanout:           *fanout,
+			LossRate:         *loss,
+			ChurnRate:        *churnRate,
+			FlashCrowd:       *flashCrowd,
+			DescriptorTTL:    *descTTL,
+			DepartureNotices: *churnDepart,
+			RefillWatermark:  *churnRefill,
 		})
 		if err != nil {
 			fmt.Fprintln(stderr, err)
@@ -108,14 +112,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		r := experiments.ChurnRun(experiments.Options{Seed: *seed, Scale: *scale}, experiments.ChurnConfig{
-			Dataset:       *dsName,
-			Fanout:        *fanout,
-			FlashCrowd:    *flashCrowd,
-			ChurnRate:     *churnRate,
-			DescriptorTTL: *descTTL,
-			TTL:           *ttl,
-			Loss:          *loss,
-			Workers:       engineWorkers,
+			Dataset:          *dsName,
+			Fanout:           *fanout,
+			FlashCrowd:       *flashCrowd,
+			ChurnRate:        *churnRate,
+			DescriptorTTL:    *descTTL,
+			DepartureNotices: *churnDepart,
+			RefillWatermark:  *churnRefill,
+			TTL:              *ttl,
+			Loss:             *loss,
+			Workers:          engineWorkers,
 		})
 		fmt.Fprintln(stdout, r)
 		return 0

@@ -30,8 +30,13 @@ type Protocol struct {
 	metric  profile.Metric
 	view    *overlay.View
 	rng     *rand.Rand
+	grave   *overlay.Graveyard   // optional departure-notice filter (may be nil)
 	targets []overlay.Descriptor // scratch reused by RandomTargets
 }
+
+// SetGraveyard attaches the node's departure-tombstone set: merges then skip
+// descriptors of gracefully departed peers until their tombstones expire.
+func (p *Protocol) SetGraveyard(g *overlay.Graveyard) { p.grave = g }
 
 // New returns a clustering instance for node self with the given view size
 // (WUPvs, set to 2·fLIKE in the paper) and similarity metric.
@@ -57,7 +62,7 @@ func (p *Protocol) View() *overlay.View { return p.view }
 // Seed bootstraps the view (initial random graph, or the inherited view of a
 // cold-starting node, Section II-D). Entries are kept by similarity to own.
 func (p *Protocol) Seed(descs []overlay.Descriptor, own *profile.Profile) {
-	p.view.InsertAll(descs, p.self)
+	p.view.InsertAllLive(descs, p.self, p.grave)
 	p.view.TrimBySimilarity(p.rng, p.metric, own)
 }
 
@@ -97,14 +102,14 @@ func (p *Protocol) AcceptReply(reply []overlay.Descriptor, own *profile.Profile)
 // entries most similar to the node's own profile. Used for gossip pushes
 // and replies.
 func (p *Protocol) Merge(candidates []overlay.Descriptor, own *profile.Profile) {
-	p.view.InsertAll(candidates, p.self)
+	p.view.InsertAllLive(candidates, p.self, p.grave)
 	p.view.TrimBySimilarity(p.rng, p.metric, own)
 }
 
 // MergeFrom folds every entry of another view into this one — the per-cycle
 // injection of RPS candidates — without copying the source entries first.
 func (p *Protocol) MergeFrom(src *overlay.View, own *profile.Profile) {
-	p.view.InsertAllFrom(src, p.self)
+	p.view.InsertAllFromLive(src, p.self, p.grave)
 	p.view.TrimBySimilarity(p.rng, p.metric, own)
 }
 

@@ -16,6 +16,16 @@ const (
 	DefaultFLike         = 10 // fLIKE: amplification fanout (best survey trade-off, Table III)
 	DefaultDislikeTTL    = 4  // BEEP TTL: dissemination TTL for disliked items
 	DefaultProfileWindow = 13 // profile window in gossip cycles (1/5 of the experiment)
+
+	// DefaultDescriptorTTL is the view eviction horizon the churn scenarios
+	// use when none is configured. It is the single shared default for the
+	// simulator and the live runtime — the two previously defaulted to 15 and
+	// 8 cycles respectively, silently skewing sim-vs-live comparisons. Note
+	// Config.WithDefaults deliberately does NOT apply it: a zero DescriptorTTL
+	// means eviction disabled (the static-population default that keeps
+	// churn-free runs bit-identical with historical results); churn drivers
+	// opt in explicitly.
+	DefaultDescriptorTTL = 15
 )
 
 // Config collects the per-node parameters of Table II.
@@ -53,6 +63,14 @@ type Config struct {
 	// negative disables eviction (the static-population default, which keeps
 	// churn-free runs bit-identical with historical results).
 	DescriptorTTL int64
+	// NoticePiggybackCap bounds how many departure tombstones one outgoing
+	// gossip message carries (freshest first). Zero or negative means all
+	// active tombstones — the graveyard is already bounded by the departure
+	// rate over one eviction horizon, and full flooding is what scrubs
+	// ghosts fastest. Set a cap at very large scale, where horizon × rate
+	// makes the piggyback the dominant message cost; anything the cap drops
+	// still ages out through DescriptorTTL eviction.
+	NoticePiggybackCap int
 }
 
 // WithDefaults returns a copy of c with unset fields replaced by the

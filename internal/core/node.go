@@ -20,6 +20,7 @@ type Node struct {
 	user     *profile.Profile // P̃, the user profile
 	rps      *rps.Protocol
 	wup      *cluster.Protocol
+	grave    overlay.Graveyard // departure tombstones shared by both layers
 	opinions Opinions
 	seen     map[news.ID]struct{} // SIR "infected or removed" set
 }
@@ -29,7 +30,7 @@ type Node struct {
 // like/dislike reactions; rng drives all of the node's randomness.
 func NewNode(id news.NodeID, addr string, cfg Config, opinions Opinions, rng *rand.Rand) *Node {
 	cfg = cfg.WithDefaults()
-	return &Node{
+	n := &Node{
 		id:       id,
 		cfg:      cfg,
 		rng:      rng,
@@ -39,6 +40,9 @@ func NewNode(id news.NodeID, addr string, cfg Config, opinions Opinions, rng *ra
 		opinions: opinions,
 		seen:     make(map[news.ID]struct{}),
 	}
+	n.rps.SetGraveyard(&n.grave)
+	n.wup.SetGraveyard(&n.grave)
+	return n
 }
 
 // ID returns the node identifier.
@@ -79,6 +83,41 @@ func (n *Node) BeginCycle(now int64) {
 		n.rps.EvictOlderThan(now - n.cfg.DescriptorTTL)
 		n.wup.EvictOlderThan(now - n.cfg.DescriptorTTL)
 	}
+	if n.grave.Len() > 0 {
+		n.grave.ExpireOlderThan(now - n.departureHorizon())
+	}
+}
+
+// departureHorizon is how long a departure tombstone stays active: the view
+// eviction horizon when one is configured (after which TTL eviction would
+// have flushed the leaver anyway), the profile window otherwise.
+func (n *Node) departureHorizon() int64 {
+	if n.cfg.DescriptorTTL > 0 {
+		return n.cfg.DescriptorTTL
+	}
+	return n.cfg.ProfileWindow
+}
+
+// NoteDeparture records a departure notice: the leaver is evicted from both
+// views immediately and a tombstone keeps its stale descriptors from
+// re-entering them (and keeps the notice propagating on this node's own
+// gossip) for one horizon. Expired or self-referential notices are ignored.
+func (n *Node) NoteDeparture(t overlay.Tombstone, now int64) {
+	if t.Node == n.id || t.Stamp < now-n.departureHorizon() {
+		return
+	}
+	n.grave.Note(t)
+	n.rps.View().Remove(t.Node)
+	n.wup.View().Remove(t.Node)
+}
+
+// AppendTombstones appends the node's active departure tombstones to dst in
+// deterministic (node id) order — the piggyback payload its outgoing gossip
+// carries so departure notices flood one neighbourhood horizon. When
+// Config.NoticePiggybackCap is set and the set is larger, only that many of
+// the freshest ride along (TTL eviction backstops the rest).
+func (n *Node) AppendTombstones(dst []overlay.Tombstone) []overlay.Tombstone {
+	return n.grave.AppendFreshest(dst, n.cfg.NoticePiggybackCap)
 }
 
 // InjectRPSCandidates feeds the current RPS view into the clustering layer,
@@ -202,6 +241,7 @@ func (n *Node) forward(msg ItemMessage, liked bool, now int64) []Send {
 func (n *Node) Crash() {
 	n.rps.Crash()
 	n.wup.Crash()
+	n.grave.Clear() // tombstones are volatile, like the views they guard
 }
 
 // Leave is the graceful departure: the node stops participating and drops

@@ -44,8 +44,15 @@ type ChurnConfig struct {
 	// Downtime is how many cycles a crashed node stays offline before
 	// rejoining (default 8).
 	Downtime int64
-	// DescriptorTTL is the view eviction horizon in cycles (default 15).
+	// DescriptorTTL is the view eviction horizon in cycles (default
+	// core.DefaultDescriptorTTL, shared with the live scenario).
 	DescriptorTTL int64
+	// DepartureNotices enables the churn protocol's graceful-departure
+	// notices (sim.Config.DepartureNotices).
+	DepartureNotices bool
+	// RefillWatermark enables adaptive view refill below this occupancy
+	// fraction (sim.Config.RefillWatermark; 0 = off).
+	RefillWatermark float64
 	// TTL is the dislike TTL, with the RunConfig convention: 0 = paper
 	// default (4), negative = explicit 0.
 	TTL int
@@ -69,7 +76,7 @@ func (c ChurnConfig) withDefaults() ChurnConfig {
 		c.Downtime = 8
 	}
 	if c.DescriptorTTL <= 0 {
-		c.DescriptorTTL = 15
+		c.DescriptorTTL = core.DefaultDescriptorTTL
 	}
 	return c
 }
@@ -92,11 +99,16 @@ type ChurnResult struct {
 	// GhostFraction[i] is the fraction of descriptors in online views that
 	// point at a non-online member at the end of cycle i+1.
 	GhostFraction []float64
+	// Timeline holds one fleet-health sample per cycle: online population,
+	// ghost fraction, mean view fill and the per-cohort online counts.
+	Timeline []metrics.ChurnSample
 	// LastDeparture is the cycle of the last leave/crash event; HealedAt is
 	// the first cycle >= LastDeparture with a ghost-free view set (-1 if
-	// never healed within the run).
+	// never healed within the run). TimeToHealed is HealedAt-LastDeparture
+	// (-1 when the run never healed).
 	LastDeparture int64
 	HealedAt      int64
+	TimeToHealed  int64
 }
 
 // churnOpinions maps joiner ids (>= base) onto base users' interests in
@@ -306,21 +318,24 @@ func ChurnRun(o Options, cfg ChurnConfig) ChurnResult {
 	}
 
 	e := sim.New(sim.Config{
-		Seed:         o.Seed,
-		Cycles:       cycles,
-		LossRate:     cfg.Loss,
-		Workers:      cfg.Workers,
-		Publications: publications(ds),
-		Churn:        schedule,
+		Seed:             o.Seed,
+		Cycles:           cycles,
+		LossRate:         cfg.Loss,
+		Workers:          cfg.Workers,
+		DepartureNotices: cfg.DepartureNotices,
+		RefillWatermark:  cfg.RefillWatermark,
+		Publications:     publications(ds),
+		Churn:            schedule,
 		NewPeer: func(id news.NodeID) sim.Peer {
 			return core.NewNode(id, "", nodeCfg, op, nodeRNG(o.Seed, int(id)))
 		},
 		OnCycleEnd: func(e *sim.Engine, now int64) {
-			gf := ghostFraction(e)
-			res.GhostFraction = append(res.GhostFraction, gf)
-			if gf == 0 && now >= res.LastDeparture && res.HealedAt < 0 && res.LastDeparture >= 0 {
+			s := churnSample(e, now)
+			res.GhostFraction = append(res.GhostFraction, s.GhostFraction)
+			res.Timeline = append(res.Timeline, s)
+			if s.GhostFraction == 0 && now >= res.LastDeparture && res.HealedAt < 0 && res.LastDeparture >= 0 {
 				res.HealedAt = now
-			} else if gf > 0 {
+			} else if s.GhostFraction > 0 {
 				res.HealedAt = -1
 			}
 		},
@@ -329,6 +344,10 @@ func ChurnRun(o Options, cfg ChurnConfig) ChurnResult {
 	e.Run()
 
 	res.FinalOnline = e.OnlineCount()
+	res.TimeToHealed = -1
+	if res.HealedAt >= 0 && res.LastDeparture >= 0 {
+		res.TimeToHealed = res.HealedAt - res.LastDeparture
+	}
 	res.Precision, res.Recall, res.F1 = col.Precision(), col.Recall(), col.F1()
 	res.Stable = col.CohortSummary(metrics.CohortStable)
 	res.Joiner = col.CohortSummary(metrics.CohortJoiner)
@@ -362,6 +381,47 @@ func ghostFraction(e *sim.Engine) float64 {
 	return float64(ghosts) / float64(total)
 }
 
+// churnSample takes one fleet-health timeline sample from engine state at
+// the end of a cycle: online population, ghost fraction, mean view occupancy
+// across the online fleet, and per-cohort online counts.
+func churnSample(e *sim.Engine, now int64) metrics.ChurnSample {
+	s := metrics.ChurnSample{Cycle: now, Online: e.OnlineCount(), Members: e.MemberCount()}
+	total, ghosts := 0, 0
+	var rpsLen, rpsCap, wupLen, wupCap int
+	count := func(d overlay.Descriptor) {
+		total++
+		if st, ok := e.State(d.Node); !ok || st != sim.Online {
+			ghosts++
+		}
+	}
+	col := e.Collector()
+	for _, p := range e.OnlinePeers() {
+		s.OnlineByCohort[col.CohortOf(p.ID())]++
+		if rps := p.RPS(); rps != nil {
+			v := rps.View()
+			rpsLen += v.Len()
+			rpsCap += v.Capacity()
+			v.ForEach(count)
+		}
+		if wup := p.WUP(); wup != nil {
+			v := wup.View()
+			wupLen += v.Len()
+			wupCap += v.Capacity()
+			v.ForEach(count)
+		}
+	}
+	if total > 0 {
+		s.GhostFraction = float64(ghosts) / float64(total)
+	}
+	if rpsCap > 0 {
+		s.RPSFill = float64(rpsLen) / float64(rpsCap)
+	}
+	if wupCap > 0 {
+		s.WUPFill = float64(wupLen) / float64(wupCap)
+	}
+	return s
+}
+
 // String renders the churn scenario summary.
 func (r ChurnResult) String() string {
 	var b strings.Builder
@@ -381,8 +441,12 @@ func (r ChurnResult) String() string {
 	if len(r.GhostFraction) > 0 {
 		last = r.GhostFraction[len(r.GhostFraction)-1]
 	}
-	fmt.Fprintf(&b, "  views: ghost-fraction(end)=%.4f last-departure=%s healed-at=%s",
-		last, cycleOrNone(r.LastDeparture), cycleOrNone(r.HealedAt))
+	fmt.Fprintf(&b, "  views: ghost-fraction(end)=%.4f last-departure=%s healed-at=%s time-to-healed=%s",
+		last, cycleOrNone(r.LastDeparture), cycleOrNone(r.HealedAt), cyclesOrNone(r.TimeToHealed))
+	if n := len(r.Timeline); n > 0 {
+		end := r.Timeline[n-1]
+		fmt.Fprintf(&b, "\n  fill(end): rps=%.2f wup=%.2f", end.RPSFill, end.WUPFill)
+	}
 	return b.String()
 }
 
@@ -391,4 +455,11 @@ func cycleOrNone(c int64) string {
 		return "n/a"
 	}
 	return fmt.Sprintf("cycle %d", c)
+}
+
+func cyclesOrNone(c int64) string {
+	if c < 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%d cycles", c)
 }

@@ -36,6 +36,12 @@ type ChurnBenchConfig struct {
 	FlashCrowd int
 	// EngineWorkers is the engine pool (0 = serial).
 	EngineWorkers int
+	// DepartureNotices enables graceful-departure notices
+	// (sim.Config.DepartureNotices).
+	DepartureNotices bool
+	// RefillWatermark enables adaptive view refill below this occupancy
+	// fraction (sim.Config.RefillWatermark; 0 = off).
+	RefillWatermark float64
 }
 
 func (c ChurnBenchConfig) withDefaults() ChurnBenchConfig {
@@ -58,12 +64,12 @@ func (c ChurnBenchConfig) withDefaults() ChurnBenchConfig {
 // a steady publication schedule, a churn trace across the middle of the run
 // and a flash crowd a third in. Returns the engine and the schedule it was
 // built with.
-func churnBenchWorld(cfg ChurnBenchConfig) (*sim.Engine, sim.ChurnSchedule, *metrics.Collector) {
+func churnBenchWorld(cfg ChurnBenchConfig) (*sim.Engine, sim.ChurnSchedule, *metrics.Collector, *[]metrics.ChurnSample) {
 	const itemsPerCycle = 6
 	opinions := core.OpinionFunc(func(node news.NodeID, item news.ID) bool {
 		return int(node)%4 == int(item)%4
 	})
-	const ttl, downtime = 15, 6
+	const ttl, downtime = core.DefaultDescriptorTTL, 6
 	nodeCfg := core.Config{FLike: 6, RPSViewSize: 20, DescriptorTTL: ttl}
 	peers := make([]sim.Peer, cfg.Peers)
 	for i := 0; i < cfg.Peers; i++ {
@@ -106,19 +112,37 @@ func churnBenchWorld(cfg ChurnBenchConfig) (*sim.Engine, sim.ChurnSchedule, *met
 	for i := 0; i < cfg.Peers+cfg.FlashCrowd; i++ {
 		col.RegisterNode(news.NodeID(i), interests)
 	}
+	// Join-time-aware recall denominators for the flash crowd: a joiner can
+	// only receive items published from its arrival cycle on, so its fair F1
+	// counts those (CohortSummary.EligibleF1).
+	for id, joined := range joinCyclesOf(schedule) {
+		eligible := 0
+		for i := range pubs {
+			if pubs[i].Cycle >= joined && opinions.Likes(id, pubs[i].Item.ID) {
+				eligible++
+			}
+		}
+		col.SetEligibleInterested(id, eligible)
+	}
 	for id, c := range CohortsFromSchedule(schedule) {
 		col.SetCohort(id, c)
 	}
 
+	timeline := &[]metrics.ChurnSample{}
 	e := sim.New(sim.Config{
 		Seed: 1, Cycles: cfg.Cycles, Workers: cfg.EngineWorkers,
 		BootstrapDegree: 5, Publications: pubs, Churn: schedule,
+		DepartureNotices: cfg.DepartureNotices,
+		RefillWatermark:  cfg.RefillWatermark,
 		NewPeer: func(id news.NodeID) sim.Peer {
 			return core.NewNode(id, "", nodeCfg, opinions, nodeRNG(1, int(id)))
 		},
+		OnCycleEnd: func(e *sim.Engine, now int64) {
+			*timeline = append(*timeline, metrics.ChurnSample{Cycle: now, GhostFraction: ghostFraction(e)})
+		},
 	}, peers, col)
 	e.Bootstrap()
-	return e, schedule, col
+	return e, schedule, col, timeline
 }
 
 // ChurnBenchResult is one BENCH_churn.json trajectory entry.
@@ -131,41 +155,61 @@ type ChurnBenchResult struct {
 	Cycles     int     `json:"cycles"`
 	ChurnRate  float64 `json:"churn_rate"`
 	Events     int     `json:"events"`
+	// Churn protocol v2 knobs, recorded so trajectory entries with and
+	// without departure notices / refill stay comparable.
+	DepartureNotices bool    `json:"departure_notices,omitempty"`
+	RefillWatermark  float64 `json:"refill_watermark,omitempty"`
 
-	WallMs       float64 `json:"wall_ms"`      // full run wall-clock
-	NsPerCycle   float64 `json:"ns_per_cycle"` // average cycle cost under churn
-	FinalOnline  int     `json:"final_online"`
-	F1           float64 `json:"f1"`
-	StableF1     float64 `json:"stable_f1"`
-	JoinerF1     float64 `json:"joiner_f1"`
-	RejoinerF1   float64 `json:"rejoiner_f1"`
-	GhostEndFrac float64 `json:"ghost_end_fraction"` // must be 0: views healed
+	WallMs      float64 `json:"wall_ms"`      // full run wall-clock
+	NsPerCycle  float64 `json:"ns_per_cycle"` // average cycle cost under churn
+	FinalOnline int     `json:"final_online"`
+	F1          float64 `json:"f1"`
+	StableF1    float64 `json:"stable_f1"`
+	JoinerF1    float64 `json:"joiner_f1"`
+	// JoinerEligibleF1 is the flash crowd's join-time-aware F1: recall
+	// counts only items published after the joiner arrived.
+	JoinerEligibleF1 float64 `json:"joiner_eligible_f1"`
+	RejoinerF1       float64 `json:"rejoiner_f1"`
+	GhostEndFrac     float64 `json:"ghost_end_fraction"` // must be 0: views healed
+	// Healing summary: the cycle of the last departure, the first
+	// ghost-free cycle at or after it, and the gap between the two (-1
+	// where undefined, e.g. a run that never healed).
+	LastDeparture int64 `json:"last_departure"`
+	HealedAt      int64 `json:"healed_at"`
+	TimeToHealed  int64 `json:"time_to_healed"`
 }
 
 // ChurnBench runs the churn scenario once and returns the trajectory entry.
 func ChurnBench(cfg ChurnBenchConfig) ChurnBenchResult {
 	cfg = cfg.withDefaults()
-	e, schedule, col := churnBenchWorld(cfg)
+	e, schedule, col, timeline := churnBenchWorld(cfg)
 	start := time.Now()
 	e.Run()
 	wall := time.Since(start)
 
+	last, healedAt, timeToHealed := healingFrom(schedule, *timeline)
 	return ChurnBenchResult{
-		GoVersion:    runtime.Version(),
-		MaxProcs:     runtime.GOMAXPROCS(0),
-		Peers:        cfg.Peers,
-		FlashCrowd:   cfg.FlashCrowd,
-		Cycles:       cfg.Cycles,
-		ChurnRate:    cfg.ChurnRate,
-		Events:       len(schedule.Events),
-		WallMs:       float64(wall.Nanoseconds()) / 1e6,
-		NsPerCycle:   float64(wall.Nanoseconds()) / float64(cfg.Cycles),
-		FinalOnline:  e.OnlineCount(),
-		F1:           col.F1(),
-		StableF1:     col.CohortSummary(metrics.CohortStable).F1(),
-		JoinerF1:     col.CohortSummary(metrics.CohortJoiner).F1(),
-		RejoinerF1:   col.CohortSummary(metrics.CohortRejoiner).F1(),
-		GhostEndFrac: ghostFraction(e),
+		GoVersion:        runtime.Version(),
+		MaxProcs:         runtime.GOMAXPROCS(0),
+		Peers:            cfg.Peers,
+		FlashCrowd:       cfg.FlashCrowd,
+		Cycles:           cfg.Cycles,
+		ChurnRate:        cfg.ChurnRate,
+		Events:           len(schedule.Events),
+		DepartureNotices: cfg.DepartureNotices,
+		RefillWatermark:  cfg.RefillWatermark,
+		WallMs:           float64(wall.Nanoseconds()) / 1e6,
+		NsPerCycle:       float64(wall.Nanoseconds()) / float64(cfg.Cycles),
+		FinalOnline:      e.OnlineCount(),
+		F1:               col.F1(),
+		StableF1:         col.CohortSummary(metrics.CohortStable).F1(),
+		JoinerF1:         col.CohortSummary(metrics.CohortJoiner).F1(),
+		JoinerEligibleF1: col.CohortSummary(metrics.CohortJoiner).EligibleF1(),
+		RejoinerF1:       col.CohortSummary(metrics.CohortRejoiner).F1(),
+		GhostEndFrac:     ghostFraction(e),
+		LastDeparture:    last,
+		HealedAt:         healedAt,
+		TimeToHealed:     timeToHealed,
 	}
 }
 
@@ -174,9 +218,12 @@ func (r ChurnBenchResult) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Churn bench (%s, GOMAXPROCS=%d): %d peers +%d flash crowd, %d cycles, %.0f%% churn (%d events)\n",
 		r.GoVersion, r.MaxProcs, r.Peers, r.FlashCrowd, r.Cycles, r.ChurnRate*100, r.Events)
-	fmt.Fprintf(&b, "  wall %.0f ms (%.1f ms/cycle)  online(end)=%d  ghost-fraction(end)=%.4f\n",
-		r.WallMs, r.NsPerCycle/1e6, r.FinalOnline, r.GhostEndFrac)
-	fmt.Fprintf(&b, "  F1: population %.3f  stable %.3f  joiner %.3f  rejoiner %.3f",
-		r.F1, r.StableF1, r.JoinerF1, r.RejoinerF1)
+	if r.DepartureNotices || r.RefillWatermark > 0 {
+		fmt.Fprintf(&b, "  protocol: departure-notices=%v refill-watermark=%.2f\n", r.DepartureNotices, r.RefillWatermark)
+	}
+	fmt.Fprintf(&b, "  wall %.0f ms (%.1f ms/cycle)  online(end)=%d  ghost-fraction(end)=%.4f  time-to-healed=%s\n",
+		r.WallMs, r.NsPerCycle/1e6, r.FinalOnline, r.GhostEndFrac, cyclesOrNone(r.TimeToHealed))
+	fmt.Fprintf(&b, "  F1: population %.3f  stable %.3f  joiner %.3f (eligible %.3f)  rejoiner %.3f",
+		r.F1, r.StableF1, r.JoinerF1, r.JoinerEligibleF1, r.RejoinerF1)
 	return b.String()
 }

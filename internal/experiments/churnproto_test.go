@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"testing"
+
+	"whatsup/internal/core"
+)
+
+// TestDescriptorTTLDefaultUnified is the regression for the TTL-skew bugfix:
+// the sim churn scenario and the live churn scenario must derive the same
+// eviction-horizon default from the shared core constant, so quality numbers
+// from the two runtimes stay comparable.
+func TestDescriptorTTLDefaultUnified(t *testing.T) {
+	churn := ChurnConfig{}.withDefaults().DescriptorTTL
+	live := LiveRunConfig{}.withDefaults().DescriptorTTL
+	if churn != core.DefaultDescriptorTTL || live != core.DefaultDescriptorTTL {
+		t.Fatalf("TTL defaults diverged: ChurnRun=%d LiveRun=%d, both must be core.DefaultDescriptorTTL=%d",
+			churn, live, core.DefaultDescriptorTTL)
+	}
+	// An explicit TTL must survive untouched in both.
+	if got := (ChurnConfig{DescriptorTTL: 9}).withDefaults().DescriptorTTL; got != 9 {
+		t.Fatalf("explicit sim TTL overridden to %d", got)
+	}
+	if got := (LiveRunConfig{DescriptorTTL: 9}).withDefaults().DescriptorTTL; got != 9 {
+		t.Fatalf("explicit live TTL overridden to %d", got)
+	}
+}
+
+// TestLiveChurnWindowClosure is the regression for the hard-coded-slack
+// bugfix: for every run length the churn window must close at least one
+// eviction horizon plus one downtime plus the scheduler slack before the run
+// ends (unless the run is too short for any window at all, where it clamps
+// to a single cycle), and the slack must be derived, never the old magic 3
+// disguised as a constant for long runs.
+func TestLiveChurnWindowClosure(t *testing.T) {
+	for _, cycles := range []int{40, 64, 120, 400} {
+		cfg := LiveRunConfig{Cycles: cycles}.withDefaults()
+		from, to := cfg.churnWindow()
+		if from != int64(cycles/4) {
+			t.Fatalf("cycles=%d: window opens at %d, want %d", cycles, from, cycles/4)
+		}
+		latest := int64(cfg.Cycles) - cfg.DescriptorTTL - cfg.Downtime - cfg.schedulerSlack()
+		if to > latest {
+			t.Fatalf("cycles=%d: window closes at %d, later than TTL+downtime+slack bound %d",
+				cycles, to, latest)
+		}
+		if to <= from {
+			t.Fatalf("cycles=%d: window [%d,%d) is empty", cycles, from, to)
+		}
+		if slack := cfg.schedulerSlack(); slack < 3 {
+			t.Fatalf("cycles=%d: derived slack %d below the historical floor of 3", cycles, slack)
+		}
+	}
+	// Longer runs must get proportionally more slack (the old constant 3 did
+	// not scale with run length, which is what the fix addresses).
+	short := LiveRunConfig{Cycles: 40}.withDefaults()
+	long := LiveRunConfig{Cycles: 400}.withDefaults()
+	if long.schedulerSlack() <= short.schedulerSlack() {
+		t.Fatalf("slack must grow with run length: %d cycles -> %d, %d cycles -> %d",
+			short.Cycles, short.schedulerSlack(), long.Cycles, long.schedulerSlack())
+	}
+	// An explicit override wins over the derived value.
+	if got := (LiveRunConfig{Cycles: 40, SchedulerSlack: 9}).withDefaults().schedulerSlack(); got != 9 {
+		t.Fatalf("explicit SchedulerSlack overridden to %d", got)
+	}
+	// A run too short for any window clamps to one cycle rather than
+	// producing an inverted range.
+	tiny := LiveRunConfig{Cycles: 12}.withDefaults()
+	if from, to := tiny.churnWindow(); to != from+1 {
+		t.Fatalf("short run must clamp to a single-cycle window, got [%d,%d)", from, to)
+	}
+}
+
+// TestChurnRunTimelineAndHealing exercises the sim timeline end to end on a
+// tiny workload: one sample per cycle, ghost fractions mirrored between the
+// legacy slice and the timeline, and the healing summary consistent.
+func TestChurnRunTimelineAndHealing(t *testing.T) {
+	r := ChurnRun(tiny(), ChurnConfig{
+		Dataset: "survey", ChurnRate: 0.2, FlashCrowd: 6,
+		DepartureNotices: true, RefillWatermark: 0.5, Workers: 2,
+	})
+	if len(r.Timeline) != r.Cycles {
+		t.Fatalf("timeline has %d samples, want one per cycle (%d)", len(r.Timeline), r.Cycles)
+	}
+	for i, s := range r.Timeline {
+		if s.GhostFraction != r.GhostFraction[i] {
+			t.Fatalf("cycle %d: timeline ghost %v != legacy slice %v", s.Cycle, s.GhostFraction, r.GhostFraction[i])
+		}
+		if s.RPSFill < 0 || s.RPSFill > 1 || s.WUPFill < 0 || s.WUPFill > 1 {
+			t.Fatalf("cycle %d: fills out of range: %+v", s.Cycle, s)
+		}
+		online := 0
+		for _, c := range s.OnlineByCohort {
+			online += c
+		}
+		if online != s.Online {
+			t.Fatalf("cycle %d: cohort counts sum to %d, online is %d", s.Cycle, online, s.Online)
+		}
+	}
+	if r.HealedAt >= 0 {
+		if r.TimeToHealed != r.HealedAt-r.LastDeparture {
+			t.Fatalf("TimeToHealed=%d, want HealedAt-LastDeparture=%d", r.TimeToHealed, r.HealedAt-r.LastDeparture)
+		}
+	} else if r.TimeToHealed != -1 {
+		t.Fatalf("unhealed run must report TimeToHealed=-1, got %d", r.TimeToHealed)
+	}
+	if r.Stable.Nodes == 0 {
+		t.Fatal("cohort splits missing")
+	}
+}
+
+// TestChurnBenchRecordsProtocolColumns runs a miniature churn bench and pins
+// the new trajectory columns: the protocol knobs are echoed, the joiner
+// eligible-F1 is populated alongside the whole-trace figure, and the healing
+// summary is internally consistent.
+func TestChurnBenchRecordsProtocolColumns(t *testing.T) {
+	r := ChurnBench(ChurnBenchConfig{
+		Peers: 150, Cycles: 30, ChurnRate: 0.2, FlashCrowd: 12,
+		EngineWorkers: 2, DepartureNotices: true, RefillWatermark: 0.5,
+	})
+	if !r.DepartureNotices || r.RefillWatermark != 0.5 {
+		t.Fatalf("protocol knobs not echoed into the entry: %+v", r)
+	}
+	if r.JoinerF1 > 0 && r.JoinerEligibleF1 < r.JoinerF1 {
+		t.Fatalf("eligible F1 %v below whole-trace F1 %v: the join-time denominator can only shrink",
+			r.JoinerEligibleF1, r.JoinerF1)
+	}
+	if r.LastDeparture < 0 {
+		t.Fatal("a churned bench must record a last departure")
+	}
+	if r.HealedAt >= 0 && r.TimeToHealed != r.HealedAt-r.LastDeparture {
+		t.Fatalf("TimeToHealed=%d inconsistent with HealedAt=%d LastDeparture=%d",
+			r.TimeToHealed, r.HealedAt, r.LastDeparture)
+	}
+	if r.GhostEndFrac != 0 {
+		t.Fatalf("bench world must self-heal by the end, ghost fraction %v", r.GhostEndFrac)
+	}
+}

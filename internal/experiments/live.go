@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"strings"
 	"time"
 
@@ -49,10 +50,22 @@ type LiveRunConfig struct {
 	// rejoin (default 5).
 	Downtime int64
 	// DescriptorTTL is the view eviction horizon in cycles, applied when
-	// churn is enabled (default 8). The churn window is sized so the last
-	// departure sits at least one horizon plus one downtime before the end
-	// of the run, so a healthy run ends ghost-free.
+	// churn is enabled (default core.DefaultDescriptorTTL, shared with
+	// ChurnRun). The churn window is sized so the last departure sits at
+	// least one horizon plus one downtime before the end of the run, so a
+	// healthy run ends ghost-free.
 	DescriptorTTL int64
+	// SchedulerSlack is the extra margin, in cycles, between the close of
+	// the churn window and the point one horizon+downtime before the run
+	// end, absorbing wall-clock tick jitter on loaded machines. 0 derives
+	// a default from the run length and available parallelism.
+	SchedulerSlack int64
+	// DepartureNotices enables graceful-departure notices in the fleet
+	// (live.Config.DepartureNotices).
+	DepartureNotices bool
+	// RefillWatermark enables adaptive view refill below this occupancy
+	// fraction (live.Config.RefillWatermark; 0 = off).
+	RefillWatermark float64
 }
 
 func (c LiveRunConfig) withDefaults() LiveRunConfig {
@@ -74,9 +87,38 @@ func (c LiveRunConfig) withDefaults() LiveRunConfig {
 		c.Downtime = 5
 	}
 	if c.DescriptorTTL <= 0 {
-		c.DescriptorTTL = 8
+		c.DescriptorTTL = core.DefaultDescriptorTTL
 	}
 	return c
+}
+
+// schedulerSlack is the closing margin of the churn window in cycles. Live
+// runs tick on a wall clock, so a loaded machine can stretch late cycles;
+// the margin grows with run length and widens when the runtime has a single
+// scheduler thread (the configuration that showed stretched ticks in CI).
+func (c LiveRunConfig) schedulerSlack() int64 {
+	if c.SchedulerSlack > 0 {
+		return c.SchedulerSlack
+	}
+	slack := 3 + int64(c.Cycles/16)
+	if runtime.GOMAXPROCS(0) == 1 {
+		slack += 2
+	}
+	return slack
+}
+
+// churnWindow bounds the trace-churn cycles [from, to): opening a quarter
+// into the run and closing at least DescriptorTTL + Downtime +
+// schedulerSlack cycles before the end, so every departure has a full
+// eviction horizon (plus rejoin downtime and tick jitter) to heal before
+// GhostEndFraction is measured.
+func (c LiveRunConfig) churnWindow() (from, to int64) {
+	from = int64(c.Cycles / 4)
+	to = int64(c.Cycles) - c.DescriptorTTL - c.Downtime - c.schedulerSlack()
+	if to <= from {
+		to = from + 1
+	}
+	return from, to
 }
 
 // churned reports whether the config enables the churn scenario.
@@ -110,6 +152,16 @@ type LiveRunResult struct {
 	// least one eviction horizon after the last departure, so a healthy run
 	// reports 0.
 	GhostEndFraction float64
+	// Timeline holds the fleet's per-cycle health samples (online counts,
+	// ghost fraction, view fills, cohorts), published by the runtime's
+	// control channel while the run was live.
+	Timeline []metrics.ChurnSample
+	// LastDeparture, HealedAt and TimeToHealed mirror ChurnRun: the cycle
+	// of the last leave/crash, the first ghost-free cycle at or after it
+	// (-1 if the run never healed), and the gap between the two.
+	LastDeparture int64
+	HealedAt      int64
+	TimeToHealed  int64
 }
 
 // liveChurnSchedule builds the churn schedule for a live run: trace churn
@@ -117,14 +169,7 @@ type LiveRunResult struct {
 // before the end so the run itself proves self-healing, plus a flash crowd
 // one third in.
 func liveChurnSchedule(o Options, cfg LiveRunConfig, users int) sim.ChurnSchedule {
-	churnFrom := int64(cfg.Cycles / 4)
-	// Close the window one horizon plus one downtime before the end, with a
-	// few extra cycles of slack for wall-clock tick jitter, so the run
-	// itself proves self-healing (GhostEndFraction must come back 0).
-	churnTo := int64(cfg.Cycles) - cfg.DescriptorTTL - cfg.Downtime - 3
-	if churnTo <= churnFrom {
-		churnTo = churnFrom + 1
-	}
+	churnFrom, churnTo := cfg.churnWindow()
 	var schedule sim.ChurnSchedule
 	if cfg.ChurnRate > 0 {
 		perCycle := cfg.ChurnRate / float64(churnTo-churnFrom)
@@ -177,6 +222,9 @@ func LiveRun(o Options, cfg LiveRunConfig) (LiveRunResult, error) {
 		// every node's config, and the schedule + joiner factory into the
 		// runtime's membership controller.
 		liveCfg.NodeConfig.DescriptorTTL = cfg.DescriptorTTL
+		liveCfg.DepartureNotices = cfg.DepartureNotices
+		liveCfg.RefillWatermark = cfg.RefillWatermark
+		liveCfg.Timeline = true
 		schedule = liveChurnSchedule(o, cfg, ds.Users)
 		liveCfg.Churn = schedule
 		liveCfg.NewNode = func(id news.NodeID, rng *rand.Rand) *core.Node {
@@ -241,8 +289,34 @@ func LiveRun(o Options, cfg LiveRunConfig) (LiveRunResult, error) {
 		res.Rejoiner = col.CohortSummary(metrics.CohortRejoiner)
 		res.Departed = col.CohortSummary(metrics.CohortDeparted)
 		res.GhostEndFraction = r.GhostFraction()
+		res.Timeline = r.Timeline()
+		res.LastDeparture, res.HealedAt, res.TimeToHealed = healingFrom(schedule, res.Timeline)
 	}
 	return res, nil
+}
+
+// healingFrom derives the healing summary from a schedule and a per-cycle
+// timeline: the last departure cycle, the first ghost-free sample at or
+// after it that no later ghosts invalidate, and the gap between the two
+// (-1 where undefined).
+func healingFrom(schedule sim.ChurnSchedule, timeline []metrics.ChurnSample) (last, healedAt, timeTo int64) {
+	last, healedAt, timeTo = -1, -1, -1
+	for _, ev := range schedule.Events {
+		if (ev.Kind == sim.ChurnLeave || ev.Kind == sim.ChurnCrash) && ev.Cycle > last {
+			last = ev.Cycle
+		}
+	}
+	for _, s := range timeline {
+		if s.GhostFraction == 0 && s.Cycle >= last && healedAt < 0 && last >= 0 {
+			healedAt = s.Cycle
+		} else if s.GhostFraction > 0 {
+			healedAt = -1
+		}
+	}
+	if healedAt >= 0 && last >= 0 {
+		timeTo = healedAt - last
+	}
+	return last, healedAt, timeTo
 }
 
 // String renders the run in the style of the paper's deployment tables.
@@ -257,6 +331,8 @@ func (r LiveRunResult) String() string {
 	if r.Events > 0 {
 		fmt.Fprintf(&b, "\n  churn: %d events, +%d flash-crowd joiners, %d online at end, ghost-fraction(end)=%.4f\n",
 			r.Events, r.Joiners, r.FinalOnline, r.GhostEndFraction)
+		fmt.Fprintf(&b, "  healing: last-departure=%s healed-at=%s time-to-healed=%s\n",
+			cycleOrNone(r.LastDeparture), cycleOrNone(r.HealedAt), cyclesOrNone(r.TimeToHealed))
 		b.WriteString("  cohort     nodes  precision  recall  recall*  f1     deliveries/node\n")
 		for _, s := range []metrics.CohortSummary{r.Stable, r.Joiner, r.Rejoiner, r.Departed} {
 			if s.Nodes == 0 {

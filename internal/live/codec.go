@@ -15,10 +15,12 @@ import (
 
 // Envelope wire layout, shared by ChannelNet and TCPNet:
 //
-//	byte    kind (wireRPSRequest … wireItem)
+//	byte    kind (wireRPSRequest … wireRefillReply)
 //	varint  from node, to node (zigzag)
-//	payload gossip kinds: descriptor list (overlay.AppendDescriptors)
-//	        wireItem:     BEEP message  (core.ItemMessage.AppendWire)
+//	payload wireItem:    BEEP message (core.ItemMessage.AppendWire)
+//	        other kinds: descriptor list (overlay.AppendDescriptors) then
+//	                     tombstone list (overlay.AppendTombstones) — the
+//	                     departure notices piggybacked on gossip
 //
 // On a stream transport each envelope travels as one *frame*: a uvarint
 // payload length followed by the payload. Frames are self-delimiting, so a
@@ -45,7 +47,8 @@ func appendEnvelope(buf []byte, e envelope) []byte {
 	if e.Kind == wireItem {
 		return e.Item.AppendWire(buf)
 	}
-	return overlay.AppendDescriptors(buf, e.Descs)
+	buf = overlay.AppendDescriptors(buf, e.Descs)
+	return overlay.AppendTombstones(buf, e.Tombs)
 }
 
 // decodeEnvelope decodes one envelope from the front of data.
@@ -54,7 +57,7 @@ func decodeEnvelope(data []byte) (envelope, []byte, error) {
 	if len(data) == 0 {
 		return e, data, fmt.Errorf("envelope kind: %w", wire.ErrTruncated)
 	}
-	if data[0] > byte(wireItem) {
+	if data[0] > byte(wireRefillReply) {
 		return e, data, fmt.Errorf("%w: unknown envelope kind %d", wire.ErrMalformed, data[0])
 	}
 	e.Kind = wireKind(data[0])
@@ -74,7 +77,9 @@ func decodeEnvelope(data []byte) (envelope, []byte, error) {
 	if e.Kind == wireItem {
 		e.Item, rest, err = core.DecodeItemMessage(rest)
 	} else {
-		e.Descs, rest, err = overlay.DecodeDescriptors(rest)
+		if e.Descs, rest, err = overlay.DecodeDescriptors(rest); err == nil {
+			e.Tombs, rest, err = overlay.DecodeTombstones(rest)
+		}
 	}
 	if err != nil {
 		return e, data, err

@@ -57,6 +57,14 @@ func envelopesEqual(a, b envelope) bool {
 	if a.Kind != b.Kind || a.From != b.From || a.To != b.To {
 		return false
 	}
+	if len(a.Tombs) != len(b.Tombs) {
+		return false
+	}
+	for i := range a.Tombs {
+		if a.Tombs[i] != b.Tombs[i] {
+			return false
+		}
+	}
 	if len(a.Descs) != len(b.Descs) {
 		return false
 	}
@@ -100,6 +108,10 @@ func roundTripCases() map[string]envelope {
 		"empty-profiles":       {Kind: wireWUPRequest, From: 0, To: 1, Descs: []overlay.Descriptor{{Node: 2, Profile: profile.New()}, {Node: 3, Profile: profile.New()}}},
 		"max-length-descs":     {Kind: wireWUPRequest, From: 1, To: 2, Descs: maxDescs},
 		"item-without-profile": {Kind: wireItem, From: news.NoNode, To: 0, Item: core.ItemMessage{Item: news.New("t", "", "", 0, news.NoNode)}},
+		"departure":            {Kind: wireDeparture, From: 4, To: 5, Tombs: []overlay.Tombstone{{Node: 4, Stamp: 17}}},
+		"gossip-with-tombs":    {Kind: wireRPSRequest, From: 1, To: 2, Descs: []overlay.Descriptor{{Node: 3, Stamp: 4}}, Tombs: []overlay.Tombstone{{Node: 6, Stamp: 15}, {Node: 7, Stamp: 16}}},
+		"refill-request":       {Kind: wireRefillRequest, From: 8, To: 9, Descs: []overlay.Descriptor{{Node: 8, Stamp: 21, Profile: repProfile(5, 3)}}},
+		"refill-reply":         {Kind: wireRefillReply, From: 9, To: 8, Descs: []overlay.Descriptor{{Node: 9, Stamp: 21}, {Node: 11, Stamp: 19}}},
 	}
 }
 
@@ -152,9 +164,13 @@ func TestEncodedSizeRegression(t *testing.T) {
 		env  envelope
 		want int
 	}{
-		{"gossip-10x25", repGossip(), 2930},
+		// Gossip frames grew one byte in the churn-protocol-v2 format: every
+		// non-item envelope now ends with a tombstone list (uvarint count, 0
+		// when no departures are in flight). Item frames are unchanged.
+		{"gossip-10x25", repGossip(), 2931},
 		{"item-12", repItem(), 246},
-		{"empty-rps-reply", envelope{Kind: wireRPSReply, From: 2, To: 1}, 5},
+		{"empty-rps-reply", envelope{Kind: wireRPSReply, From: 2, To: 1}, 6},
+		{"departure-1", envelope{Kind: wireDeparture, From: 2, To: 1, Tombs: []overlay.Tombstone{{Node: 2, Stamp: 17}}}, 8},
 	} {
 		got := len(appendFrame(nil, tc.env))
 		if got != tc.want {

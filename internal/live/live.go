@@ -50,6 +50,11 @@ const (
 	wireWUPRequest
 	wireWUPReply
 	wireItem
+	// Churn protocol v2: the graceful leaver's departure notice and the two
+	// legs of the anti-entropy view refill.
+	wireDeparture
+	wireRefillRequest
+	wireRefillReply
 )
 
 // envelope is one message on a live network.
@@ -58,6 +63,7 @@ type envelope struct {
 	From  news.NodeID
 	To    news.NodeID
 	Descs []overlay.Descriptor // gossip payload
+	Tombs []overlay.Tombstone  // piggybacked departure notices (non-item kinds)
 	Item  core.ItemMessage     // BEEP payload
 
 	// frame, when non-nil, is the encoded frame of this envelope, set by
@@ -90,6 +96,12 @@ func (e envelope) kind() metrics.MessageKind {
 		return metrics.MsgWUPRequest
 	case wireWUPReply:
 		return metrics.MsgWUPReply
+	case wireDeparture:
+		return metrics.MsgDeparture
+	case wireRefillRequest:
+		return metrics.MsgRefillRequest
+	case wireRefillReply:
+		return metrics.MsgRefillReply
 	default:
 		return metrics.MsgBeep
 	}
@@ -138,6 +150,22 @@ type Config struct {
 	// dataset population then like nothing; experiment drivers supply a
 	// factory with mapped opinions instead).
 	NewNode func(id news.NodeID, rng *rand.Rand) *core.Node
+	// DepartureNotices enables the churn protocol's graceful-departure path:
+	// a node stopped by a ChurnLeave sends departure frames to its view
+	// neighbours before its transport flushes, and every node piggybacks its
+	// active tombstones on outgoing gossip for one horizon. Off by default.
+	DepartureNotices bool
+	// RefillWatermark enables adaptive view refill: a node whose RPS or WUP
+	// view occupancy falls under this fraction of capacity at a cycle tick
+	// pulls an anti-entropy descriptor sample from its freshest surviving
+	// neighbour. Zero disables refill.
+	RefillWatermark float64
+	// Timeline makes the controller sample a per-cycle metrics.ChurnSample
+	// of the fleet (ghost fraction, view fill, online population by cohort)
+	// through the nodes' control channels; read it with Runner.Timeline
+	// after the run. Off by default — sampling costs one snapshot round-trip
+	// per online node per cycle.
+	Timeline bool
 }
 
 func (c Config) withDefaults() Config {
@@ -180,6 +208,9 @@ type Runner struct {
 	// descriptor stamps and DescriptorTTL eviction horizon stay aligned
 	// with the fleet, as a wall-clock deployment's would.
 	cycle atomic.Int64
+	// timeline is the per-cycle fleet health trace (Config.Timeline), owned
+	// by the controller; read through Timeline after Run returns.
+	timeline []metrics.ChurnSample
 }
 
 // liveNode wraps a core.Node with its goroutine state. The node's protocol
@@ -385,6 +416,9 @@ func (r *Runner) Run() {
 		<-ticker.C
 		r.cycle.Store(c)
 		r.applyChurn(c)
+		if r.cfg.Timeline {
+			r.sampleTimeline(c)
+		}
 	}
 	for _, id := range r.order {
 		if r.states[id] == sim.Online {
@@ -403,13 +437,68 @@ func (r *Runner) applyChurn(now int64) {
 		case sim.ChurnJoin:
 			r.join(ev.Node, now)
 		case sim.ChurnLeave:
-			r.stop(ev.Node, true)
+			r.stop(ev.Node, true, now)
 		case sim.ChurnCrash:
-			r.stop(ev.Node, false)
+			r.stop(ev.Node, false, now)
 		case sim.ChurnRejoin:
 			r.rejoin(ev.Node, now)
 		}
 	}
+}
+
+// Timeline returns the per-cycle fleet health samples recorded when
+// Config.Timeline is set. Only safe once Run has returned.
+func (r *Runner) Timeline() []metrics.ChurnSample { return r.timeline }
+
+// sampleTimeline records one fleet health sample: view snapshots are pulled
+// through each online node's control channel first (never while holding the
+// collector lock — a node may be blocked on that very lock, and its goroutine
+// must stay free to answer), then cohort labels are read under one lock.
+func (r *Runner) sampleTimeline(now int64) {
+	nodeCfg := r.cfg.NodeConfig.WithDefaults()
+	s := metrics.ChurnSample{Cycle: now, Members: len(r.fleet)}
+	type onlineView struct {
+		id       news.NodeID
+		rps, wup []overlay.Descriptor
+	}
+	views := make([]onlineView, 0, len(r.order))
+	for _, id := range r.order {
+		if r.states[id] != sim.Online {
+			continue
+		}
+		snap := r.fleet[id].snapshot()
+		views = append(views, onlineView{id: id, rps: snap.rps, wup: snap.wup})
+	}
+	s.Online = len(views)
+	total, ghosts := 0, 0
+	var rpsFill, wupFill float64
+	count := func(descs []overlay.Descriptor) {
+		for _, d := range descs {
+			total++
+			if st, ok := r.states[d.Node]; !ok || st != sim.Online {
+				ghosts++
+			}
+		}
+	}
+	for _, v := range views {
+		rpsFill += float64(len(v.rps)) / float64(nodeCfg.RPSViewSize)
+		wupFill += float64(len(v.wup)) / float64(nodeCfg.WUPViewSize)
+		count(v.rps)
+		count(v.wup)
+	}
+	if len(views) > 0 {
+		s.RPSFill = rpsFill / float64(len(views))
+		s.WUPFill = wupFill / float64(len(views))
+	}
+	if total > 0 {
+		s.GhostFraction = float64(ghosts) / float64(total)
+	}
+	r.colMu.Lock()
+	for _, v := range views {
+		s.OnlineByCohort[r.col.CohortOf(v.id)]++
+	}
+	r.colMu.Unlock()
+	r.timeline = append(r.timeline, s)
 }
 
 // snapshot asks a running node goroutine for a state snapshot. Must only be
@@ -493,8 +582,11 @@ func (r *Runner) join(id news.NodeID, now int64) {
 
 // stop takes an online node down: its goroutine exits, its views are wiped,
 // and its transport endpoints are torn down — abruptly on a crash (pending
-// frames drop), flushing pending batches first on a graceful leave.
-func (r *Runner) stop(id news.NodeID, graceful bool) {
+// frames drop), flushing pending batches first on a graceful leave. With
+// Config.DepartureNotices a graceful leaver first sends departure frames to
+// its view neighbours (while the controller owns the node and before the
+// graceful disconnect, so the transport flushes them).
+func (r *Runner) stop(id news.NodeID, graceful bool, now int64) {
 	ln := r.fleet[id]
 	if ln == nil || r.states[id] != sim.Online {
 		return
@@ -502,6 +594,9 @@ func (r *Runner) stop(id news.NodeID, graceful bool) {
 	close(ln.quit)
 	<-ln.done // the goroutine has exited; the controller owns the node now
 	if graceful {
+		if r.cfg.DepartureNotices {
+			r.sendDepartureNotices(ln, now)
+		}
 		ln.node.Leave()
 		r.states[id] = sim.Departed
 	} else {
@@ -509,6 +604,27 @@ func (r *Runner) stop(id news.NodeID, graceful bool) {
 		r.states[id] = sim.Offline
 	}
 	r.net.Disconnect(id, graceful)
+}
+
+// sendDepartureNotices emits the leaver's departure frame to every distinct
+// online neighbour in its RPS and WUP views — its final courtesy messages,
+// sent before Leave wipes the views.
+func (r *Runner) sendDepartureNotices(ln *liveNode, now int64) {
+	id := ln.node.ID()
+	tombs := []overlay.Tombstone{{Node: id, Stamp: now}}
+	seen := map[news.NodeID]struct{}{}
+	notify := func(d overlay.Descriptor) {
+		if _, dup := seen[d.Node]; dup {
+			return
+		}
+		seen[d.Node] = struct{}{}
+		if r.states[d.Node] != sim.Online {
+			return
+		}
+		r.send(envelope{Kind: wireDeparture, From: id, To: d.Node, Tombs: tombs})
+	}
+	ln.node.RPS().View().ForEach(notify)
+	ln.node.WUP().View().ForEach(notify)
 }
 
 // rejoin brings a crashed node back: a fresh transport endpoint, views
@@ -606,20 +722,23 @@ func (ln *liveNode) loop() {
 	}
 }
 
-// onCycle runs the periodic protocol actions: window purge, RPS and WUP
-// exchange initiation, and this node's scheduled publications.
+// onCycle runs the periodic protocol actions: window purge, adaptive view
+// refill, RPS and WUP exchange initiation, and this node's scheduled
+// publications.
 func (ln *liveNode) onCycle(cycle int64) {
 	n := ln.node
 	n.BeginCycle(cycle)
+	ln.maybeRefill(cycle)
 
+	tombs := n.AppendTombstones(nil)
 	if target, ok := n.RPS().SelectPeer(); ok {
 		push := n.RPS().MakePush(n.RPS().Descriptor(cycle, n.UserProfile()))
-		ln.runner.send(envelope{Kind: wireRPSRequest, From: n.ID(), To: target.Node, Descs: push})
+		ln.runner.send(envelope{Kind: wireRPSRequest, From: n.ID(), To: target.Node, Descs: push, Tombs: tombs})
 	}
 	n.InjectRPSCandidates()
 	if target, ok := n.WUP().SelectPeer(); ok {
 		push := n.WUP().MakePush(n.WUP().Descriptor(cycle, n.UserProfile()))
-		ln.runner.send(envelope{Kind: wireWUPRequest, From: n.ID(), To: target.Node, Descs: push})
+		ln.runner.send(envelope{Kind: wireWUPRequest, From: n.ID(), To: target.Node, Descs: push, Tombs: tombs})
 	}
 
 	for ln.pubIdx < len(ln.pubs) && ln.pubs[ln.pubIdx].Cycle <= cycle {
@@ -628,6 +747,47 @@ func (ln *liveNode) onCycle(cycle int64) {
 		for _, s := range n.Publish(it.News, cycle) {
 			ln.runner.send(envelope{Kind: wireItem, From: n.ID(), To: s.To, Item: s.Msg})
 		}
+	}
+}
+
+// maybeRefill implements the adaptive view refill (Config.RefillWatermark):
+// when churn eviction has left either view under the watermark, the node
+// pulls an anti-entropy descriptor sample from the freshest surviving
+// neighbour it still knows — the peer most likely to be alive.
+func (ln *liveNode) maybeRefill(cycle int64) {
+	wm := ln.runner.cfg.RefillWatermark
+	if wm <= 0 {
+		return
+	}
+	n := ln.node
+	rpsView, wupView := n.RPS().View(), n.WUP().View()
+	rpsLow := float64(rpsView.Len()) < wm*float64(rpsView.Capacity())
+	wupLow := float64(wupView.Len()) < wm*float64(wupView.Capacity())
+	if !rpsLow && !wupLow {
+		return
+	}
+	var best overlay.Descriptor
+	found := false
+	scan := func(d overlay.Descriptor) {
+		if !found || d.Fresher(best) {
+			best, found = d, true
+		}
+	}
+	rpsView.ForEach(scan)
+	wupView.ForEach(scan)
+	if !found {
+		return // fully isolated; nothing to pull from
+	}
+	req := []overlay.Descriptor{n.RPS().Descriptor(cycle, n.UserProfile())}
+	ln.runner.send(envelope{Kind: wireRefillRequest, From: n.ID(), To: best.Node, Descs: req, Tombs: n.AppendTombstones(nil)})
+}
+
+// absorbTombs applies piggybacked departure notices before the descriptors
+// they arrived with are merged, so a tombstoned peer's stale descriptors in
+// the same envelope cannot re-enter the views.
+func (ln *liveNode) absorbTombs(tombs []overlay.Tombstone, cycle int64) {
+	for _, t := range tombs {
+		ln.node.NoteDeparture(t, cycle)
 	}
 }
 
@@ -646,23 +806,40 @@ func (ln *liveNode) evictStale(cycle int64) {
 	ln.node.WUP().EvictOlderThan(cycle - ttl)
 }
 
-// onMessage dispatches one inbound envelope.
+// onMessage dispatches one inbound envelope. Piggybacked departure notices
+// are absorbed first, so the descriptor merge that follows cannot re-insert
+// a tombstoned peer; replies carry this node's own active tombstones back.
 func (ln *liveNode) onMessage(env envelope, cycle int64) {
 	n := ln.node
+	if len(env.Tombs) > 0 {
+		ln.absorbTombs(env.Tombs, cycle)
+	}
 	switch env.Kind {
 	case wireRPSRequest:
 		reply := n.RPS().AcceptPush(env.Descs, n.RPS().Descriptor(cycle, n.UserProfile()))
 		ln.evictStale(cycle)
-		ln.runner.send(envelope{Kind: wireRPSReply, From: n.ID(), To: env.From, Descs: reply})
+		ln.runner.send(envelope{Kind: wireRPSReply, From: n.ID(), To: env.From, Descs: reply, Tombs: n.AppendTombstones(nil)})
 	case wireRPSReply:
 		n.RPS().AcceptReply(env.Descs)
 		ln.evictStale(cycle)
 	case wireWUPRequest:
 		reply := n.WUP().AcceptPush(env.Descs, n.WUP().Descriptor(cycle, n.UserProfile()), n.UserProfile())
 		ln.evictStale(cycle)
-		ln.runner.send(envelope{Kind: wireWUPReply, From: n.ID(), To: env.From, Descs: reply})
+		ln.runner.send(envelope{Kind: wireWUPReply, From: n.ID(), To: env.From, Descs: reply, Tombs: n.AppendTombstones(nil)})
 	case wireWUPReply:
 		n.WUP().AcceptReply(env.Descs, n.UserProfile())
+		ln.evictStale(cycle)
+	case wireDeparture:
+		// The notices rode in env.Tombs and were absorbed above.
+	case wireRefillRequest:
+		// Anti-entropy pull: answer with an RPS-style exchange (own fresh
+		// descriptor plus half the view), merging the puller's descriptor.
+		reply := n.RPS().AcceptPush(env.Descs, n.RPS().Descriptor(cycle, n.UserProfile()))
+		ln.evictStale(cycle)
+		ln.runner.send(envelope{Kind: wireRefillReply, From: n.ID(), To: env.From, Descs: reply, Tombs: n.AppendTombstones(nil)})
+	case wireRefillReply:
+		n.RPS().AcceptReply(env.Descs)
+		n.WUP().Merge(env.Descs, n.UserProfile())
 		ln.evictStale(cycle)
 	case wireItem:
 		d, sends := n.Receive(env.Item, cycle)

@@ -23,6 +23,11 @@ const (
 	MsgRPSReply
 	MsgWUPRequest
 	MsgWUPReply
+	// Churn-protocol traffic (v2): departure notices sent by graceful
+	// leavers and the request/reply legs of the anti-entropy view refill.
+	MsgDeparture
+	MsgRefillRequest
+	MsgRefillReply
 	numMessageKinds
 )
 
@@ -39,6 +44,12 @@ func (k MessageKind) String() string {
 		return "wup-request"
 	case MsgWUPReply:
 		return "wup-reply"
+	case MsgDeparture:
+		return "departure"
+	case MsgRefillRequest:
+		return "refill-request"
+	case MsgRefillReply:
+		return "refill-reply"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -361,16 +372,41 @@ func (c *Collector) TotalBytes() int64 {
 	return total
 }
 
-// GossipMessages sums the RPS and WUP exchange legs.
+// GossipMessages sums the RPS and WUP exchange legs plus the churn-protocol
+// maintenance traffic (departure notices and refill exchanges) — everything
+// that is overlay upkeep rather than BEEP dissemination.
 func (c *Collector) GossipMessages() int64 {
 	return c.msgCount[MsgRPSRequest] + c.msgCount[MsgRPSReply] +
-		c.msgCount[MsgWUPRequest] + c.msgCount[MsgWUPReply]
+		c.msgCount[MsgWUPRequest] + c.msgCount[MsgWUPReply] +
+		c.msgCount[MsgDeparture] + c.msgCount[MsgRefillRequest] + c.msgCount[MsgRefillReply]
 }
 
-// GossipBytes sums RPS and WUP traffic volume.
+// GossipBytes sums the traffic volume of the same kinds as GossipMessages.
 func (c *Collector) GossipBytes() int64 {
 	return c.msgBytes[MsgRPSRequest] + c.msgBytes[MsgRPSReply] +
-		c.msgBytes[MsgWUPRequest] + c.msgBytes[MsgWUPReply]
+		c.msgBytes[MsgWUPRequest] + c.msgBytes[MsgWUPReply] +
+		c.msgBytes[MsgDeparture] + c.msgBytes[MsgRefillRequest] + c.msgBytes[MsgRefillReply]
+}
+
+// ChurnSample is one per-cycle snapshot of churn-protocol health: how full
+// the fleet's views are, how many departed ghosts they still hold and who is
+// online, broken down by cohort. Sim and live churn drivers both report
+// timelines of these samples instead of end-of-run aggregates.
+type ChurnSample struct {
+	// Cycle is the cycle the sample was taken at (start of cycle, after the
+	// membership controller applied that cycle's churn events).
+	Cycle int64
+	// Online and Members count the online population and the total
+	// registered membership (including offline and departed slots).
+	Online, Members int
+	// GhostFraction is the fraction of view entries across the online
+	// population that reference nodes no longer online.
+	GhostFraction float64
+	// RPSFill and WUPFill are the mean view occupancy of the online
+	// population, as a fraction of view capacity.
+	RPSFill, WUPFill float64
+	// OnlineByCohort counts the online population per churn cohort.
+	OnlineByCohort [NumCohorts]int
 }
 
 // sortedItems returns item ids in ascending order so floating-point

@@ -1,0 +1,167 @@
+// Graveyard: the departure-notice tombstone set of the churn protocol.
+//
+// A graceful leaver piggybacks a departure notice on its final gossip
+// exchanges. Receivers evict the leaver immediately instead of waiting out
+// the DescriptorTTL horizon, remember the departure as a tombstone, forward
+// it on their own gossip for one horizon so the notice floods the leaver's
+// neighbourhood, and filter the leaver's stale descriptors out of every
+// merge until the tombstone expires. The tombstone set is deliberately tiny
+// and short-lived: it only has to outlive the stale descriptors still in
+// flight, which the eviction horizon already bounds.
+package overlay
+
+import (
+	"slices"
+
+	"whatsup/internal/news"
+	"whatsup/internal/wire"
+)
+
+// Tombstone records one graceful departure: the node that left and the cycle
+// it announced the departure at.
+type Tombstone struct {
+	Node  news.NodeID
+	Stamp int64
+}
+
+// WireSize returns the exact number of bytes AppendTombstone produces.
+func (t Tombstone) WireSize() int {
+	return wire.IntLen(int64(t.Node)) + wire.IntLen(t.Stamp)
+}
+
+// Graveyard is a bounded-lifetime set of departure tombstones owned by one
+// node. It is not goroutine-safe. The zero value is ready to use; the map is
+// allocated lazily on the first Note so churn-free nodes never pay for it.
+type Graveyard struct {
+	stamps map[news.NodeID]int64
+	// Cached orderings of the active set, rebuilt lazily after a change:
+	// every outgoing gossip message piggybacks the graveyard, so a gossip
+	// round over an unchanged graveyard must pay one sort, not one per
+	// message.
+	byNode  []Tombstone // sorted by node id (the full-set piggyback order)
+	byFresh []Tombstone // freshest stamp first (the capped-selection order)
+	nodeOK  bool
+	freshOK bool
+}
+
+// Len reports the number of active tombstones.
+func (g *Graveyard) Len() int { return len(g.stamps) }
+
+// Contains reports whether the node has an active tombstone. It is nil-map
+// safe and O(1), so merge paths can call it per descriptor without cost when
+// no departures are in flight.
+func (g *Graveyard) Contains(id news.NodeID) bool {
+	if len(g.stamps) == 0 {
+		return false
+	}
+	_, ok := g.stamps[id]
+	return ok
+}
+
+// Note records a departure, keeping the freshest stamp per node, and reports
+// whether the tombstone was new information (new node or fresher stamp) —
+// the signal to keep forwarding it.
+func (g *Graveyard) Note(t Tombstone) bool {
+	if old, ok := g.stamps[t.Node]; ok && old >= t.Stamp {
+		return false
+	}
+	if g.stamps == nil {
+		g.stamps = make(map[news.NodeID]int64, 4)
+	}
+	g.stamps[t.Node] = t.Stamp
+	g.nodeOK, g.freshOK = false, false
+	return true
+}
+
+// ExpireOlderThan drops every tombstone whose stamp is strictly older than
+// minStamp — the same strictly-older-than boundary View.EvictOlderThan uses —
+// and reports how many were dropped.
+func (g *Graveyard) ExpireOlderThan(minStamp int64) int {
+	dropped := 0
+	for id, stamp := range g.stamps {
+		if stamp < minStamp {
+			delete(g.stamps, id)
+			dropped++
+		}
+	}
+	if dropped > 0 {
+		g.nodeOK, g.freshOK = false, false
+	}
+	return dropped
+}
+
+// AppendActive appends the active tombstones to dst sorted by node id, so
+// callers forwarding them on gossip emit a deterministic order regardless of
+// map iteration.
+func (g *Graveyard) AppendActive(dst []Tombstone) []Tombstone {
+	if len(g.stamps) == 0 {
+		return dst
+	}
+	if !g.nodeOK {
+		g.byNode = g.rebuild(g.byNode)
+		slices.SortFunc(g.byNode, func(a, b Tombstone) int {
+			switch {
+			case a.Node < b.Node:
+				return -1
+			case a.Node > b.Node:
+				return 1
+			default:
+				return 0
+			}
+		})
+		g.nodeOK = true
+	}
+	return append(dst, g.byNode...)
+}
+
+// AppendFreshest appends at most max active tombstones to dst. While the
+// whole set fits (max <= 0, or max >= Len) this is AppendActive — the full
+// set in node-id order, so a node under its cap piggybacks identically to an
+// uncapped one. Only when the cap truncates does order pick what survives:
+// the freshest stamps first (ties broken by node id), because their stale
+// descriptors are the ones most likely still circulating, while the oldest
+// are close to TTL-flushed anyway.
+func (g *Graveyard) AppendFreshest(dst []Tombstone, max int) []Tombstone {
+	if len(g.stamps) == 0 {
+		return dst
+	}
+	if max <= 0 || max >= len(g.stamps) {
+		return g.AppendActive(dst)
+	}
+	if !g.freshOK {
+		g.byFresh = g.rebuild(g.byFresh)
+		slices.SortFunc(g.byFresh, func(a, b Tombstone) int {
+			switch {
+			case a.Stamp > b.Stamp:
+				return -1
+			case a.Stamp < b.Stamp:
+				return 1
+			case a.Node < b.Node:
+				return -1
+			case a.Node > b.Node:
+				return 1
+			default:
+				return 0
+			}
+		})
+		g.freshOK = true
+	}
+	return append(dst, g.byFresh[:max]...)
+}
+
+// rebuild refills buf with the active set, unsorted.
+func (g *Graveyard) rebuild(buf []Tombstone) []Tombstone {
+	buf = buf[:0]
+	for id, stamp := range g.stamps {
+		buf = append(buf, Tombstone{Node: id, Stamp: stamp})
+	}
+	return buf
+}
+
+// Clear drops every tombstone (crash semantics: tombstones are volatile
+// state).
+func (g *Graveyard) Clear() {
+	clear(g.stamps)
+	g.byNode, g.byFresh = g.byNode[:0], g.byFresh[:0]
+	g.nodeOK, g.freshOK = false, false
+}

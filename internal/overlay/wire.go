@@ -72,6 +72,68 @@ func AppendDescriptors(buf []byte, descs []Descriptor) []byte {
 	return buf
 }
 
+// Tombstone wire layout (departure notices piggybacked on live envelopes):
+//
+//	varint  node id (zigzag)
+//	varint  departure stamp (zigzag)
+//
+// Tombstone lists are a uvarint count followed by that many tombstones.
+
+// AppendTombstones appends a uvarint-counted tombstone list.
+func AppendTombstones(buf []byte, tombs []Tombstone) []byte {
+	buf = wire.AppendUint(buf, uint64(len(tombs)))
+	for _, t := range tombs {
+		buf = wire.AppendInt(buf, int64(t.Node))
+		buf = wire.AppendInt(buf, t.Stamp)
+	}
+	return buf
+}
+
+// DecodeTombstones decodes a uvarint-counted tombstone list. A nil slice is
+// returned for an empty list, matching what gossip senders produce.
+func DecodeTombstones(data []byte) ([]Tombstone, []byte, error) {
+	n, rest, err := wire.Uint(data)
+	if err != nil {
+		return nil, data, fmt.Errorf("tombstone count: %w", err)
+	}
+	// A tombstone is at least 2 bytes (node, stamp): bound the count by the
+	// bytes on hand before allocating.
+	if n > uint64(len(rest))/2 {
+		return nil, data, fmt.Errorf("%w: %d tombstones declared, %d bytes remain", wire.ErrTruncated, n, len(rest))
+	}
+	var tombs []Tombstone
+	if n > 0 {
+		tombs = make([]Tombstone, 0, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		node, r, err := wire.Int(rest)
+		if err != nil {
+			return nil, data, fmt.Errorf("tombstone %d node: %w", i, err)
+		}
+		if !news.ValidNodeID(node) {
+			return nil, data, fmt.Errorf("%w: tombstone node id %d out of range", wire.ErrMalformed, node)
+		}
+		stamp, r, err := wire.Int(r)
+		if err != nil {
+			return nil, data, fmt.Errorf("tombstone %d stamp: %w", i, err)
+		}
+		tombs = append(tombs, Tombstone{Node: news.NodeID(node), Stamp: stamp})
+		rest = r
+	}
+	return tombs, rest, nil
+}
+
+// TombstonesWireSize sums the wire sizes of a tombstone list, excluding the
+// count prefix (the simulator accounts the prefix as part of the envelope it
+// rides on only when the list is non-empty).
+func TombstonesWireSize(tombs []Tombstone) int {
+	total := 0
+	for _, t := range tombs {
+		total += t.WireSize()
+	}
+	return total
+}
+
 // DecodeDescriptors decodes a uvarint-counted descriptor list. A nil slice
 // is returned for an empty list, matching what gossip handlers produce.
 func DecodeDescriptors(data []byte) ([]Descriptor, []byte, error) {

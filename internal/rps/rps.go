@@ -26,11 +26,16 @@ import (
 
 // Protocol is the per-node RPS state machine.
 type Protocol struct {
-	self news.NodeID
-	addr string
-	view *overlay.View
-	rng  *rand.Rand
+	self  news.NodeID
+	addr  string
+	view  *overlay.View
+	rng   *rand.Rand
+	grave *overlay.Graveyard // optional departure-notice filter (may be nil)
 }
+
+// SetGraveyard attaches the node's departure-tombstone set: merges then skip
+// descriptors of gracefully departed peers until their tombstones expire.
+func (p *Protocol) SetGraveyard(g *overlay.Graveyard) { p.grave = g }
 
 // New returns an RPS instance for node self with the given view size
 // (RPSvs, 30 in the paper).
@@ -48,7 +53,7 @@ func (p *Protocol) View() *overlay.View { return p.view }
 // Seed bootstraps the view with initial descriptors (engine-provided random
 // graph, or the inherited view of a cold-starting node, Section II-D).
 func (p *Protocol) Seed(descs []overlay.Descriptor) {
-	p.view.InsertAll(descs, p.self)
+	p.view.InsertAllLive(descs, p.self, p.grave)
 	p.view.TrimRandom(p.rng)
 }
 
@@ -92,7 +97,7 @@ func (p *Protocol) AcceptReply(reply []overlay.Descriptor) {
 // merge renews the view with a random sample of the union of the current
 // view and the received descriptors.
 func (p *Protocol) merge(received []overlay.Descriptor) {
-	p.view.InsertAll(received, p.self)
+	p.view.InsertAllLive(received, p.self, p.grave)
 	p.view.TrimRandom(p.rng)
 }
 

@@ -1,0 +1,194 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"whatsup/internal/core"
+	"whatsup/internal/metrics"
+	"whatsup/internal/news"
+)
+
+// protoWorld builds a small community world with the churn protocol knobs
+// set, returning the engine ready to step manually.
+func protoWorld(n, cycles int, schedule ChurnSchedule, cfg core.Config, simCfg func(*Config)) (*Engine, *metrics.Collector) {
+	opinions := core.OpinionFunc(func(node news.NodeID, item news.ID) bool {
+		return int(node)%2 == int(item)%2
+	})
+	peers := make([]Peer, n)
+	for i := 0; i < n; i++ {
+		peers[i] = core.NewNode(news.NodeID(i), "", cfg, opinions, rand.New(rand.NewSource(60+int64(i))))
+	}
+	col := metrics.NewCollector()
+	c := Config{Seed: 6, Cycles: cycles, BootstrapDegree: 5, Churn: schedule}
+	if simCfg != nil {
+		simCfg(&c)
+	}
+	e := New(c, peers, col)
+	e.Bootstrap()
+	return e, col
+}
+
+// holders counts the online views that still contain the given node.
+func holders(e *Engine, id news.NodeID) int {
+	n := 0
+	for _, p := range e.OnlinePeers() {
+		if p.RPS().View().Contains(id) || p.WUP().View().Contains(id) {
+			n++
+		}
+	}
+	return n
+}
+
+// TestDepartureNoticesEvictLeaverFast is the tentpole property at the sim
+// level: with notices on, a graceful leaver vanishes from every online view
+// within a couple of cycles — far inside the 30-cycle TTL that is the only
+// other eviction path — while the same world with notices off still holds
+// ghost descriptors then.
+func TestDepartureNoticesEvictLeaverFast(t *testing.T) {
+	const n, cycles, leaveCycle = 60, 20, 8
+	const leaver = news.NodeID(11)
+	cfg := core.Config{FLike: 4, RPSViewSize: 8, ProfileWindow: cycles, DescriptorTTL: 30}
+	var schedule ChurnSchedule
+	schedule.Add(leaveCycle, ChurnLeave, leaver)
+
+	run := func(notices bool) (atLeave, after int) {
+		e, _ := protoWorld(n, cycles, schedule, cfg, func(c *Config) { c.DepartureNotices = notices })
+		for e.Now() < leaveCycle-1 {
+			e.Step()
+		}
+		atLeave = holders(e, leaver)
+		e.Step() // the leave applies at the start of this cycle
+		e.Step() // one more cycle for forwarded tombstones to flood
+		return atLeave, holders(e, leaver)
+	}
+
+	atLeave, withNotices := run(true)
+	if atLeave == 0 {
+		t.Fatal("setup: nobody held the leaver's descriptor before it left")
+	}
+	if withNotices != 0 {
+		t.Fatalf("with departure notices %d views still hold the leaver one cycle after the flood began", withNotices)
+	}
+	if _, without := run(false); without == 0 {
+		t.Fatal("without notices the leaver should still haunt views (TTL=30 cannot have evicted it)")
+	}
+}
+
+// TestRefillRecoversDrainedViews: after a mass crash drains the survivors'
+// views via TTL eviction, the anti-entropy refill pulls them back above the
+// watermark, and its request/reply traffic is visible in the collector.
+func TestRefillRecoversDrainedViews(t *testing.T) {
+	const n, cycles, crashCycle = 60, 30, 8
+	cfg := core.Config{FLike: 4, RPSViewSize: 8, ProfileWindow: cycles, DescriptorTTL: 4}
+	var schedule ChurnSchedule
+	for i := 0; i < n/2; i++ { // crash half the world, never to return
+		schedule.Add(crashCycle, ChurnCrash, news.NodeID(i*2))
+	}
+
+	minFill := func(e *Engine) float64 {
+		min := 1.0
+		for _, p := range e.OnlinePeers() {
+			v := p.RPS().View()
+			if f := float64(v.Len()) / float64(v.Capacity()); f < min {
+				min = f
+			}
+		}
+		return min
+	}
+
+	const wm = 0.5
+	e, col := protoWorld(n, cycles, schedule, cfg, func(c *Config) { c.RefillWatermark = wm })
+	e.Run()
+	if got := minFill(e); got < wm {
+		t.Fatalf("with refill the worst online RPS fill is %.2f, want >= watermark %.1f", got, wm)
+	}
+	if col.Messages(metrics.MsgRefillRequest) == 0 || col.Messages(metrics.MsgRefillReply) == 0 {
+		t.Fatalf("refill traffic not recorded: %d requests, %d replies",
+			col.Messages(metrics.MsgRefillRequest), col.Messages(metrics.MsgRefillReply))
+	}
+	if col.Bytes(metrics.MsgRefillRequest) == 0 {
+		t.Fatal("refill requests must account their wire bytes")
+	}
+
+	plain, plainCol := protoWorld(n, cycles, schedule, cfg, nil)
+	plain.Run()
+	if plainCol.Messages(metrics.MsgRefillRequest) != 0 {
+		t.Fatal("refill disabled by default must send no refill traffic")
+	}
+	if minFill(plain) >= minFill(e) && col.Messages(metrics.MsgRefillRequest) > 0 {
+		t.Logf("note: TTL alone already restored fill (%.2f vs %.2f)", minFill(plain), minFill(e))
+	}
+}
+
+// TestChurnProtocolV2Determinism extends the worker-count determinism
+// contract to the full v2 feature set: departure notices and refill enabled
+// under a heavy churn schedule must stay bit-identical for Workers 1, 2, 8.
+func TestChurnProtocolV2Determinism(t *testing.T) {
+	const n, items, cycles, loss, seed = 120, 40, 40, 0.15, 7
+	schedule := heavySchedule(n, cycles)
+	run := func(workers int) (*metrics.Collector, *Engine) {
+		return runChurnWorldCfg(n, items, cycles, loss, seed, workers, schedule, func(c *Config) {
+			c.DepartureNotices = true
+			c.RefillWatermark = 0.5
+		})
+	}
+	refCol, refEngine := run(1)
+	ref := fingerprint(refCol)
+	if refCol.Messages(metrics.MsgDeparture) == 0 {
+		t.Fatal("the heavy schedule must generate departure notices")
+	}
+	for _, workers := range []int{2, 8} {
+		col, e := run(workers)
+		if got := fingerprint(col); got != ref {
+			t.Fatalf("workers=%d diverged with churn protocol v2 on:\n--- want\n%s--- got\n%s", workers, ref, got)
+		}
+		if e.OnlineCount() != refEngine.OnlineCount() || e.MemberCount() != refEngine.MemberCount() {
+			t.Fatalf("membership diverged: %d/%d online vs %d/%d",
+				e.OnlineCount(), e.MemberCount(), refEngine.OnlineCount(), refEngine.MemberCount())
+		}
+	}
+}
+
+// runChurnWorldCfg mirrors runChurnWorld but lets the test mutate the engine
+// config (protocol v2 knobs) before the run.
+func runChurnWorldCfg(n, items, cycles int, loss float64, seed int64, workers int,
+	schedule ChurnSchedule, mut func(*Config)) (*metrics.Collector, *Engine) {
+	cfg := core.Config{FLike: 4, RPSViewSize: 8, ProfileWindow: int64(cycles), DescriptorTTL: 10}
+	opinions := core.OpinionFunc(func(node news.NodeID, item news.ID) bool {
+		return int(node)%2 == int(item)%2
+	})
+	peers := make([]Peer, n)
+	for i := 0; i < n; i++ {
+		peers[i] = core.NewNode(news.NodeID(i), "", cfg, opinions, rand.New(rand.NewSource(seed+int64(i))))
+	}
+	col := metrics.NewCollector()
+	var pubs []Publication
+	for k := 0; k < items; k++ {
+		source := news.NodeID((2*k + k%2) % n)
+		if int(source)%2 != k%2 {
+			source = news.NodeID((int(source) + 1) % n)
+		}
+		it := news.New("v2-item", "d", "l", int64(1+k*cycles/items), source)
+		it.ID = news.ID(k)
+		pubs = append(pubs, Publication{Cycle: int64(1 + k*cycles/items), Source: source, Item: it})
+		col.RegisterItem(it.ID, n/2)
+	}
+	for i := 0; i < n; i++ {
+		col.RegisterNode(news.NodeID(i), items/2)
+	}
+	c := Config{
+		Seed: seed, Cycles: cycles, LossRate: loss, Publications: pubs,
+		BootstrapDegree: 4, Workers: workers, Churn: schedule,
+		NewPeer: func(id news.NodeID) Peer {
+			return core.NewNode(id, "", cfg, opinions, rand.New(rand.NewSource(seed+int64(id))))
+		},
+	}
+	if mut != nil {
+		mut(&c)
+	}
+	e := New(c, peers, col)
+	e.Bootstrap()
+	e.Run()
+	return col, e
+}

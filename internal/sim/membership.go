@@ -259,3 +259,14 @@ type Rejoiner interface {
 type ColdStarter interface {
 	ColdStart(inheritedRPS, inheritedWUP []overlay.Descriptor, now int64)
 }
+
+// DepartureNoticer is implemented by peers that take part in the departure
+// notice protocol (Config.DepartureNotices): they accept tombstones of
+// gracefully departed peers — evicting those peers from their views and
+// filtering their stale descriptors out of merges for one horizon — and
+// expose their active tombstones for piggybacking on outgoing gossip.
+// core.Node implements it; baselines without it simply never see notices.
+type DepartureNoticer interface {
+	NoteDeparture(t overlay.Tombstone, now int64)
+	AppendTombstones(dst []overlay.Tombstone) []overlay.Tombstone
+}

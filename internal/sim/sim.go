@@ -105,6 +105,21 @@ type Config struct {
 	// otherwise); the engine bootstraps the new peer's views from the
 	// online population.
 	NewPeer func(id news.NodeID) Peer
+	// DepartureNotices enables the churn protocol's graceful-departure path:
+	// a scheduled ChurnLeave sends a departure notice to the leaver's view
+	// neighbours (subject to the loss model), which evict it immediately and
+	// piggyback the tombstone on their own gossip for one horizon instead of
+	// waiting out the descriptor TTL. Off by default — disabled runs are
+	// bit-identical with the historical engine.
+	DepartureNotices bool
+	// RefillWatermark enables adaptive view refill: at the start of each
+	// cycle, every online peer whose RPS or WUP view occupancy has fallen
+	// under this fraction of capacity pulls an anti-entropy descriptor
+	// sample from its freshest surviving neighbour. Refill loss decisions
+	// consume only the pulling peer's engine stream and the phase runs
+	// serially in dense-index order, preserving the worker-count determinism
+	// contract. Zero disables refill (the historical behaviour).
+	RefillWatermark float64
 	// OnCycleEnd, if set, is invoked after each cycle with the engine; used
 	// by the dynamics experiments (Figure 7) to sample view similarity.
 	OnCycleEnd func(e *Engine, now int64)
@@ -294,17 +309,68 @@ func (e *Engine) setState(i int, s MemberState) {
 }
 
 // Leave gracefully departs a member (final). Reports whether the member
-// existed and was not already departed.
+// existed and was not already departed. With Config.DepartureNotices the
+// leaver notifies its view neighbours before its state is wiped.
 func (e *Engine) Leave(id news.NodeID) bool {
 	i, ok := e.idx[id]
 	if !ok || e.members[i].state == Departed {
 		return false
 	}
+	wasOnline := e.members[i].state == Online
 	e.setState(i, Departed)
-	if l, isLeaver := e.members[i].peer.(Leaver); isLeaver {
+	p := e.members[i].peer
+	if e.cfg.DepartureNotices && wasOnline {
+		e.sendDepartureNotices(p)
+	}
+	if l, isLeaver := p.(Leaver); isLeaver {
 		l.Leave()
 	}
 	return true
+}
+
+// sendDepartureNotices delivers the leaver's departure tombstone to its view
+// neighbours — the final courtesy message of a graceful leave, sent while the
+// leaver's views still exist. It runs inside the serial churn phase:
+// recipients are the leaver's RPS then WUP entries in insertion order
+// (deduplicated), and the per-recipient loss draws consume only the leaver's
+// engine stream, so the operation is deterministic for any worker count.
+func (e *Engine) sendDepartureNotices(p Peer) {
+	t := overlay.Tombstone{Node: p.ID(), Stamp: e.now}
+	var recipients []news.NodeID
+	seen := map[news.NodeID]struct{}{}
+	collect := func(v *overlay.View) {
+		if v == nil {
+			return
+		}
+		v.ForEach(func(d overlay.Descriptor) {
+			if _, dup := seen[d.Node]; dup {
+				return
+			}
+			seen[d.Node] = struct{}{}
+			recipients = append(recipients, d.Node)
+		})
+	}
+	if p.RPS() != nil {
+		collect(p.RPS().View())
+	}
+	if p.WUP() != nil {
+		collect(p.WUP().View())
+	}
+	for _, id := range recipients {
+		nb := e.onlinePeer(id)
+		if nb == nil {
+			continue
+		}
+		dn, isNoticer := nb.(DepartureNoticer)
+		if !isNoticer {
+			continue
+		}
+		e.col.RecordMessage(metrics.MsgDeparture, t.WireSize())
+		if e.lost(p.ID()) {
+			continue
+		}
+		dn.NoteDeparture(t, e.now)
+	}
 }
 
 // Crash abruptly takes an online member offline, wiping its volatile state
@@ -565,6 +631,9 @@ func (e *Engine) Step() {
 			e.members[i].peer.BeginCycle(now)
 		}
 	})
+	if e.cfg.RefillWatermark > 0 {
+		e.refillViews(now)
+	}
 	e.gossipRPS(now)
 	e.gossipWUP(now)
 
@@ -595,6 +664,65 @@ func (e *Engine) Run() {
 	}
 }
 
+// refillViews is the adaptive anti-entropy phase of the churn protocol: any
+// online peer whose view occupancy fell under the refill watermark (churn
+// evicted more neighbours than gossip replaced) pulls a descriptor sample
+// from the freshest neighbour it still knows. The phase runs serially in
+// dense-index order right after cycle maintenance, before the gossip rounds;
+// loss decisions for both legs of a pull consume only the pulling peer's
+// engine stream, so results are bit-identical for any worker count.
+func (e *Engine) refillViews(now int64) {
+	wm := e.cfg.RefillWatermark
+	for i := range e.members {
+		if e.members[i].state != Online {
+			continue
+		}
+		p := e.members[i].peer
+		if p.RPS() == nil || p.WUP() == nil {
+			continue
+		}
+		rpsView, wupView := p.RPS().View(), p.WUP().View()
+		rpsLow := float64(rpsView.Len()) < wm*float64(rpsView.Capacity())
+		wupLow := float64(wupView.Len()) < wm*float64(wupView.Capacity())
+		if !rpsLow && !wupLow {
+			continue
+		}
+		// Pull from the freshest surviving neighbour across both views: the
+		// most recently stamped descriptor is the one most likely to belong
+		// to a node that is still alive.
+		var best overlay.Descriptor
+		found := false
+		scan := func(d overlay.Descriptor) {
+			if !found || d.Fresher(best) {
+				best, found = d, true
+			}
+		}
+		rpsView.ForEach(scan)
+		wupView.ForEach(scan)
+		if !found {
+			continue // fully isolated; nothing to pull from
+		}
+		target := e.onlinePeer(best.Node)
+		if target == nil || target.RPS() == nil {
+			continue // the freshest neighbour is itself gone; TTL will flush it
+		}
+		req := descriptorOf(p, now)
+		e.col.RecordMessage(metrics.MsgRefillRequest, req.WireSize())
+		if e.lost(p.ID()) {
+			continue
+		}
+		reply := target.RPS().AcceptPush([]overlay.Descriptor{req}, descriptorOf(target, now))
+		e.col.RecordMessage(metrics.MsgRefillReply, descriptorsWireSize(reply))
+		if e.lost(p.ID()) {
+			continue
+		}
+		p.RPS().AcceptReply(reply)
+		if wupLow {
+			p.WUP().Merge(reply, p.UserProfile())
+		}
+	}
+}
+
 // exchange tracks one gossip push-pull through the three round phases.
 type exchange struct {
 	ok     bool // initiator selected a target this round
@@ -602,6 +730,11 @@ type exchange struct {
 	target news.NodeID
 	push   []overlay.Descriptor
 	reply  []overlay.Descriptor // nil if lost or undeliverable
+	// Departure tombstones piggybacked on the two legs (Config.
+	// DepartureNotices; nil when the feature is off or the graveyards are
+	// empty, in which case they add nothing to the wire accounting).
+	pushTombs  []overlay.Tombstone
+	replyTombs []overlay.Tombstone
 }
 
 // bucketByResponder groups successful pushes by responder, preserving
@@ -645,7 +778,14 @@ func (e *Engine) bucketByResponder(exs []exchange, hasLayer func(Peer) bool) []n
 // absorb the replies in parallel (absorbReply touches only the initiator).
 // Both gossip layers share this skeleton so the determinism-critical
 // ordering — including the loss-draw points — lives in exactly one place.
-func (e *Engine) gossipRound(reqKind, repKind metrics.MessageKind,
+//
+// With Config.DepartureNotices, both legs piggyback the sender's active
+// departure tombstones: the receiver absorbs them *before* merging the
+// descriptors (so a reply is sampled from the post-eviction view and a push
+// cannot re-insert a tombstoned descriptor it carries), which is how a
+// departure notice floods one neighbourhood horizon beyond the leaver's
+// direct neighbours.
+func (e *Engine) gossipRound(now int64, reqKind, repKind metrics.MessageKind,
 	has func(Peer) bool,
 	makePush func(p Peer) (target news.NodeID, push []overlay.Descriptor, ok bool),
 	absorbPush func(responder Peer, push []overlay.Descriptor) (reply []overlay.Descriptor),
@@ -669,33 +809,58 @@ func (e *Engine) gossipRound(reqKind, repKind metrics.MessageKind,
 		if !ok {
 			return
 		}
-		e.shards[w].RecordMessage(reqKind, descriptorsWireSize(push))
-		exs[i] = exchange{ok: true, lost: e.lost(p.ID()), target: target, push: push}
+		ex := exchange{ok: true, target: target, push: push}
+		if e.cfg.DepartureNotices {
+			if dn, noticer := p.(DepartureNoticer); noticer {
+				ex.pushTombs = dn.AppendTombstones(nil)
+			}
+		}
+		e.shards[w].RecordMessage(reqKind, descriptorsWireSize(push)+overlay.TombstonesWireSize(ex.pushTombs))
+		ex.lost = e.lost(p.ID())
+		exs[i] = ex
 	})
 
 	order := e.bucketByResponder(exs, has)
 	e.parallelFor(len(order), func(w, bi int) {
 		respID := order[bi]
 		responder := e.onlinePeer(respID)
+		noticer, isNoticer := responder.(DepartureNoticer)
 		for _, i := range e.bucketLists[bi] {
+			if isNoticer {
+				for _, t := range exs[i].pushTombs {
+					noticer.NoteDeparture(t, now)
+				}
+			}
 			reply := absorbPush(responder, exs[i].push)
-			e.shards[w].RecordMessage(repKind, descriptorsWireSize(reply))
+			var replyTombs []overlay.Tombstone
+			if e.cfg.DepartureNotices && isNoticer {
+				replyTombs = noticer.AppendTombstones(nil)
+			}
+			e.shards[w].RecordMessage(repKind, descriptorsWireSize(reply)+overlay.TombstonesWireSize(replyTombs))
 			if !e.lost(respID) {
 				exs[i].reply = reply
+				exs[i].replyTombs = replyTombs
 			}
 		}
 	})
 
 	e.parallelFor(n, func(_, i int) {
-		if exs[i].reply != nil {
-			absorbReply(e.members[i].peer, exs[i].reply)
+		if exs[i].reply == nil {
+			return
 		}
+		p := e.members[i].peer
+		if dn, noticer := p.(DepartureNoticer); noticer {
+			for _, t := range exs[i].replyTombs {
+				dn.NoteDeparture(t, now)
+			}
+		}
+		absorbReply(p, exs[i].reply)
 	})
 }
 
 // gossipRPS runs one RPS round.
 func (e *Engine) gossipRPS(now int64) {
-	e.gossipRound(metrics.MsgRPSRequest, metrics.MsgRPSReply,
+	e.gossipRound(now, metrics.MsgRPSRequest, metrics.MsgRPSReply,
 		func(p Peer) bool { return p.RPS() != nil },
 		func(p Peer) (news.NodeID, []overlay.Descriptor, bool) {
 			proto := p.RPS()
@@ -717,7 +882,7 @@ func (e *Engine) gossipRPS(now int64) {
 // compute phase, before peer selection, as each peer only touches its own
 // two views there.
 func (e *Engine) gossipWUP(now int64) {
-	e.gossipRound(metrics.MsgWUPRequest, metrics.MsgWUPReply,
+	e.gossipRound(now, metrics.MsgWUPRequest, metrics.MsgWUPReply,
 		func(p Peer) bool { return p.WUP() != nil },
 		func(p Peer) (news.NodeID, []overlay.Descriptor, bool) {
 			proto := p.WUP()

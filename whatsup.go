@@ -147,6 +147,15 @@ type SimulationConfig struct {
 	// cold-start from a live host (Section II-D). Set Node.DescriptorTTL so
 	// the surviving views evict departed peers' descriptors.
 	Churn ChurnSchedule
+	// DepartureNotices enables the churn protocol's graceful-departure
+	// notices: a leaver hands tombstones to its neighbours, which evict it
+	// immediately and forward the notice on their own gossip for one
+	// eviction horizon instead of waiting out Node.DescriptorTTL.
+	DepartureNotices bool
+	// RefillWatermark triggers an anti-entropy view refill when churn
+	// drains an RPS or WUP view below this occupancy fraction (0 = off;
+	// 0.5 is a reasonable setting).
+	RefillWatermark float64
 	// OnDelivery observes every first-time delivery.
 	OnDelivery func(d Delivery, cycle int64)
 }
@@ -182,12 +191,14 @@ func NewSimulation(ds *Dataset, cfg SimulationConfig) *Simulation {
 		col.RegisterNode(news.NodeID(u), ds.UserInterestCount(news.NodeID(u)))
 	}
 	engine := sim.New(sim.Config{
-		Seed:         cfg.Seed,
-		Cycles:       cycles,
-		LossRate:     cfg.LossRate,
-		Workers:      cfg.Workers,
-		Publications: pubs,
-		Churn:        cfg.Churn,
+		Seed:             cfg.Seed,
+		Cycles:           cycles,
+		LossRate:         cfg.LossRate,
+		Workers:          cfg.Workers,
+		DepartureNotices: cfg.DepartureNotices,
+		RefillWatermark:  cfg.RefillWatermark,
+		Publications:     pubs,
+		Churn:            cfg.Churn,
 		NewPeer: func(id news.NodeID) sim.Peer {
 			opID := id
 			if int(opID) >= ds.Users {
@@ -276,6 +287,11 @@ type LiveConfig struct {
 	// nothing under the dataset's opinions; set Node.DescriptorTTL so the
 	// surviving views evict departed members' descriptors.
 	Churn ChurnSchedule
+	// DepartureNotices and RefillWatermark enable the churn protocol's
+	// departure notices and anti-entropy view refill for the live fleet,
+	// with the same semantics as SimulationConfig.
+	DepartureNotices bool
+	RefillWatermark  float64
 }
 
 // RunLive executes a live (concurrent, wall-clock) run of the workload and
@@ -288,11 +304,13 @@ func RunLive(ds *Dataset, cfg LiveConfig) *Collector {
 		network = live.NewChannelNet(cfg.Seed, cfg.LossRate, cfg.Latency)
 	}
 	r := live.NewRunner(live.Config{
-		Seed:        cfg.Seed,
-		Cycles:      cfg.Cycles,
-		CycleLength: cfg.CycleLength,
-		NodeConfig:  cfg.Node,
-		Churn:       cfg.Churn,
+		Seed:             cfg.Seed,
+		Cycles:           cfg.Cycles,
+		CycleLength:      cfg.CycleLength,
+		NodeConfig:       cfg.Node,
+		Churn:            cfg.Churn,
+		DepartureNotices: cfg.DepartureNotices,
+		RefillWatermark:  cfg.RefillWatermark,
 	}, ds, network)
 	r.Run()
 	return r.Collector()
