@@ -112,9 +112,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return stringer("Live transport run: skipped (-skip-live)")
 		}
 		r, err := experiments.LiveRun(o, experiments.LiveRunConfig{
+			ChurnOptions: experiments.ChurnOptions{
+				ChurnRate: *liveChurn, FlashCrowd: *liveFlash,
+				DepartureNotices: *churnDepart, RefillWatermark: *churnRefill,
+			},
 			Transport: *transport, BatchWindow: *batchWindow,
-			ChurnRate: *liveChurn, FlashCrowd: *liveFlash,
-			DepartureNotices: *churnDepart, RefillWatermark: *churnRefill,
 		})
 		if err != nil {
 			liveErr = err
@@ -155,11 +157,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if selected["churn"] {
 		runExp("churn", func() fmt.Stringer {
 			r := experiments.ChurnBench(experiments.ChurnBenchConfig{
-				Peers:            *cyclePeers,
-				ChurnRate:        *churnRate,
-				EngineWorkers:    *engineWorkers,
-				DepartureNotices: *churnDepart,
-				RefillWatermark:  *churnRefill,
+				ChurnOptions: experiments.ChurnOptions{
+					ChurnRate:        *churnRate,
+					DepartureNotices: *churnDepart,
+					RefillWatermark:  *churnRefill,
+				},
+				Peers:         *cyclePeers,
+				EngineWorkers: *engineWorkers,
 			})
 			r.Label = *benchLabel
 			if err := appendTrajectoryEntry(*churnOut, "whatsup-bench/churn/v1", r); err != nil {

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServeSmoke drives the full command in-process: fixture source, a small
+// fleet, feed and stats over real HTTP, then shutdown via context cancel
+// (the in-process equivalent of SIGINT).
+func TestServeSmoke(t *testing.T) {
+	ready := make(chan string, 1)
+	onReady = func(baseURL string) { ready <- baseURL }
+	defer func() { onReady = nil }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var stdout, stderr bytes.Buffer
+	exit := make(chan int, 1)
+	go func() {
+		exit <- run(ctx, []string{
+			"-listen", "127.0.0.1:0",
+			"-nodes", "10",
+			"-cycles", "-1",
+			"-cycle-length", "5ms",
+			"-poll", "20ms",
+			"-source", "file:../../internal/source/testdata/feed.xml",
+		}, &stdout, &stderr)
+	}()
+
+	var base string
+	select {
+	case base = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	getJSON := func(path string, out any) int {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return resp.StatusCode
+	}
+
+	var health map[string]string
+	if code := getJSON("/healthz", &health); code != http.StatusOK || health["status"] != "ok" {
+		t.Fatalf("healthz: %d %v", code, health)
+	}
+
+	// The gateway must ingest the fixture and BEEP must deliver: poll the
+	// stats and a feed until both show life.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var stats struct {
+			Catalog *int  `json:"catalog"`
+			Online  int   `json:"online"`
+			Cycle   int64 `json:"cycle"`
+		}
+		getJSON("/v1/stats", &stats)
+		var feed struct {
+			Entries []struct {
+				Item struct {
+					ID    string `json:"id"`
+					Title string `json:"title"`
+				} `json:"item"`
+			} `json:"entries"`
+		}
+		getJSON("/v1/nodes/3/feed", &feed)
+		if stats.Catalog != nil && *stats.Catalog == 6 && stats.Online == 10 && len(feed.Entries) > 0 {
+			// Items resolve through the catalog route.
+			var item map[string]any
+			if code := getJSON("/v1/items/"+feed.Entries[0].Item.ID, &item); code != http.StatusOK {
+				t.Fatalf("item lookup: %d", code)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("service never served a feed: stats=%+v entries=%d", stats, len(feed.Entries))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	cancel()
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit code %d, stderr: %s", code, stderr.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("command did not shut down on cancel")
+	}
+	if !strings.Contains(stdout.String(), "ingested 6 items") {
+		t.Fatalf("summary missing ingestion count: %s", stdout.String())
+	}
+}
+
+func TestServeFlagValidation(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(context.Background(), []string{"-source", "bogus:x"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("bad source spec: exit %d", code)
+	}
+	if code := run(context.Background(), []string{"-gateway-node", "50", "-nodes", "10"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("gateway node out of range: exit %d", code)
+	}
+}

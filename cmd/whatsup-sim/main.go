@@ -87,14 +87,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		r, err := experiments.LiveRun(experiments.Options{Seed: *seed, Scale: *scale}, experiments.LiveRunConfig{
-			Transport:        *liveTransport,
-			Fanout:           *fanout,
-			LossRate:         *loss,
-			ChurnRate:        *churnRate,
-			FlashCrowd:       *flashCrowd,
-			DescriptorTTL:    *descTTL,
-			DepartureNotices: *churnDepart,
-			RefillWatermark:  *churnRefill,
+			ChurnOptions: experiments.ChurnOptions{
+				ChurnRate:        *churnRate,
+				FlashCrowd:       *flashCrowd,
+				DescriptorTTL:    *descTTL,
+				DepartureNotices: *churnDepart,
+				RefillWatermark:  *churnRefill,
+			},
+			Transport: *liveTransport,
+			Fanout:    *fanout,
+			LossRate:  *loss,
 		})
 		if err != nil {
 			fmt.Fprintln(stderr, err)
@@ -112,16 +114,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		r := experiments.ChurnRun(experiments.Options{Seed: *seed, Scale: *scale}, experiments.ChurnConfig{
-			Dataset:          *dsName,
-			Fanout:           *fanout,
-			FlashCrowd:       *flashCrowd,
-			ChurnRate:        *churnRate,
-			DescriptorTTL:    *descTTL,
-			DepartureNotices: *churnDepart,
-			RefillWatermark:  *churnRefill,
-			TTL:              *ttl,
-			Loss:             *loss,
-			Workers:          engineWorkers,
+			ChurnOptions: experiments.ChurnOptions{
+				ChurnRate:        *churnRate,
+				FlashCrowd:       *flashCrowd,
+				DescriptorTTL:    *descTTL,
+				DepartureNotices: *churnDepart,
+				RefillWatermark:  *churnRefill,
+			},
+			Dataset: *dsName,
+			Fanout:  *fanout,
+			TTL:     *ttl,
+			Loss:    *loss,
+			Workers: engineWorkers,
 		})
 		fmt.Fprintln(stdout, r)
 		return 0

@@ -1,0 +1,380 @@
+// Package api exposes a running live fleet as a JSON HTTP service — the
+// "client interface" of the paper's prototype, where real users read their
+// feed and rated what they read. It is a thin translation layer: every
+// request maps onto the live runtime's serving surface (which serializes
+// node access through control channels) or the ingestion catalog, so the
+// package holds no state and no locks of its own.
+//
+// Routes (all JSON):
+//
+//	GET  /healthz                  liveness probe
+//	GET  /v1/nodes                 fleet members and lifecycle states
+//	GET  /v1/nodes/{id}            one node's protocol snapshot
+//	GET  /v1/nodes/{id}/feed       the node's ranked recommendations
+//	POST /v1/nodes/{id}/feedback   {"item":"<16-hex id>","liked":bool}
+//	GET  /v1/items/{id}            an ingested item's catalog record
+//	GET  /v1/stats                 fleet metrics roll-up
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"whatsup/internal/live"
+	"whatsup/internal/news"
+	"whatsup/internal/source"
+)
+
+// Fleet is the slice of the live runtime the API serves from; *live.Runner
+// implements it. Tests substitute stubs.
+type Fleet interface {
+	Feed(id news.NodeID) ([]live.FeedEntry, error)
+	Feedback(id news.NodeID, item news.ID, liked bool) error
+	Snapshot(id news.NodeID) (live.NodeSnapshot, error)
+	Members() []live.Member
+	Stats() live.FleetStats
+}
+
+// Items resolves item ids to their ingestion records; *source.Catalog
+// implements it. A nil Items serves 404 for every /v1/items lookup.
+type Items interface {
+	Get(id news.ID) (source.CatalogEntry, bool)
+	Len() int
+}
+
+// Server is the HTTP handler. Construct with NewServer and mount anywhere
+// (it implements http.Handler at its root).
+type Server struct {
+	fleet Fleet
+	items Items
+}
+
+// NewServer builds the API over a fleet and an optional item catalog.
+func NewServer(fleet Fleet, items Items) *Server {
+	return &Server{fleet: fleet, items: items}
+}
+
+// maxBodyBytes bounds request bodies; feedback payloads are tiny.
+const maxBodyBytes = 1 << 16
+
+// Wire shapes. Item ids travel as the canonical 16-hex-digit string
+// (news.ID.String()): they are 64-bit hashes, and JSON numbers lose
+// precision past 2^53.
+
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+type itemJSON struct {
+	ID          string `json:"id"`
+	Title       string `json:"title"`
+	Description string `json:"description,omitempty"`
+	Link        string `json:"link,omitempty"`
+	Created     int64  `json:"created"`
+	Source      int32  `json:"source"`
+}
+
+func toItemJSON(it news.Item) itemJSON {
+	return itemJSON{
+		ID:          it.ID.String(),
+		Title:       it.Title,
+		Description: it.Description,
+		Link:        it.Link,
+		Created:     it.Created,
+		Source:      int32(it.Source),
+	}
+}
+
+type feedEntryJSON struct {
+	Item       itemJSON `json:"item"`
+	Score      float64  `json:"score"`
+	Rated      bool     `json:"rated"`
+	Liked      bool     `json:"liked"`
+	Cycle      int64    `json:"cycle"`
+	Hops       int      `json:"hops"`
+	ViaDislike bool     `json:"via_dislike"`
+}
+
+type feedJSON struct {
+	Node    int32           `json:"node"`
+	Entries []feedEntryJSON `json:"entries"`
+}
+
+type memberJSON struct {
+	ID    int32  `json:"id"`
+	State string `json:"state"`
+}
+
+type membersJSON struct {
+	Members []memberJSON `json:"members"`
+}
+
+type snapshotJSON struct {
+	ID          int32   `json:"id"`
+	State       string  `json:"state"`
+	Cycle       int64   `json:"cycle"`
+	ProfileSize int     `json:"profile_size"`
+	RPSView     []int32 `json:"rps_view"`
+	WUPView     []int32 `json:"wup_view"`
+	FeedSize    int     `json:"feed_size"`
+}
+
+type feedbackJSON struct {
+	Item  string `json:"item"`
+	Liked *bool  `json:"liked"`
+}
+
+type feedbackAckJSON struct {
+	Node  int32  `json:"node"`
+	Item  string `json:"item"`
+	Liked bool   `json:"liked"`
+}
+
+type catalogItemJSON struct {
+	Item      itemJSON `json:"item"`
+	Source    string   `json:"source"`
+	FetchedAt string   `json:"fetched_at"`
+}
+
+type statsJSON struct {
+	Cycle     int64   `json:"cycle"`
+	Members   int     `json:"members"`
+	Online    int     `json:"online"`
+	Precision float64 `json:"precision"`
+	Recall    float64 `json:"recall"`
+	F1        float64 `json:"f1"`
+	Messages  int64   `json:"messages"`
+	Bytes     int64   `json:"bytes"`
+	Catalog   *int    `json:"catalog,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorJSON{Error: msg})
+}
+
+// fleetError maps serving-surface sentinels onto HTTP statuses.
+func fleetError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, live.ErrUnknownNode):
+		writeError(w, http.StatusNotFound, err.Error())
+	case errors.Is(err, live.ErrNodeOffline), errors.Is(err, live.ErrNotRunning):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+func parseNodeID(s string) (news.NodeID, bool) {
+	v, err := strconv.ParseInt(s, 10, 32)
+	if err != nil || v < 0 {
+		return 0, false
+	}
+	return news.NodeID(v), true
+}
+
+func parseItemID(s string) (news.ID, bool) {
+	if len(s) == 0 || len(s) > 16 {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return news.ID(v), true
+}
+
+// ServeHTTP routes by hand: go.mod targets Go 1.21, before ServeMux learned
+// methods and wildcards, and the tree is small enough that explicit segment
+// matching is clearer than a third-party router would be.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/healthz" {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "use GET")
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		return
+	}
+	seg := strings.Split(strings.Trim(r.URL.Path, "/"), "/")
+	if seg[0] != "v1" {
+		writeError(w, http.StatusNotFound, "unknown path")
+		return
+	}
+	seg = seg[1:]
+	switch {
+	case len(seg) == 1 && seg[0] == "nodes":
+		s.requireGet(w, r, s.handleNodes)
+	case len(seg) == 2 && seg[0] == "nodes":
+		s.nodeRoute(w, r, seg[1], "")
+	case len(seg) == 3 && seg[0] == "nodes":
+		s.nodeRoute(w, r, seg[1], seg[2])
+	case len(seg) == 2 && seg[0] == "items":
+		s.requireGet(w, r, func(w http.ResponseWriter, r *http.Request) { s.handleItem(w, seg[1]) })
+	case len(seg) == 1 && seg[0] == "stats":
+		s.requireGet(w, r, s.handleStats)
+	default:
+		writeError(w, http.StatusNotFound, "unknown path")
+	}
+}
+
+func (s *Server) requireGet(w http.ResponseWriter, r *http.Request, h http.HandlerFunc) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	h(w, r)
+}
+
+func (s *Server) nodeRoute(w http.ResponseWriter, r *http.Request, idSeg, action string) {
+	id, ok := parseNodeID(idSeg)
+	if !ok {
+		writeError(w, http.StatusBadRequest, "node id must be a non-negative integer")
+		return
+	}
+	switch action {
+	case "":
+		s.requireGet(w, r, func(w http.ResponseWriter, r *http.Request) { s.handleSnapshot(w, id) })
+	case "feed":
+		s.requireGet(w, r, func(w http.ResponseWriter, r *http.Request) { s.handleFeed(w, id) })
+	case "feedback":
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, "use POST")
+			return
+		}
+		s.handleFeedback(w, r, id)
+	default:
+		writeError(w, http.StatusNotFound, "unknown path")
+	}
+}
+
+func (s *Server) handleNodes(w http.ResponseWriter, _ *http.Request) {
+	members := s.fleet.Members()
+	out := membersJSON{Members: make([]memberJSON, 0, len(members))}
+	for _, m := range members {
+		out.Members = append(out.Members, memberJSON{ID: int32(m.ID), State: m.State.String()})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, id news.NodeID) {
+	snap, err := s.fleet.Snapshot(id)
+	if err != nil {
+		fleetError(w, err)
+		return
+	}
+	out := snapshotJSON{
+		ID:          int32(snap.ID),
+		State:       snap.State.String(),
+		Cycle:       snap.Cycle,
+		ProfileSize: snap.ProfileSize,
+		RPSView:     make([]int32, 0, len(snap.RPSView)),
+		WUPView:     make([]int32, 0, len(snap.WUPView)),
+		FeedSize:    snap.FeedSize,
+	}
+	for _, d := range snap.RPSView {
+		out.RPSView = append(out.RPSView, int32(d.Node))
+	}
+	for _, d := range snap.WUPView {
+		out.WUPView = append(out.WUPView, int32(d.Node))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleFeed(w http.ResponseWriter, id news.NodeID) {
+	entries, err := s.fleet.Feed(id)
+	if err != nil {
+		fleetError(w, err)
+		return
+	}
+	out := feedJSON{Node: int32(id), Entries: make([]feedEntryJSON, 0, len(entries))}
+	for _, e := range entries {
+		out.Entries = append(out.Entries, feedEntryJSON{
+			Item:       toItemJSON(e.Item),
+			Score:      e.Score,
+			Rated:      e.Rated,
+			Liked:      e.Liked,
+			Cycle:      e.Cycle,
+			Hops:       e.Hops,
+			ViaDislike: e.ViaDislike,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request, id news.NodeID) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		return
+	}
+	var req feedbackJSON
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed JSON: "+err.Error())
+		return
+	}
+	itemID, ok := parseItemID(req.Item)
+	if !ok {
+		writeError(w, http.StatusBadRequest, `"item" must be the 16-hex-digit item id`)
+		return
+	}
+	if req.Liked == nil {
+		writeError(w, http.StatusBadRequest, `"liked" must be true or false`)
+		return
+	}
+	if err := s.fleet.Feedback(id, itemID, *req.Liked); err != nil {
+		fleetError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, feedbackAckJSON{Node: int32(id), Item: itemID.String(), Liked: *req.Liked})
+}
+
+func (s *Server) handleItem(w http.ResponseWriter, idSeg string) {
+	id, ok := parseItemID(idSeg)
+	if !ok {
+		writeError(w, http.StatusBadRequest, "item id must be 16 hex digits")
+		return
+	}
+	if s.items == nil {
+		writeError(w, http.StatusNotFound, "no item catalog configured")
+		return
+	}
+	e, ok := s.items.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown item")
+		return
+	}
+	writeJSON(w, http.StatusOK, catalogItemJSON{
+		Item:      toItemJSON(e.Item),
+		Source:    e.SourceName,
+		FetchedAt: e.FetchedAt.UTC().Format("2006-01-02T15:04:05.000Z"),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st := s.fleet.Stats()
+	out := statsJSON{
+		Cycle:     st.Cycle,
+		Members:   st.Members,
+		Online:    st.Online,
+		Precision: st.Precision,
+		Recall:    st.Recall,
+		F1:        st.F1,
+		Messages:  st.Messages,
+		Bytes:     st.Bytes,
+	}
+	if s.items != nil {
+		n := s.items.Len()
+		out.Catalog = &n
+	}
+	writeJSON(w, http.StatusOK, out)
+}

@@ -1,0 +1,255 @@
+package api
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"whatsup/internal/live"
+	"whatsup/internal/news"
+	"whatsup/internal/source"
+)
+
+// stubFleet implements Fleet over fixed data, recording feedback calls.
+type stubFleet struct {
+	feeds    map[news.NodeID][]live.FeedEntry
+	members  []live.Member
+	stats    live.FleetStats
+	feedback []struct {
+		node  news.NodeID
+		item  news.ID
+		liked bool
+	}
+	feedbackErr error
+}
+
+func (s *stubFleet) known(id news.NodeID) bool {
+	for _, m := range s.members {
+		if m.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *stubFleet) Feed(id news.NodeID) ([]live.FeedEntry, error) {
+	if !s.known(id) {
+		return nil, live.ErrUnknownNode
+	}
+	return s.feeds[id], nil
+}
+
+func (s *stubFleet) Feedback(id news.NodeID, item news.ID, liked bool) error {
+	if !s.known(id) {
+		return live.ErrUnknownNode
+	}
+	if s.feedbackErr != nil {
+		return s.feedbackErr
+	}
+	s.feedback = append(s.feedback, struct {
+		node  news.NodeID
+		item  news.ID
+		liked bool
+	}{id, item, liked})
+	return nil
+}
+
+func (s *stubFleet) Snapshot(id news.NodeID) (live.NodeSnapshot, error) {
+	if !s.known(id) {
+		return live.NodeSnapshot{}, live.ErrUnknownNode
+	}
+	return live.NodeSnapshot{ID: id, Cycle: 42, ProfileSize: 3}, nil
+}
+
+func (s *stubFleet) Members() []live.Member { return s.members }
+
+func (s *stubFleet) Stats() live.FleetStats { return s.stats }
+
+func newTestServer(t *testing.T) (*httptest.Server, *stubFleet, *source.Catalog) {
+	t.Helper()
+	item := news.New("Hello", "World", "https://example.org/hello", 5, 2)
+	fleet := &stubFleet{
+		feeds: map[news.NodeID][]live.FeedEntry{
+			1: {{Item: item, Score: 1.5, Rated: true, Liked: true, Cycle: 7, Hops: 2}},
+		},
+		members: []live.Member{{ID: 0}, {ID: 1}, {ID: 2}},
+		stats:   live.FleetStats{Cycle: 9, Members: 3, Online: 3, Precision: 0.5, Messages: 100, Bytes: 4096},
+	}
+	cat := source.NewCatalog()
+	cat.Add(source.CatalogEntry{Item: item, SourceName: "file:testdata/feed.xml", FetchedAt: time.Unix(0, 0)})
+	srv := httptest.NewServer(NewServer(fleet, cat))
+	t.Cleanup(srv.Close)
+	return srv, fleet, cat
+}
+
+func getJSON(t *testing.T, url string, wantStatus int) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s: status %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("GET %s: content type %q", url, ct)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("GET %s: decoding body: %v", url, err)
+	}
+	return out
+}
+
+func postJSON(t *testing.T, url, body string, wantStatus int) map[string]any {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("POST %s: status %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("POST %s: decoding body: %v", url, err)
+	}
+	return out
+}
+
+func TestHealthz(t *testing.T) {
+	srv, _, _ := newTestServer(t)
+	out := getJSON(t, srv.URL+"/healthz", http.StatusOK)
+	if out["status"] != "ok" {
+		t.Fatalf("healthz body %v", out)
+	}
+}
+
+func TestNodesList(t *testing.T) {
+	srv, _, _ := newTestServer(t)
+	out := getJSON(t, srv.URL+"/v1/nodes", http.StatusOK)
+	members, ok := out["members"].([]any)
+	if !ok || len(members) != 3 {
+		t.Fatalf("members %v", out)
+	}
+	first := members[0].(map[string]any)
+	if first["state"] != "online" {
+		t.Fatalf("member state %v", first)
+	}
+}
+
+func TestNodeSnapshot(t *testing.T) {
+	srv, _, _ := newTestServer(t)
+	out := getJSON(t, srv.URL+"/v1/nodes/1", http.StatusOK)
+	if out["cycle"] != float64(42) || out["profile_size"] != float64(3) {
+		t.Fatalf("snapshot %v", out)
+	}
+	getJSON(t, srv.URL+"/v1/nodes/99", http.StatusNotFound)
+	getJSON(t, srv.URL+"/v1/nodes/not-a-number", http.StatusBadRequest)
+	getJSON(t, srv.URL+"/v1/nodes/-3", http.StatusBadRequest)
+}
+
+func TestFeedRoute(t *testing.T) {
+	srv, _, _ := newTestServer(t)
+	out := getJSON(t, srv.URL+"/v1/nodes/1/feed", http.StatusOK)
+	entries := out["entries"].([]any)
+	if len(entries) != 1 {
+		t.Fatalf("feed %v", out)
+	}
+	e := entries[0].(map[string]any)
+	if e["score"] != 1.5 || e["liked"] != true {
+		t.Fatalf("entry %v", e)
+	}
+	item := e["item"].(map[string]any)
+	if item["title"] != "Hello" || len(item["id"].(string)) != 16 {
+		t.Fatalf("item %v", item)
+	}
+	// Empty feed for a known node is 200 with an empty list, not an error.
+	out = getJSON(t, srv.URL+"/v1/nodes/0/feed", http.StatusOK)
+	if entries, ok := out["entries"].([]any); !ok || len(entries) != 0 {
+		t.Fatalf("empty feed %v", out)
+	}
+	getJSON(t, srv.URL+"/v1/nodes/99/feed", http.StatusNotFound)
+}
+
+func TestFeedbackRoute(t *testing.T) {
+	srv, fleet, _ := newTestServer(t)
+	itemID := news.Hash("Hello", "World", "https://example.org/hello")
+	url := srv.URL + "/v1/nodes/1/feedback"
+
+	out := postJSON(t, url, `{"item":"`+itemID.String()+`","liked":false}`, http.StatusOK)
+	if out["liked"] != false {
+		t.Fatalf("ack %v", out)
+	}
+	if len(fleet.feedback) != 1 || fleet.feedback[0].item != itemID || fleet.feedback[0].liked {
+		t.Fatalf("feedback not applied: %+v", fleet.feedback)
+	}
+
+	// Malformed inputs are 4xx, never panics.
+	postJSON(t, url, `{not json`, http.StatusBadRequest)
+	postJSON(t, url, `{"liked":true}`, http.StatusBadRequest)                               // missing item
+	postJSON(t, url, `{"item":"`+itemID.String()+`"}`, http.StatusBadRequest)               // missing liked
+	postJSON(t, url, `{"item":"zzzz","liked":true}`, http.StatusBadRequest)                 // bad hex
+	postJSON(t, url, `{"item":"00112233445566778899","liked":true}`, http.StatusBadRequest) // too long
+	postJSON(t, srv.URL+"/v1/nodes/99/feedback", `{"item":"`+itemID.String()+`","liked":true}`, http.StatusNotFound)
+
+	// Wrong method on every route.
+	resp, err := http.Post(srv.URL+"/v1/nodes/1/feed", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST feed: %d", resp.StatusCode)
+	}
+	resp, err = http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET feedback: %d", resp.StatusCode)
+	}
+}
+
+func TestFeedbackOfflineNodeIs503(t *testing.T) {
+	srv, fleet, _ := newTestServer(t)
+	fleet.feedbackErr = live.ErrNodeOffline
+	itemID := news.Hash("Hello", "World", "https://example.org/hello")
+	postJSON(t, srv.URL+"/v1/nodes/1/feedback", `{"item":"`+itemID.String()+`","liked":true}`, http.StatusServiceUnavailable)
+}
+
+func TestItemRoute(t *testing.T) {
+	srv, _, _ := newTestServer(t)
+	itemID := news.Hash("Hello", "World", "https://example.org/hello")
+	out := getJSON(t, srv.URL+"/v1/items/"+itemID.String(), http.StatusOK)
+	if out["source"] != "file:testdata/feed.xml" {
+		t.Fatalf("catalog entry %v", out)
+	}
+	item := out["item"].(map[string]any)
+	if item["title"] != "Hello" {
+		t.Fatalf("item %v", item)
+	}
+	getJSON(t, srv.URL+"/v1/items/ffffffffffffffff", http.StatusNotFound)
+	getJSON(t, srv.URL+"/v1/items/nothex", http.StatusBadRequest)
+}
+
+func TestStatsRoute(t *testing.T) {
+	srv, _, _ := newTestServer(t)
+	out := getJSON(t, srv.URL+"/v1/stats", http.StatusOK)
+	if out["members"] != float64(3) || out["precision"] != 0.5 || out["catalog"] != float64(1) {
+		t.Fatalf("stats %v", out)
+	}
+}
+
+func TestUnknownPaths(t *testing.T) {
+	srv, _, _ := newTestServer(t)
+	for _, p := range []string{"/", "/v2/nodes", "/v1/bogus", "/v1/nodes/1/bogus", "/v1/items", "/v1"} {
+		getJSON(t, srv.URL+p, http.StatusNotFound)
+	}
+}

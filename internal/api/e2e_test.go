@@ -1,0 +1,191 @@
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"whatsup/internal/core"
+	"whatsup/internal/dataset"
+	"whatsup/internal/live"
+	"whatsup/internal/news"
+	"whatsup/internal/source"
+)
+
+// TestServeEndToEnd is the full serving pipeline on one machine: a 20-node
+// ChannelNet fleet with no trace workload, a gateway ingesting the fixture
+// feed and publishing through node 0, and the HTTP API over the runner.
+// It proves that ingested items flow gateway → BEEP → per-node feed, and
+// that a posted dislike measurably demotes the item: its score drops (the
+// similarity to the profile it arrived with from its source falls, plus the
+// rating bias), it loses its liked mark, and the feed reranks it below the
+// still-liked items.
+func TestServeEndToEnd(t *testing.T) {
+	const (
+		users       = 20
+		reader      = news.NodeID(5)
+		cycleLength = 5 * time.Millisecond
+	)
+	ds := dataset.Blank(users, 0)
+	cfg := live.Config{
+		Seed:        42,
+		Cycles:      -1, // run until cancelled: serving mode
+		CycleLength: cycleLength,
+		NodeConfig: core.Config{
+			// A very wide window: the test reasons about profile entries and
+			// must not race the purge (5 ms cycles make the default window
+			// 65 ms of wall clock).
+			ProfileWindow: 1 << 20,
+		},
+		FeedCapacity: 32,
+		// Everyone likes everything: BEEP amplifies every item across the
+		// whole fleet, and the posted dislike below is the only dissent.
+		Opinions: core.OpinionFunc(func(news.NodeID, news.ID) bool { return true }),
+	}
+	runner := live.NewRunner(cfg, ds, live.NewChannelNet(42, 0, 0))
+	ctx, cancel := context.WithCancel(context.Background())
+	runDone := make(chan struct{})
+	go func() {
+		defer close(runDone)
+		runner.RunContext(ctx)
+	}()
+	defer func() {
+		cancel()
+		<-runDone
+	}()
+
+	gw := source.NewGateway(source.GatewayConfig{
+		Node:    0,
+		Sources: []source.Source{source.NewFile("../source/testdata/feed.xml")},
+	}, runner)
+	srv := httptest.NewServer(NewServer(runner, gw.Catalog()))
+	defer srv.Close()
+
+	// Ingest: the runner may still be spinning up (Publish needs the fleet
+	// clock running), so poll until all 6 fixture items are in.
+	deadline := time.Now().Add(30 * time.Second)
+	for gw.Published() < 6 {
+		if time.Now().After(deadline) {
+			t.Fatal("gateway could not publish the fixture feed")
+		}
+		if _, err := gw.PollOnce(ctx); err != nil {
+			t.Logf("poll: %v (will retry)", err)
+		}
+		time.Sleep(cycleLength)
+	}
+
+	feedURL := fmt.Sprintf("%s/v1/nodes/%d/feed", srv.URL, reader)
+	readFeed := func() feedJSON {
+		t.Helper()
+		resp, err := http.Get(feedURL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET feed: status %d", resp.StatusCode)
+		}
+		var out feedJSON
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	// Dissemination: BEEP must deliver most of the fixture to the reader.
+	var feed feedJSON
+	for {
+		feed = readFeed()
+		if len(feed.Entries) >= 4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("reader got %d feed entries, want >= 4", len(feed.Entries))
+		}
+		time.Sleep(cycleLength)
+	}
+	catalog := gw.Catalog()
+	for _, e := range feed.Entries {
+		if !e.Liked || !e.Rated {
+			t.Fatalf("entry %q not liked before feedback: %+v", e.Item.Title, e)
+		}
+		id, ok := parseItemID(e.Item.ID)
+		if !ok {
+			t.Fatalf("feed item id %q not parseable", e.Item.ID)
+		}
+		if !catalog.Has(id) {
+			t.Fatalf("feed item %q did not come through the gateway", e.Item.Title)
+		}
+	}
+
+	// Feedback: dislike the top-ranked item over HTTP.
+	target := feed.Entries[0]
+	before := target.Score
+	resp, err := http.Post(
+		fmt.Sprintf("%s/v1/nodes/%d/feedback", srv.URL, reader),
+		"application/json",
+		strings.NewReader(`{"item":"`+target.Item.ID+`","liked":false}`),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST feedback: status %d", resp.StatusCode)
+	}
+
+	// Rerank: the dislike lands synchronously (the feedback ran on the node
+	// goroutine before the POST returned), so the very next read reflects it.
+	after := readFeed()
+	var demoted *feedEntryJSON
+	for i := range after.Entries {
+		if after.Entries[i].Item.ID == target.Item.ID {
+			demoted = &after.Entries[i]
+		}
+	}
+	if demoted == nil {
+		t.Fatalf("disliked item %q vanished from the feed", target.Item.Title)
+	}
+	if demoted.Liked || !demoted.Rated {
+		t.Fatalf("disliked item still marked liked: %+v", demoted)
+	}
+	if demoted.Score >= before {
+		t.Fatalf("dislike did not demote: score %v -> %v", before, demoted.Score)
+	}
+	// Beyond the ±1 rating bias, the similarity to the item's source profile
+	// itself must not have grown: unbiased, before was sim+1, after is sim'-1.
+	if simBefore, simAfter := before-1, demoted.Score+1; simAfter > simBefore+1e-9 {
+		t.Fatalf("source-profile similarity grew after dislike: %v -> %v", simBefore, simAfter)
+	}
+	// The one disliked item ranks below every still-liked entry.
+	last := after.Entries[len(after.Entries)-1]
+	if last.Item.ID != target.Item.ID {
+		t.Fatalf("disliked item not reranked to the bottom: last is %q", last.Item.Title)
+	}
+
+	// The item is resolvable through the catalog route, and stats see the
+	// ingestion.
+	var stats statsJSON
+	statsResp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(statsResp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	statsResp.Body.Close()
+	if stats.Catalog == nil || *stats.Catalog != 6 {
+		t.Fatalf("stats catalog %v, want 6", stats.Catalog)
+	}
+	if stats.Online != users {
+		t.Fatalf("stats online %d, want %d", stats.Online, users)
+	}
+	if stats.Messages == 0 {
+		t.Fatal("stats recorded no traffic")
+	}
+}

@@ -108,6 +108,17 @@ func (d *Dataset) finalize() {
 	}
 }
 
+// Blank returns a dataset of users with no trace items at all: the workload
+// of a serving fleet, whose items arrive from ingestion sources while it
+// runs instead of from a schedule. Pair it with live.Config.Opinions to give
+// the population an interest model for those runtime items (the blank like
+// matrix would dislike everything).
+func Blank(users, cycles int) *Dataset {
+	d := newDataset("blank", users, 0, cycles, 0)
+	d.finalize()
+	return d
+}
+
 // LikesIndex reports whether user u likes the item with dense index idx.
 func (d *Dataset) LikesIndex(u, idx int) bool {
 	if u < 0 || u >= d.Users || idx < 0 || idx >= len(d.Items) {

@@ -21,38 +21,21 @@ import (
 // rejoiners — because a single population average hides exactly the
 // dynamics a churning deployment cares about.
 
-// ChurnConfig tunes the churn scenario.
+// ChurnConfig tunes the churn scenario. The churn-protocol knobs
+// (rate, flash crowd, downtime, eviction horizon, departure notices,
+// refill) live in the embedded ChurnOptions, shared with the live
+// scenario and the churn bench.
 type ChurnConfig struct {
+	ChurnOptions
 	// Dataset is the workload name (default "survey").
 	Dataset string
 	// Fanout is fLIKE (default 10).
 	Fanout int
 	// Cycles overrides the run length (0 = dataset default).
 	Cycles int
-	// FlashCrowd is the number of brand-new nodes joining as a flash crowd
-	// one third into the run (0 = none). Joiners cold-start from a live
-	// host's views (Section II-D) and adopt the interests of base users in
-	// round-robin.
-	FlashCrowd int
 	// FlashPerCycle spreads the flash crowd over several cycles
 	// (0 = ceil(FlashCrowd/5), so every crowd arrives within 5 cycles).
 	FlashPerCycle int
-	// ChurnRate is the expected fraction of the base population hit by a
-	// churn event over the run (half crashes-with-rejoin, half graceful
-	// leaves). 0 = static population.
-	ChurnRate float64
-	// Downtime is how many cycles a crashed node stays offline before
-	// rejoining (default 8).
-	Downtime int64
-	// DescriptorTTL is the view eviction horizon in cycles (default
-	// core.DefaultDescriptorTTL, shared with the live scenario).
-	DescriptorTTL int64
-	// DepartureNotices enables the churn protocol's graceful-departure
-	// notices (sim.Config.DepartureNotices).
-	DepartureNotices bool
-	// RefillWatermark enables adaptive view refill below this occupancy
-	// fraction (sim.Config.RefillWatermark; 0 = off).
-	RefillWatermark float64
 	// TTL is the dislike TTL, with the RunConfig convention: 0 = paper
 	// default (4), negative = explicit 0.
 	TTL int
@@ -63,6 +46,7 @@ type ChurnConfig struct {
 }
 
 func (c ChurnConfig) withDefaults() ChurnConfig {
+	c.ChurnOptions = c.ChurnOptions.withDefaults(8)
 	if c.Dataset == "" {
 		c.Dataset = "survey"
 	}
@@ -71,12 +55,6 @@ func (c ChurnConfig) withDefaults() ChurnConfig {
 	}
 	if c.FlashPerCycle <= 0 {
 		c.FlashPerCycle = (c.FlashCrowd + 4) / 5
-	}
-	if c.Downtime <= 0 {
-		c.Downtime = 8
-	}
-	if c.DescriptorTTL <= 0 {
-		c.DescriptorTTL = core.DefaultDescriptorTTL
 	}
 	return c
 }

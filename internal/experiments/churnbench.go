@@ -20,39 +20,29 @@ import (
 // `churn-cycle-*` scenario of the BenchmarkHotPath family, which the CI
 // benchdiff gate pins by allocs/op.
 
-// ChurnBenchConfig sizes the churn bench world.
+// ChurnBenchConfig sizes the churn bench world. The churn-protocol knobs
+// live in the embedded ChurnOptions, shared with ChurnRun and LiveRun;
+// here ChurnRate zero means no trace churn (the flash crowd still
+// arrives), so a churn-free baseline entry can be recorded — the CLI flag
+// supplies the canonical 0.20 default — and FlashCrowd defaults to
+// Peers/20 instead of none.
 type ChurnBenchConfig struct {
+	ChurnOptions
 	// Peers is the base population (default 5000).
 	Peers int
 	// Cycles is the measured run length (default 45).
 	Cycles int
-	// ChurnRate is the expected fraction of the base population hit by a
-	// churn event over the run. Zero means no trace churn (the flash crowd
-	// still arrives), so a churn-free baseline entry can be recorded; the
-	// CLI flag supplies the canonical 0.20 default.
-	ChurnRate float64
-	// FlashCrowd is the number of extra joiners arriving a third in
-	// (default Peers/20).
-	FlashCrowd int
 	// EngineWorkers is the engine pool (0 = serial).
 	EngineWorkers int
-	// DepartureNotices enables graceful-departure notices
-	// (sim.Config.DepartureNotices).
-	DepartureNotices bool
-	// RefillWatermark enables adaptive view refill below this occupancy
-	// fraction (sim.Config.RefillWatermark; 0 = off).
-	RefillWatermark float64
 }
 
 func (c ChurnBenchConfig) withDefaults() ChurnBenchConfig {
+	c.ChurnOptions = c.ChurnOptions.withDefaults(6)
 	if c.Peers <= 0 {
 		c.Peers = 5000
 	}
 	if c.Cycles <= 0 {
 		c.Cycles = 45
-	}
-	if c.ChurnRate < 0 {
-		c.ChurnRate = 0
 	}
 	if c.FlashCrowd <= 0 {
 		c.FlashCrowd = c.Peers / 20
@@ -69,7 +59,7 @@ func churnBenchWorld(cfg ChurnBenchConfig) (*sim.Engine, sim.ChurnSchedule, *met
 	opinions := core.OpinionFunc(func(node news.NodeID, item news.ID) bool {
 		return int(node)%4 == int(item)%4
 	})
-	const ttl, downtime = core.DefaultDescriptorTTL, 6
+	ttl, downtime := cfg.DescriptorTTL, cfg.Downtime
 	nodeCfg := core.Config{FLike: 6, RPSViewSize: 20, DescriptorTTL: ttl}
 	peers := make([]sim.Peer, cfg.Peers)
 	for i := 0; i < cfg.Peers; i++ {
@@ -81,7 +71,7 @@ func churnBenchWorld(cfg ChurnBenchConfig) (*sim.Engine, sim.ChurnSchedule, *met
 	// rejoined and every departed descriptor has aged out by the last cycle
 	// (GhostEndFrac must come back 0).
 	churnFrom := int64(cfg.Cycles / 5)
-	churnTo := int64(cfg.Cycles - ttl - downtime)
+	churnTo := int64(cfg.Cycles) - ttl - downtime
 	if churnTo <= churnFrom {
 		churnTo = churnFrom + 1
 	}

@@ -7,22 +7,54 @@ import (
 )
 
 // TestDescriptorTTLDefaultUnified is the regression for the TTL-skew bugfix:
-// the sim churn scenario and the live churn scenario must derive the same
-// eviction-horizon default from the shared core constant, so quality numbers
-// from the two runtimes stay comparable.
+// every churn driver must derive the same eviction-horizon default from the
+// shared core constant, so quality numbers from the runtimes stay comparable.
+// Since the shared ChurnOptions extraction there is only one place that
+// default can live, and this pins all three embeddings of it.
 func TestDescriptorTTLDefaultUnified(t *testing.T) {
 	churn := ChurnConfig{}.withDefaults().DescriptorTTL
 	live := LiveRunConfig{}.withDefaults().DescriptorTTL
-	if churn != core.DefaultDescriptorTTL || live != core.DefaultDescriptorTTL {
-		t.Fatalf("TTL defaults diverged: ChurnRun=%d LiveRun=%d, both must be core.DefaultDescriptorTTL=%d",
-			churn, live, core.DefaultDescriptorTTL)
+	bench := ChurnBenchConfig{}.withDefaults().DescriptorTTL
+	if churn != core.DefaultDescriptorTTL || live != core.DefaultDescriptorTTL || bench != core.DefaultDescriptorTTL {
+		t.Fatalf("TTL defaults diverged: ChurnRun=%d LiveRun=%d ChurnBench=%d, all must be core.DefaultDescriptorTTL=%d",
+			churn, live, bench, core.DefaultDescriptorTTL)
 	}
 	// An explicit TTL must survive untouched in both.
-	if got := (ChurnConfig{DescriptorTTL: 9}).withDefaults().DescriptorTTL; got != 9 {
+	if got := (ChurnConfig{ChurnOptions: ChurnOptions{DescriptorTTL: 9}}).withDefaults().DescriptorTTL; got != 9 {
 		t.Fatalf("explicit sim TTL overridden to %d", got)
 	}
-	if got := (LiveRunConfig{DescriptorTTL: 9}).withDefaults().DescriptorTTL; got != 9 {
+	if got := (LiveRunConfig{ChurnOptions: ChurnOptions{DescriptorTTL: 9}}).withDefaults().DescriptorTTL; got != 9 {
 		t.Fatalf("explicit live TTL overridden to %d", got)
+	}
+}
+
+// TestChurnOptionsDriverDefaults pins the behavior each CLI relied on before
+// the churn knobs were extracted into the shared ChurnOptions: the per-driver
+// downtime defaults (sim 8, live 5, bench 6 — the bench's was a constant
+// before), the bench's population-derived flash crowd, and negative churn
+// rates clamping to a static fleet. Explicit values always win.
+func TestChurnOptionsDriverDefaults(t *testing.T) {
+	if got := (ChurnConfig{}).withDefaults().Downtime; got != 8 {
+		t.Fatalf("ChurnRun downtime default changed: %d, want 8", got)
+	}
+	if got := (LiveRunConfig{}).withDefaults().Downtime; got != 5 {
+		t.Fatalf("LiveRun downtime default changed: %d, want 5", got)
+	}
+	bench := ChurnBenchConfig{}.withDefaults()
+	if bench.Downtime != 6 {
+		t.Fatalf("ChurnBench downtime default changed: %d, want 6", bench.Downtime)
+	}
+	if bench.FlashCrowd != bench.Peers/20 {
+		t.Fatalf("ChurnBench flash crowd default changed: %d, want Peers/20=%d",
+			bench.FlashCrowd, bench.Peers/20)
+	}
+	if got := (ChurnOptions{ChurnRate: -1}).withDefaults(8).ChurnRate; got != 0 {
+		t.Fatalf("negative churn rate must clamp to 0, got %v", got)
+	}
+	explicit := ChurnOptions{ChurnRate: 0.4, FlashCrowd: 3, Downtime: 2, DescriptorTTL: 9,
+		DepartureNotices: true, RefillWatermark: 0.5}
+	if got := explicit.withDefaults(8); got != explicit {
+		t.Fatalf("explicit options rewritten by defaults: %+v -> %+v", explicit, got)
 	}
 }
 
@@ -76,8 +108,9 @@ func TestLiveChurnWindowClosure(t *testing.T) {
 // legacy slice and the timeline, and the healing summary consistent.
 func TestChurnRunTimelineAndHealing(t *testing.T) {
 	r := ChurnRun(tiny(), ChurnConfig{
-		Dataset: "survey", ChurnRate: 0.2, FlashCrowd: 6,
-		DepartureNotices: true, RefillWatermark: 0.5, Workers: 2,
+		ChurnOptions: ChurnOptions{ChurnRate: 0.2, FlashCrowd: 6,
+			DepartureNotices: true, RefillWatermark: 0.5},
+		Dataset: "survey", Workers: 2,
 	})
 	if len(r.Timeline) != r.Cycles {
 		t.Fatalf("timeline has %d samples, want one per cycle (%d)", len(r.Timeline), r.Cycles)
@@ -115,8 +148,9 @@ func TestChurnRunTimelineAndHealing(t *testing.T) {
 // summary is internally consistent.
 func TestChurnBenchRecordsProtocolColumns(t *testing.T) {
 	r := ChurnBench(ChurnBenchConfig{
-		Peers: 150, Cycles: 30, ChurnRate: 0.2, FlashCrowd: 12,
-		EngineWorkers: 2, DepartureNotices: true, RefillWatermark: 0.5,
+		ChurnOptions: ChurnOptions{ChurnRate: 0.2, FlashCrowd: 12,
+			DepartureNotices: true, RefillWatermark: 0.5},
+		Peers: 150, Cycles: 30, EngineWorkers: 2,
 	})
 	if !r.DepartureNotices || r.RefillWatermark != 0.5 {
 		t.Fatalf("protocol knobs not echoed into the entry: %+v", r)

@@ -321,7 +321,7 @@ func TestLiveRunChurnChannelTransport(t *testing.T) {
 	const flash = 6
 	r, err := LiveRun(tiny(), LiveRunConfig{
 		Transport: "channel", Cycles: 40, CycleLength: 4 * time.Millisecond,
-		ChurnRate: 0.3, FlashCrowd: flash, DescriptorTTL: 6,
+		ChurnOptions: ChurnOptions{ChurnRate: 0.3, FlashCrowd: flash, DescriptorTTL: 6},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -346,7 +346,7 @@ func TestLiveRunChurnTCPTransport(t *testing.T) {
 	const flash = 4
 	r, err := LiveRun(tiny(), LiveRunConfig{
 		Transport: "tcp", Cycles: 40, CycleLength: 7 * time.Millisecond,
-		ChurnRate: 0.25, FlashCrowd: flash, DescriptorTTL: 6,
+		ChurnOptions: ChurnOptions{ChurnRate: 0.25, FlashCrowd: flash, DescriptorTTL: 6},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -425,10 +425,9 @@ func TestRunDeterministicAcrossCalls(t *testing.T) {
 
 func TestChurnRunCohortsAndHealing(t *testing.T) {
 	r := ChurnRun(tiny(), ChurnConfig{
-		Dataset:    "survey",
-		Fanout:     6,
-		FlashCrowd: 10,
-		ChurnRate:  0.25,
+		ChurnOptions: ChurnOptions{FlashCrowd: 10, ChurnRate: 0.25},
+		Dataset:      "survey",
+		Fanout:       6,
 	})
 	if r.Events == 0 {
 		t.Fatal("churn scenario produced no membership events")
@@ -467,7 +466,8 @@ func TestChurnRunCohortsAndHealing(t *testing.T) {
 func TestChurnRunDeterministicAcrossEngineWorkers(t *testing.T) {
 	run := func(workers int) ChurnResult {
 		return ChurnRun(tiny(), ChurnConfig{
-			Dataset: "survey", Fanout: 6, FlashCrowd: 8, ChurnRate: 0.2, Workers: workers,
+			ChurnOptions: ChurnOptions{FlashCrowd: 8, ChurnRate: 0.2},
+			Dataset:      "survey", Fanout: 6, Workers: workers,
 		})
 	}
 	a, b := run(1), run(4)

@@ -23,6 +23,13 @@ import (
 // cycle-tick boundaries — and the result gains per-cohort quality splits and
 // the end-of-run ghost-descriptor fraction.
 type LiveRunConfig struct {
+	// ChurnOptions are the shared churn-protocol knobs (rate, flash crowd,
+	// downtime, eviction horizon, departure notices, refill), applied when
+	// churn is enabled. The churn window is sized so the last departure
+	// sits at least one horizon plus one downtime before the end of the
+	// run, so a healthy run ends ghost-free.
+	ChurnOptions
+
 	// Transport selects the network: "channel" (ModelNet-style in-memory
 	// emulation) or "tcp" (PlanetLab-style loopback sockets).
 	Transport string
@@ -36,39 +43,15 @@ type LiveRunConfig struct {
 	LossRate float64
 	// BatchWindow is the TCP transport's write-coalescing window.
 	BatchWindow time.Duration
-
-	// ChurnRate is the expected fraction of the base population hit by a
-	// churn event over the run (half crashes-with-rejoin, half graceful
-	// leaves). 0 = static fleet.
-	ChurnRate float64
-	// FlashCrowd is the number of brand-new nodes joining as a flash crowd
-	// one third into the run (0 = none). Joiners cold-start from a live
-	// host's views and adopt the interests of base users in round-robin,
-	// exactly like ChurnRun's.
-	FlashCrowd int
-	// Downtime is how many cycles a crashed node stays offline before its
-	// rejoin (default 5).
-	Downtime int64
-	// DescriptorTTL is the view eviction horizon in cycles, applied when
-	// churn is enabled (default core.DefaultDescriptorTTL, shared with
-	// ChurnRun). The churn window is sized so the last departure sits at
-	// least one horizon plus one downtime before the end of the run, so a
-	// healthy run ends ghost-free.
-	DescriptorTTL int64
 	// SchedulerSlack is the extra margin, in cycles, between the close of
 	// the churn window and the point one horizon+downtime before the run
 	// end, absorbing wall-clock tick jitter on loaded machines. 0 derives
 	// a default from the run length and available parallelism.
 	SchedulerSlack int64
-	// DepartureNotices enables graceful-departure notices in the fleet
-	// (live.Config.DepartureNotices).
-	DepartureNotices bool
-	// RefillWatermark enables adaptive view refill below this occupancy
-	// fraction (live.Config.RefillWatermark; 0 = off).
-	RefillWatermark float64
 }
 
 func (c LiveRunConfig) withDefaults() LiveRunConfig {
+	c.ChurnOptions = c.ChurnOptions.withDefaults(5)
 	if c.Transport == "" {
 		c.Transport = "channel"
 	}
@@ -82,12 +65,6 @@ func (c LiveRunConfig) withDefaults() LiveRunConfig {
 		c.LossRate = 0.02
 	} else if c.LossRate < 0 {
 		c.LossRate = 0
-	}
-	if c.Downtime <= 0 {
-		c.Downtime = 5
-	}
-	if c.DescriptorTTL <= 0 {
-		c.DescriptorTTL = core.DefaultDescriptorTTL
 	}
 	return c
 }

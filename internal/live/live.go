@@ -27,6 +27,7 @@
 package live
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"sync"
@@ -38,6 +39,7 @@ import (
 	"whatsup/internal/metrics"
 	"whatsup/internal/news"
 	"whatsup/internal/overlay"
+	"whatsup/internal/profile"
 	"whatsup/internal/sim"
 )
 
@@ -129,8 +131,11 @@ type Network interface {
 type Config struct {
 	// Seed drives workload scheduling and per-node randomness.
 	Seed int64
-	// Cycles to run; CycleLength is the real-time gossip period (the paper
-	// used 30 s on PlanetLab; tests use milliseconds).
+	// Cycles to run; zero means the default of 30 and a negative value means
+	// unbounded — the fleet runs until the context given to RunContext is
+	// cancelled, the serving mode of cmd/whatsup-serve. CycleLength is the
+	// real-time gossip period (the paper used 30 s on PlanetLab; tests use
+	// milliseconds).
 	Cycles      int
 	CycleLength time.Duration
 	// NodeConfig is the WhatsUp parameter set for every node.
@@ -166,10 +171,22 @@ type Config struct {
 	// after the run. Off by default — sampling costs one snapshot round-trip
 	// per online node per cycle.
 	Timeline bool
+	// Opinions overrides the dataset's like/dislike trace for the whole
+	// fleet (nil keeps the dataset's). Serving fleets use this to supply an
+	// interest model for items that are not part of any trace — e.g. articles
+	// ingested from a real feed. Whatever the base, every node layers its own
+	// feedback overrides (Runner.Feedback) on top.
+	Opinions core.Opinions
+	// FeedCapacity bounds the per-node feed: how many of the most recent
+	// BEEP deliveries each node retains (item plus the item-profile snapshot
+	// it arrived with) for Runner.Feed / Runner.Snapshot to serve. Zero
+	// disables retention — the historical behaviour, and the right setting
+	// for measurement runs that never read feeds.
+	FeedCapacity int
 }
 
 func (c Config) withDefaults() Config {
-	if c.Cycles <= 0 {
+	if c.Cycles == 0 {
 		c.Cycles = 30
 	}
 	if c.CycleLength <= 0 {
@@ -183,10 +200,14 @@ func (c Config) withDefaults() Config {
 
 // Runner owns a fleet of live nodes over a Network. The fleet is dynamic:
 // Run doubles as the membership controller, applying Config.Churn events at
-// cycle-tick boundaries. The controller goroutine is the sole owner of the
-// membership bookkeeping (fleet, order, states); node goroutines never touch
-// it, so it needs no lock — but it is only safe to read through the
-// accessors below once Run has returned.
+// cycle-tick boundaries. The controller goroutine is the sole writer of the
+// membership bookkeeping (fleet, order, states) and of the protocol state of
+// stopped nodes; it publishes those writes under mu, so the read accessors
+// (State, Members, OnlineCount, Timeline, Stats) and the serving surface
+// (Snapshot, Feed, Feedback, Publish — see serve.go) are safe from any
+// goroutine while the fleet is running. Running nodes are only ever touched
+// through their control channel, which serializes every request with the
+// node's own message handling.
 type Runner struct {
 	cfg   Config
 	ds    *dataset.Dataset
@@ -194,10 +215,16 @@ type Runner struct {
 	col   *metrics.Collector
 	colMu sync.Mutex
 
-	fleet  map[news.NodeID]*liveNode
-	order  []news.NodeID // registration order, joins appended
-	states map[news.NodeID]sim.MemberState
-	churn  map[int64][]sim.ChurnEvent
+	// mu guards the membership bookkeeping below (and the protocol state of
+	// nodes whose goroutine is not running). Writers: the controller only.
+	// Readers: the concurrent accessors of serve.go. Node goroutines never
+	// take it, so the gossip hot path is lock-free apart from the collector.
+	mu      sync.RWMutex
+	running bool
+	fleet   map[news.NodeID]*liveNode
+	order   []news.NodeID // registration order, joins appended
+	states  map[news.NodeID]sim.MemberState
+	churn   map[int64][]sim.ChurnEvent
 	// ctrlRNG drives the controller's own sampling (cold-start hosts,
 	// rejoin bootstrap); node randomness stays per-node.
 	ctrlRNG *rand.Rand
@@ -225,7 +252,18 @@ type liveNode struct {
 	ctl    chan ctlRequest
 	runner *Runner
 	rng    *rand.Rand
-	pubs   []dataset.Item // items this node publishes, sorted by cycle
+	// ops is the node's opinion layer when the runner built the node itself:
+	// the base trace plus this user's feedback overrides. Nil for nodes built
+	// by a Config.NewNode factory (their opinions are opaque to the runner, so
+	// Runner.Feedback can only update their profile).
+	ops *nodeOpinions
+	// feed is the ring of the node's most recent BEEP deliveries
+	// (Config.FeedCapacity), owned by the node goroutine like the rest of the
+	// protocol state and read through the control channel. Once full,
+	// feedNext is the ring slot of the oldest record (the next overwritten).
+	feed     []feedRecord
+	feedNext int
+	pubs     []dataset.Item // items this node publishes, sorted by cycle
 	// pubIdx is the next unpublished entry of pubs: publications catch up
 	// to the node's clock instead of requiring an exact tick match, so a
 	// dropped ticker tick delays a publication rather than losing it.
@@ -236,18 +274,77 @@ type liveNode struct {
 	startCycle int64
 }
 
-// ctlRequest asks a node goroutine for a state snapshot, serialized with its
-// protocol handling so the controller never races node state.
+// ctlRequest asks a node goroutine to run fn inline, serialized with the
+// node's protocol handling so callers never race its state. cycle is the
+// node's current local cycle. done is closed once fn has run.
 type ctlRequest struct {
-	reply chan ctlSnapshot
+	fn   func(ln *liveNode, cycle int64)
+	done chan struct{}
 }
 
-// ctlSnapshot is a node's answer: a fresh descriptor of itself plus copies
-// of both views (descriptors are immutable, profiles copy-on-write).
+// ctlSnapshot is a node state snapshot: a fresh descriptor of itself plus
+// copies of both views (descriptors are immutable, profiles copy-on-write).
 type ctlSnapshot struct {
 	desc overlay.Descriptor
 	rps  []overlay.Descriptor
 	wup  []overlay.Descriptor
+}
+
+// nodeOpinions layers a user's live feedback (Runner.Feedback) on top of a
+// base like/dislike trace. It is part of its node's protocol state: Likes is
+// only called by core.Node.Receive on the node goroutine, and overrides are
+// written through the control channel.
+type nodeOpinions struct {
+	self news.NodeID
+	base core.Opinions
+	over map[news.ID]bool
+}
+
+func (o *nodeOpinions) Likes(node news.NodeID, item news.ID) bool {
+	if node == o.self {
+		if liked, ok := o.over[item]; ok {
+			return liked
+		}
+	}
+	if o.base == nil {
+		return false
+	}
+	return o.base.Likes(node, item)
+}
+
+// feedRecord is one retained BEEP delivery: the item, the item-profile
+// snapshot it arrived with, and its receipt coordinates.
+type feedRecord struct {
+	item       news.Item
+	profile    *profile.Profile
+	cycle      int64
+	hops       int
+	viaDislike bool
+}
+
+// feedPush appends a delivery to the node's feed ring, evicting the oldest
+// record once Config.FeedCapacity is reached. Node goroutine only.
+func (ln *liveNode) feedPush(rec feedRecord) {
+	capacity := ln.runner.cfg.FeedCapacity
+	if len(ln.feed) < capacity {
+		ln.feed = append(ln.feed, rec)
+		return
+	}
+	ln.feed[ln.feedNext] = rec
+	ln.feedNext = (ln.feedNext + 1) % capacity
+}
+
+// feedInOrder returns the ring's records oldest-first. The returned slice
+// aliases ring records (not the ring's backing array order) and must be
+// consumed before the node processes further deliveries.
+func (ln *liveNode) feedInOrder() []feedRecord {
+	if len(ln.feed) < ln.runner.cfg.FeedCapacity {
+		return ln.feed
+	}
+	out := make([]feedRecord, 0, len(ln.feed))
+	out = append(out, ln.feed[ln.feedNext:]...)
+	out = append(out, ln.feed[:ln.feedNext]...)
+	return out
 }
 
 // nodeRNG derives the per-node randomness stream, shared by the initial
@@ -279,20 +376,25 @@ func NewRunner(cfg Config, ds *dataset.Dataset, net Network) *Runner {
 			r.col.RegisterItem(ds.Items[i].News.ID, ds.Items[i].Interested)
 		}
 	}
-	op := ds.Opinions()
+	base := cfg.Opinions
+	if base == nil {
+		base = ds.Opinions()
+	}
 	initial := make([]*liveNode, 0, ds.Users)
 	for u := 0; u < ds.Users; u++ {
 		id := news.NodeID(u)
 		r.col.RegisterNode(id, ds.UserInterestCount(id))
 		rng := nodeRNG(cfg.Seed, id)
+		ops := &nodeOpinions{self: id, base: base, over: make(map[news.ID]bool)}
 		ln := &liveNode{
-			node:   core.NewNode(id, "", cfg.NodeConfig, op, rng),
+			node:   core.NewNode(id, "", cfg.NodeConfig, ops, rng),
 			inbox:  net.Register(id),
 			quit:   make(chan struct{}),
 			done:   make(chan struct{}),
 			ctl:    make(chan ctlRequest),
 			runner: r,
 			rng:    rng,
+			ops:    ops,
 		}
 		initial = append(initial, ln)
 		r.fleet[id] = ln
@@ -336,15 +438,20 @@ func NewRunner(cfg Config, ds *dataset.Dataset, net Network) *Runner {
 func (r *Runner) Collector() *metrics.Collector { return r.col }
 
 // State returns the lifecycle state of a member; ok is false for ids the
-// runner has never seen. Safe to call after Run returns.
+// runner has never seen. Safe to call at any time, including while the
+// fleet is running.
 func (r *Runner) State(id news.NodeID) (sim.MemberState, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	st, ok := r.states[id]
 	return st, ok
 }
 
-// OnlineCount returns the number of members online at the end of the run.
-// Safe to call after Run returns.
+// OnlineCount returns the number of members currently online. Safe to call
+// at any time.
 func (r *Runner) OnlineCount() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	n := 0
 	for _, st := range r.states {
 		if st == sim.Online {
@@ -355,12 +462,19 @@ func (r *Runner) OnlineCount() int {
 }
 
 // MemberCount returns the number of members ever registered, including
-// offline and departed ones.
-func (r *Runner) MemberCount() int { return len(r.fleet) }
+// offline and departed ones. Safe to call at any time.
+func (r *Runner) MemberCount() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.fleet)
+}
 
 // Node returns the node with the given id in any lifecycle state, or nil.
-// Only safe once Run has returned (node goroutines own their state while
-// running).
+//
+// Deprecated: Node hands out unsynchronized protocol state and is only safe
+// once Run has returned (node goroutines own their state while running).
+// Use Snapshot, Feed, Feedback and Publish, which are serialized with the
+// node's own message handling and safe mid-run.
 func (r *Runner) Node(id news.NodeID) *core.Node {
 	if ln := r.fleet[id]; ln != nil {
 		return ln.node
@@ -368,25 +482,66 @@ func (r *Runner) Node(id news.NodeID) *core.Node {
 	return nil
 }
 
-// GhostFraction measures the self-healing state of the overlay after the
-// run: the fraction of descriptors across online nodes' RPS and WUP views
-// that point at a member that is not online. Only safe once Run has
-// returned.
-func (r *Runner) GhostFraction() float64 {
-	total, ghosts := 0, 0
-	count := func(id news.NodeID) {
-		total++
-		if st, ok := r.states[id]; !ok || st != sim.Online {
-			ghosts++
+// viewSample is one online node's view snapshot.
+type viewSample struct {
+	id       news.NodeID
+	rps, wup []overlay.Descriptor
+}
+
+// onlineViews snapshots both views of every online member. While the fleet
+// is running each snapshot is pulled through the node's own control channel
+// (so it is consistent with the node's message handling); after Run returns
+// the views are read directly under the membership lock. A node stopped
+// mid-collection is skipped.
+func (r *Runner) onlineViews() []viewSample {
+	r.mu.RLock()
+	running := r.running
+	lns := make([]*liveNode, 0, len(r.order))
+	for _, id := range r.order {
+		if r.states[id] == sim.Online {
+			lns = append(lns, r.fleet[id])
 		}
 	}
-	for _, id := range r.order {
-		if r.states[id] != sim.Online {
+	r.mu.RUnlock()
+	out := make([]viewSample, 0, len(lns))
+	for _, ln := range lns {
+		if running {
+			if snap, ok := ln.snapshot(); ok {
+				out = append(out, viewSample{id: ln.node.ID(), rps: snap.rps, wup: snap.wup})
+			}
 			continue
 		}
-		n := r.fleet[id].node
-		n.RPS().View().ForEach(func(d overlay.Descriptor) { count(d.Node) })
-		n.WUP().View().ForEach(func(d overlay.Descriptor) { count(d.Node) })
+		r.mu.RLock()
+		out = append(out, viewSample{
+			id:  ln.node.ID(),
+			rps: ln.node.RPS().View().Entries(),
+			wup: ln.node.WUP().View().Entries(),
+		})
+		r.mu.RUnlock()
+	}
+	return out
+}
+
+// GhostFraction measures the self-healing state of the overlay: the fraction
+// of descriptors across online nodes' RPS and WUP views that point at a
+// member that is not online. Safe to call at any time; while the fleet is
+// running the views are snapshotted through each node's control channel.
+func (r *Runner) GhostFraction() float64 {
+	views := r.onlineViews()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	total, ghosts := 0, 0
+	count := func(descs []overlay.Descriptor) {
+		for _, d := range descs {
+			total++
+			if st, ok := r.states[d.Node]; !ok || st != sim.Online {
+				ghosts++
+			}
+		}
+	}
+	for _, v := range views {
+		count(v.rps)
+		count(v.wup)
 	}
 	if total == 0 {
 		return 0
@@ -405,15 +560,31 @@ func (r *Runner) start(ln *liveNode) {
 
 // Run starts every node goroutine, drives the membership schedule at cycle
 // boundaries for the configured number of cycles, then stops the fleet and
-// returns.
-func (r *Runner) Run() {
+// returns. Equivalent to RunContext with a background context.
+func (r *Runner) Run() { r.RunContext(context.Background()) }
+
+// RunContext is Run with cooperative cancellation: the fleet shuts down at
+// the first cycle boundary after ctx is cancelled. With a negative
+// Config.Cycles the run is unbounded and cancellation is the only way it
+// ends — the serving mode. While RunContext is executing, the concurrent
+// accessors (State, Members, Stats, GhostFraction) and the serving surface
+// (Snapshot, Feed, Feedback, Publish) are safe from any goroutine.
+func (r *Runner) RunContext(ctx context.Context) {
+	r.mu.Lock()
+	r.running = true
+	r.mu.Unlock()
 	for _, id := range r.order {
 		r.start(r.fleet[id])
 	}
 	ticker := time.NewTicker(r.cfg.CycleLength)
 	defer ticker.Stop()
-	for c := int64(1); c <= int64(r.cfg.Cycles); c++ {
-		<-ticker.C
+loop:
+	for c := int64(1); r.cfg.Cycles < 0 || c <= int64(r.cfg.Cycles); c++ {
+		select {
+		case <-ctx.Done():
+			break loop
+		case <-ticker.C:
+		}
 		r.cycle.Store(c)
 		r.applyChurn(c)
 		if r.cfg.Timeline {
@@ -427,6 +598,12 @@ func (r *Runner) Run() {
 	}
 	r.wg.Wait()
 	r.net.Close()
+	// Publish the node goroutines' final state to post-Run readers: their
+	// writes happened-before wg.Wait returned, and the lock hand-off makes
+	// them visible to any accessor that acquires mu afterwards.
+	r.mu.Lock()
+	r.running = false
+	r.mu.Unlock()
 }
 
 // applyChurn applies the scheduled membership events of one cycle tick, in
@@ -446,9 +623,14 @@ func (r *Runner) applyChurn(now int64) {
 	}
 }
 
-// Timeline returns the per-cycle fleet health samples recorded when
-// Config.Timeline is set. Only safe once Run has returned.
-func (r *Runner) Timeline() []metrics.ChurnSample { return r.timeline }
+// Timeline returns the per-cycle fleet health samples recorded so far when
+// Config.Timeline is set. Safe to call at any time; the returned slice must
+// not be appended to by the caller.
+func (r *Runner) Timeline() []metrics.ChurnSample {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.timeline
+}
 
 // sampleTimeline records one fleet health sample: view snapshots are pulled
 // through each online node's control channel first (never while holding the
@@ -456,22 +638,9 @@ func (r *Runner) Timeline() []metrics.ChurnSample { return r.timeline }
 // must stay free to answer), then cohort labels are read under one lock.
 func (r *Runner) sampleTimeline(now int64) {
 	nodeCfg := r.cfg.NodeConfig.WithDefaults()
-	s := metrics.ChurnSample{Cycle: now, Members: len(r.fleet)}
-	type onlineView struct {
-		id       news.NodeID
-		rps, wup []overlay.Descriptor
-	}
-	views := make([]onlineView, 0, len(r.order))
-	for _, id := range r.order {
-		if r.states[id] != sim.Online {
-			continue
-		}
-		snap := r.fleet[id].snapshot()
-		views = append(views, onlineView{id: id, rps: snap.rps, wup: snap.wup})
-	}
-	s.Online = len(views)
+	views := r.onlineViews()
+	s := metrics.ChurnSample{Cycle: now, Members: len(r.fleet), Online: len(views)}
 	total, ghosts := 0, 0
-	var rpsFill, wupFill float64
 	count := func(descs []overlay.Descriptor) {
 		for _, d := range descs {
 			total++
@@ -480,6 +649,7 @@ func (r *Runner) sampleTimeline(now int64) {
 			}
 		}
 	}
+	var rpsFill, wupFill float64
 	for _, v := range views {
 		rpsFill += float64(len(v.rps)) / float64(nodeCfg.RPSViewSize)
 		wupFill += float64(len(v.wup)) / float64(nodeCfg.WUPViewSize)
@@ -498,15 +668,40 @@ func (r *Runner) sampleTimeline(now int64) {
 		s.OnlineByCohort[r.col.CohortOf(v.id)]++
 	}
 	r.colMu.Unlock()
+	r.mu.Lock()
 	r.timeline = append(r.timeline, s)
+	r.mu.Unlock()
 }
 
-// snapshot asks a running node goroutine for a state snapshot. Must only be
-// called by the controller, for nodes it knows to be online.
-func (ln *liveNode) snapshot() ctlSnapshot {
-	req := ctlRequest{reply: make(chan ctlSnapshot, 1)}
-	ln.ctl <- req
-	return <-req.reply
+// exec runs fn on the node's goroutine through the control channel,
+// serialized with the node's protocol handling, and blocks until fn has run.
+// It returns false without running fn when the node goroutine has exited (a
+// concurrent lifecycle stop); the caller then falls back to the
+// controller-owned path or reports the node offline.
+func (ln *liveNode) exec(fn func(ln *liveNode, cycle int64)) bool {
+	req := ctlRequest{fn: fn, done: make(chan struct{})}
+	select {
+	case ln.ctl <- req:
+		<-req.done
+		return true
+	case <-ln.done:
+		return false
+	}
+}
+
+// snapshot asks a running node goroutine for a state snapshot. ok is false
+// when the goroutine exited before answering.
+func (ln *liveNode) snapshot() (ctlSnapshot, bool) {
+	var snap ctlSnapshot
+	ok := ln.exec(func(ln *liveNode, cycle int64) {
+		n := ln.node
+		snap = ctlSnapshot{
+			desc: overlay.Descriptor{Node: n.ID(), Stamp: cycle, Profile: n.UserProfile().Clone()},
+			rps:  n.RPS().View().Entries(),
+			wup:  n.WUP().View().Entries(),
+		}
+	})
+	return snap, ok
 }
 
 // randomOnline picks a uniformly random online member other than self, nil
@@ -535,7 +730,10 @@ func (r *Runner) onlineDescriptors(self news.NodeID) []overlay.Descriptor {
 		if id == self || r.states[id] != sim.Online {
 			continue
 		}
-		snap := r.fleet[id].snapshot()
+		snap, ok := r.fleet[id].snapshot()
+		if !ok {
+			continue
+		}
 		descs = append(descs, snap.desc)
 		if len(descs) == r.cfg.BootstrapDegree {
 			break
@@ -552,10 +750,16 @@ func (r *Runner) join(id news.NodeID, now int64) {
 	}
 	rng := nodeRNG(r.cfg.Seed, id)
 	var node *core.Node
+	var ops *nodeOpinions
 	if r.cfg.NewNode != nil {
 		node = r.cfg.NewNode(id, rng)
 	} else {
-		node = core.NewNode(id, "", r.cfg.NodeConfig, r.ds.Opinions(), rng)
+		base := r.cfg.Opinions
+		if base == nil {
+			base = r.ds.Opinions()
+		}
+		ops = &nodeOpinions{self: id, base: base, over: make(map[news.ID]bool)}
+		node = core.NewNode(id, "", r.cfg.NodeConfig, ops, rng)
 	}
 	if node == nil || node.ID() != id {
 		return
@@ -568,15 +772,19 @@ func (r *Runner) join(id news.NodeID, now int64) {
 		ctl:        make(chan ctlRequest),
 		runner:     r,
 		rng:        rng,
+		ops:        ops,
 		startCycle: now,
 	}
 	if host := r.randomOnline(id); host != nil {
-		snap := host.snapshot()
-		node.ColdStart(snap.rps, snap.wup, now)
+		if snap, ok := host.snapshot(); ok {
+			node.ColdStart(snap.rps, snap.wup, now)
+		}
 	}
+	r.mu.Lock()
 	r.fleet[id] = ln
 	r.order = append(r.order, id)
 	r.states[id] = sim.Online
+	r.mu.Unlock()
 	r.start(ln)
 }
 
@@ -593,16 +801,21 @@ func (r *Runner) stop(id news.NodeID, graceful bool, now int64) {
 	}
 	close(ln.quit)
 	<-ln.done // the goroutine has exited; the controller owns the node now
+	if graceful && r.cfg.DepartureNotices {
+		r.sendDepartureNotices(ln, now)
+	}
+	// The state wipe and the lifecycle transition publish under mu, so a
+	// concurrent serving read sees either the pre-stop or the post-stop
+	// node, never a half-wiped one.
+	r.mu.Lock()
 	if graceful {
-		if r.cfg.DepartureNotices {
-			r.sendDepartureNotices(ln, now)
-		}
 		ln.node.Leave()
 		r.states[id] = sim.Departed
 	} else {
 		ln.node.Crash()
 		r.states[id] = sim.Offline
 	}
+	r.mu.Unlock()
 	r.net.Disconnect(id, graceful)
 }
 
@@ -643,15 +856,24 @@ func (r *Runner) rejoin(id news.NodeID, now int64) {
 		ctl:        make(chan ctlRequest),
 		runner:     r,
 		rng:        old.rng,
+		ops:        old.ops,
+		feed:       old.feed, // the feed is durable client state, like the profile
+		feedNext:   old.feedNext,
 		pubs:       old.pubs,
 		startCycle: now,
 	}
 	// Publications scheduled during the downtime never fire, like a post
 	// from a crashed client (the simulator drops offline publications too).
 	ln.pubIdx = sort.Search(len(ln.pubs), func(i int) bool { return ln.pubs[i].Cycle >= now })
-	ln.node.Rejoin(r.onlineDescriptors(id), now)
+	boot := r.onlineDescriptors(id)
+	// Rejoin mutates the offline node's retained state (profile purge, view
+	// re-seed), which concurrent serving reads may be inspecting: publish
+	// both the mutation and the membership swap under mu.
+	r.mu.Lock()
+	ln.node.Rejoin(boot, now)
 	r.fleet[id] = ln
 	r.states[id] = sim.Online
+	r.mu.Unlock()
 	r.start(ln)
 }
 
@@ -712,12 +934,8 @@ func (ln *liveNode) loop() {
 			}
 			ln.onMessage(env, cycle)
 		case req := <-ln.ctl:
-			n := ln.node
-			req.reply <- ctlSnapshot{
-				desc: overlay.Descriptor{Node: n.ID(), Stamp: cycle, Profile: n.UserProfile().Clone()},
-				rps:  n.RPS().View().Entries(),
-				wup:  n.WUP().View().Entries(),
-			}
+			req.fn(ln, cycle)
+			close(req.done)
 		}
 	}
 }
@@ -842,9 +1060,25 @@ func (ln *liveNode) onMessage(env envelope, cycle int64) {
 		n.WUP().Merge(env.Descs, n.UserProfile())
 		ln.evictStale(cycle)
 	case wireItem:
+		// Snapshot the item profile before Receive folds this user's own
+		// profile into it, so the feed scores the item as it arrived
+		// (copy-on-write: the clone is a header, not an entry copy).
+		var arrived *profile.Profile
+		if ln.runner.cfg.FeedCapacity > 0 && !n.Seen(env.Item.Item.ID) {
+			arrived = env.Item.Profile.Clone()
+		}
 		d, sends := n.Receive(env.Item, cycle)
 		if d.Duplicate {
 			return
+		}
+		if arrived != nil {
+			ln.feedPush(feedRecord{
+				item:       env.Item.Item,
+				profile:    arrived,
+				cycle:      cycle,
+				hops:       d.Hops,
+				viaDislike: d.ViaDislike,
+			})
 		}
 		ln.runner.record(func(col *metrics.Collector) {
 			col.RecordDelivery(d)

@@ -1,0 +1,277 @@
+package live
+
+import (
+	"errors"
+	"sort"
+
+	"whatsup/internal/news"
+	"whatsup/internal/overlay"
+	"whatsup/internal/sim"
+)
+
+// This file is the runner's serving surface: the concurrent read/feedback
+// API that internal/api exposes over HTTP. Every method is safe from any
+// goroutine at any time. While a node is online its state is reached through
+// the control channel — the request runs on the node's own goroutine,
+// serialized with its protocol handling, so no locks touch the gossip hot
+// path. Offline (and post-Run) nodes are owned by the controller, which
+// publishes every mutation under the membership lock; reads then go direct
+// under its read side.
+
+var (
+	// ErrUnknownNode reports an id the runner has never registered.
+	ErrUnknownNode = errors.New("live: unknown node")
+	// ErrNodeOffline reports an operation that needs the node's goroutine
+	// (publishing) while the node is crashed or departed.
+	ErrNodeOffline = errors.New("live: node offline")
+	// ErrNotRunning reports an operation that needs the fleet's controller
+	// (publishing) outside a Run.
+	ErrNotRunning = errors.New("live: fleet not running")
+)
+
+// FeedEntry is one ranked recommendation in a node's feed: a BEEP-delivered
+// item together with how the node's current profile scores it.
+type FeedEntry struct {
+	Item news.Item
+	// Score ranks the entry: the node metric's similarity between the user
+	// profile and the item profile the item arrived with, biased by the
+	// user's own rating (+1 liked, −1 disliked) so feedback visibly
+	// reorders the feed.
+	Score float64
+	// Rated and Liked reflect the user profile's current entry for the item
+	// (the initial opinion or the latest Feedback).
+	Rated bool
+	Liked bool
+	// Cycle is the fleet cycle the item arrived at this node; Hops and
+	// ViaDislike describe its dissemination path.
+	Cycle      int64
+	Hops       int
+	ViaDislike bool
+}
+
+// NodeSnapshot is a consistent point-in-time view of one node's protocol
+// state, taken while the node was between message handlers.
+type NodeSnapshot struct {
+	ID    news.NodeID
+	State sim.MemberState
+	// Cycle is the node's local cycle at snapshot time (offline nodes report
+	// the fleet clock).
+	Cycle int64
+	// ProfileSize is the number of entries in the user profile P̃.
+	ProfileSize int
+	// RPSView and WUPView are copies of the two overlay views.
+	RPSView []overlay.Descriptor
+	WUPView []overlay.Descriptor
+	// FeedSize is the number of deliveries the node's feed retains.
+	FeedSize int
+}
+
+// Member summarizes one fleet member's lifecycle state.
+type Member struct {
+	ID    news.NodeID
+	State sim.MemberState
+}
+
+// FleetStats is a point-in-time roll-up of the fleet and its metrics.
+type FleetStats struct {
+	Cycle     int64
+	Members   int
+	Online    int
+	Precision float64
+	Recall    float64
+	F1        float64
+	Messages  int64
+	Bytes     int64
+}
+
+// withNode runs fn against the node's protocol state with the appropriate
+// serialization: on the node's own goroutine through the control channel
+// while it is live, directly under the membership lock once the controller
+// owns the node (offline, departed, or after Run). fn must not call back
+// into the runner's locked accessors.
+func (r *Runner) withNode(id news.NodeID, fn func(ln *liveNode, cycle int64)) error {
+	r.mu.RLock()
+	ln := r.fleet[id]
+	st := r.states[id]
+	running := r.running
+	r.mu.RUnlock()
+	if ln == nil {
+		return ErrUnknownNode
+	}
+	if running && st == sim.Online {
+		if ln.exec(fn) {
+			return nil
+		}
+		// The goroutine exited between the state read and the send (the
+		// controller is mid-stop). Fall through to the direct path: the
+		// membership lock serializes it against the controller's teardown.
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	// Re-fetch under the lock: a rejoin may have swapped the liveNode.
+	fn(r.fleet[id], r.cycle.Load())
+	return nil
+}
+
+// Feed returns the node's current feed, ranked best-first: descending
+// score, then most recent arrival, then item id. The slice is the caller's.
+// Works in every lifecycle state (an offline node serves the feed it
+// retained, like a disconnected client rendering its cache).
+func (r *Runner) Feed(id news.NodeID) ([]FeedEntry, error) {
+	var out []FeedEntry
+	err := r.withNode(id, func(ln *liveNode, cycle int64) {
+		out = ln.feedEntries()
+	})
+	return out, err
+}
+
+// feedEntries builds the ranked feed from the node's ring. Runs serialized
+// with the node's protocol handling (via withNode).
+func (ln *liveNode) feedEntries() []FeedEntry {
+	n := ln.node
+	metric := n.Config().Metric
+	user := n.UserProfile()
+	recs := ln.feedInOrder()
+	out := make([]FeedEntry, 0, len(recs))
+	for _, rec := range recs {
+		e := FeedEntry{
+			Item:       rec.item,
+			Score:      metric.Similarity(user, rec.profile),
+			Cycle:      rec.cycle,
+			Hops:       rec.hops,
+			ViaDislike: rec.viaDislike,
+		}
+		if ent, ok := user.Get(rec.item.ID); ok {
+			e.Rated = true
+			e.Liked = ent.Score >= 0.5
+			if e.Liked {
+				e.Score++
+			} else {
+				e.Score--
+			}
+		}
+		out = append(out, e)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if out[i].Cycle != out[j].Cycle {
+			return out[i].Cycle > out[j].Cycle
+		}
+		return out[i].Item.ID < out[j].Item.ID
+	})
+	return out
+}
+
+// Feedback records the user's like (liked=true) or dislike of an item on
+// the node: the user profile entry is set to 1 or 0 at the node's current
+// cycle — re-rating an already-delivered item exactly as the prototype's
+// interface did — and, for runner-built nodes, the opinion override makes
+// any future first delivery of the item agree with the expressed opinion.
+// Works in every lifecycle state; an offline node's feedback lands in its
+// retained profile, surviving into a rejoin.
+func (r *Runner) Feedback(id news.NodeID, item news.ID, liked bool) error {
+	return r.withNode(id, func(ln *liveNode, cycle int64) {
+		score := 0.0
+		if liked {
+			score = 1
+		}
+		ln.node.UserProfile().Set(item, cycle, score)
+		if ln.ops != nil {
+			ln.ops.over[item] = liked
+		}
+	})
+}
+
+// Publish injects an item into the gossip mesh through the given node as an
+// ordinary WhatsUp publisher (Algorithm 1): the node likes its own item,
+// seeds the item profile from its user profile and hands the copies to
+// BEEP. Created is restamped to the node's current cycle — gossip time is
+// cycle time; the item's identity (content hash) is unaffected. The node
+// must be online and the fleet running.
+func (r *Runner) Publish(id news.NodeID, item news.Item) error {
+	r.mu.RLock()
+	ln := r.fleet[id]
+	st := r.states[id]
+	running := r.running
+	r.mu.RUnlock()
+	if ln == nil {
+		return ErrUnknownNode
+	}
+	if !running {
+		return ErrNotRunning
+	}
+	if st != sim.Online {
+		return ErrNodeOffline
+	}
+	ok := ln.exec(func(ln *liveNode, cycle int64) {
+		item.Created = cycle
+		n := ln.node
+		for _, s := range n.Publish(item, cycle) {
+			ln.runner.send(envelope{Kind: wireItem, From: n.ID(), To: s.To, Item: s.Msg})
+		}
+	})
+	if !ok {
+		return ErrNodeOffline
+	}
+	return nil
+}
+
+// Snapshot returns a consistent snapshot of the node's protocol state. This
+// is the one synchronized state accessor: while the node is online the
+// snapshot is taken on its own goroutine between message handlers (the
+// churn-timeline path of Config.Timeline uses the same mechanism), and for
+// controller-owned nodes it is read under the membership lock.
+func (r *Runner) Snapshot(id news.NodeID) (NodeSnapshot, error) {
+	var snap NodeSnapshot
+	err := r.withNode(id, func(ln *liveNode, cycle int64) {
+		n := ln.node
+		snap = NodeSnapshot{
+			ID:          n.ID(),
+			Cycle:       cycle,
+			ProfileSize: n.UserProfile().Len(),
+			RPSView:     n.RPS().View().Entries(),
+			WUPView:     n.WUP().View().Entries(),
+			FeedSize:    len(ln.feed),
+		}
+	})
+	if err != nil {
+		return NodeSnapshot{}, err
+	}
+	snap.State, _ = r.State(id)
+	return snap, nil
+}
+
+// Members lists every registered member with its lifecycle state, in
+// registration order. Safe to call at any time.
+func (r *Runner) Members() []Member {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Member, 0, len(r.order))
+	for _, id := range r.order {
+		out = append(out, Member{ID: id, State: r.states[id]})
+	}
+	return out
+}
+
+// Stats rolls up the fleet's current size and the collector's quality and
+// traffic aggregates. Safe to call at any time.
+func (r *Runner) Stats() FleetStats {
+	r.mu.RLock()
+	s := FleetStats{Cycle: r.cycle.Load(), Members: len(r.fleet)}
+	for _, st := range r.states {
+		if st == sim.Online {
+			s.Online++
+		}
+	}
+	r.mu.RUnlock()
+	r.colMu.Lock()
+	s.Precision = r.col.Precision()
+	s.Recall = r.col.Recall()
+	s.F1 = r.col.F1()
+	s.Messages = r.col.TotalMessages()
+	s.Bytes = r.col.TotalBytes()
+	r.colMu.Unlock()
+	return s
+}

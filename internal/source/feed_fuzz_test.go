@@ -1,0 +1,45 @@
+package source
+
+import (
+	"os"
+	"testing"
+
+	"whatsup/internal/news"
+)
+
+// FuzzParseFeed hammers the feed parser with truncated, malformed and
+// hostile documents: whatever happens, it must not panic, must respect the
+// item and field bounds, and every item it does return must carry its
+// content hash as identity.
+func FuzzParseFeed(f *testing.F) {
+	if data, err := os.ReadFile("testdata/feed.xml"); err == nil {
+		f.Add(data)
+		f.Add(data[:len(data)/2])
+	}
+	f.Add([]byte(`<rss version="2.0"><channel><item><title>t</title></item></channel></rss>`))
+	f.Add([]byte(`<feed xmlns="http://www.w3.org/2005/Atom"><entry><title>t</title><link href="u"/></entry></feed>`))
+	f.Add([]byte(`<rdf:RDF xmlns:rdf="x"><item><title>t</title></item></rdf:RDF>`))
+	f.Add([]byte(`<?xml version="1.0" encoding="ISO-8859-1"?><rss/>`))
+	f.Add([]byte("<rss><channel><item><title>\xff\xfe</title></item></channel></rss>"))
+	f.Add([]byte(`<rss><channel><item><pubDate>Mon, 99 Foo 9999</pubDate></item></channel></rss>`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		items, err := ParseFeed(data)
+		if err != nil {
+			return
+		}
+		if len(items) > maxFeedItems {
+			t.Fatalf("%d items exceed the cap", len(items))
+		}
+		for _, it := range items {
+			if it.Title == "" && it.Link == "" {
+				t.Fatal("empty entry not dropped")
+			}
+			if len(it.Title) > maxFieldBytes || len(it.Description) > maxFieldBytes || len(it.Link) > maxFieldBytes {
+				t.Fatal("field bound violated")
+			}
+			if it.ID != news.Hash(it.Title, it.Description, it.Link) {
+				t.Fatal("item ID is not its content hash")
+			}
+		}
+	})
+}

@@ -1,0 +1,121 @@
+package source
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"whatsup/internal/news"
+)
+
+// Publisher is the slice of the live runtime the gateway needs: injecting
+// one item into the mesh through one fleet node. *live.Runner implements it.
+type Publisher interface {
+	Publish(id news.NodeID, item news.Item) error
+}
+
+// GatewayConfig parameterizes a Gateway.
+type GatewayConfig struct {
+	// Node is the fleet node the gateway publishes through — an ordinary
+	// WhatsUp publisher; the mesh cannot tell a gateway from a user.
+	Node news.NodeID
+	// Sources are polled in order every Interval.
+	Sources []Source
+	// Interval is the poll period (default 30 s, the paper's gossip period).
+	Interval time.Duration
+	// Catalog is the ingestion ledger to dedupe against and record into.
+	// Nil means a fresh private one.
+	Catalog *Catalog
+	// OnError, if set, observes per-source fetch errors and per-item publish
+	// errors as the poll loop encounters them (Run keeps going either way).
+	OnError func(err error)
+}
+
+// Gateway bridges sources into the mesh: each poll fetches every source,
+// drops items already cataloged (content-hash deduplication — a feed
+// re-serving yesterday's articles publishes nothing), publishes the fresh
+// remainder through the configured fleet node, and catalogs what was
+// accepted. Items whose publish failed (the node was mid-churn, say) stay
+// un-cataloged and retry on the next poll.
+type Gateway struct {
+	cfg       GatewayConfig
+	pub       Publisher
+	catalog   *Catalog
+	published atomic.Int64
+}
+
+// NewGateway builds a gateway over the given publisher.
+func NewGateway(cfg GatewayConfig, pub Publisher) *Gateway {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 30 * time.Second
+	}
+	if cfg.Catalog == nil {
+		cfg.Catalog = NewCatalog()
+	}
+	return &Gateway{cfg: cfg, pub: pub, catalog: cfg.Catalog}
+}
+
+// Catalog returns the gateway's ingestion ledger.
+func (g *Gateway) Catalog() *Catalog { return g.catalog }
+
+// Published returns how many items the gateway has injected into the mesh.
+func (g *Gateway) Published() int64 { return g.published.Load() }
+
+// PollOnce runs one ingestion round: fetch every source, publish and catalog
+// the items not seen before. It returns how many items were published; the
+// error joins every per-source and per-item failure of the round (a partial
+// round still publishes what it can).
+func (g *Gateway) PollOnce(ctx context.Context) (int, error) {
+	var errs []error
+	fail := func(err error) {
+		errs = append(errs, err)
+		if g.cfg.OnError != nil {
+			g.cfg.OnError(err)
+		}
+	}
+	n := 0
+	for _, src := range g.cfg.Sources {
+		if err := ctx.Err(); err != nil {
+			fail(err)
+			break
+		}
+		items, err := src.Fetch(ctx)
+		if err != nil {
+			fail(err)
+			continue
+		}
+		now := time.Now()
+		for _, it := range items {
+			if g.catalog.Has(it.ID) {
+				continue
+			}
+			it.Source = g.cfg.Node
+			if err := g.pub.Publish(g.cfg.Node, it); err != nil {
+				fail(fmt.Errorf("source: publishing %s (%q): %w", it.ID, it.Title, err))
+				continue
+			}
+			g.catalog.Add(CatalogEntry{Item: it, SourceName: src.Name(), FetchedAt: now})
+			g.published.Add(1)
+			n++
+		}
+	}
+	return n, errors.Join(errs...)
+}
+
+// Run polls immediately and then every Interval until ctx is cancelled.
+// Poll errors are reported through OnError and do not stop the loop; Run
+// returns ctx.Err() once cancelled.
+func (g *Gateway) Run(ctx context.Context) error {
+	ticker := time.NewTicker(g.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		g.PollOnce(ctx) // errors already routed through OnError
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}

@@ -1,0 +1,293 @@
+package source
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"whatsup/internal/news"
+)
+
+func TestParseFeedRSS(t *testing.T) {
+	data, err := os.ReadFile("testdata/feed.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	items, err := ParseFeed(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 6 {
+		t.Fatalf("parsed %d items, want 6", len(items))
+	}
+	first := items[0]
+	if first.Title != "Gossip protocols reach the newsroom" {
+		t.Fatalf("unexpected first title %q", first.Title)
+	}
+	if first.Link != "https://fixture.example/wire/gossip-newsroom" {
+		t.Fatalf("unexpected first link %q", first.Link)
+	}
+	if want := news.Hash(first.Title, first.Description, first.Link); first.ID != want {
+		t.Fatalf("item ID %s is not the content hash %s", first.ID, want)
+	}
+	want := time.Date(2013, 2, 4, 9, 0, 0, 0, time.UTC).UnixMilli()
+	if first.Created != want {
+		t.Fatalf("Created = %d, want %d", first.Created, want)
+	}
+	if first.Source != news.NoNode {
+		t.Fatalf("Source = %d, want NoNode", first.Source)
+	}
+	// Parsing the same bytes twice yields the same identities: the dedupe
+	// invariant the gateway relies on.
+	again, err := ParseFeed(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range items {
+		if items[i].ID != again[i].ID {
+			t.Fatalf("item %d ID unstable across parses", i)
+		}
+	}
+}
+
+func TestParseFeedAtom(t *testing.T) {
+	const doc = `<?xml version="1.0"?>
+<feed xmlns="http://www.w3.org/2005/Atom">
+  <title>Atom Fixture</title>
+  <entry>
+    <title>First entry</title>
+    <summary>A summary.</summary>
+    <link rel="alternate" href="https://example.org/1"/>
+    <published>2013-02-04T09:00:00Z</published>
+  </entry>
+  <entry>
+    <title>Second entry</title>
+    <content>Full content, no summary.</content>
+    <link href="https://example.org/2"/>
+    <updated>2013-02-05T10:00:00Z</updated>
+  </entry>
+</feed>`
+	items, err := ParseFeed([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 2 {
+		t.Fatalf("parsed %d items, want 2", len(items))
+	}
+	if items[0].Link != "https://example.org/1" {
+		t.Fatalf("unexpected link %q", items[0].Link)
+	}
+	if items[1].Description != "Full content, no summary." {
+		t.Fatalf("content fallback not used: %q", items[1].Description)
+	}
+	if items[0].Created == 0 || items[1].Created == 0 {
+		t.Fatal("atom timestamps not parsed")
+	}
+}
+
+func TestParseFeedHostile(t *testing.T) {
+	// Truncated or malformed XML must error, never panic.
+	for _, bad := range []string{
+		"",
+		"<rss><channel><item><title>cut off",
+		"<rss version=\"2.0\"><channel><item></rss>",
+		string([]byte{0xff, 0xfe, 0x00}),
+	} {
+		if _, err := ParseFeed([]byte(bad)); err == nil {
+			t.Fatalf("ParseFeed(%q) succeeded, want error", bad)
+		}
+	}
+	// Empty-but-valid documents parse to zero items.
+	items, err := ParseFeed([]byte(`<rss version="2.0"><channel></channel></rss>`))
+	if err != nil || len(items) != 0 {
+		t.Fatalf("empty channel: items=%d err=%v", len(items), err)
+	}
+	// Oversized fields are truncated before hashing; entries with no title
+	// and no link are dropped.
+	huge := strings.Repeat("x", 3*maxFieldBytes)
+	doc := `<rss version="2.0"><channel>` +
+		`<item><title>` + huge + `</title></item>` +
+		`<item><description>no title or link</description></item>` +
+		`</channel></rss>`
+	items, err = ParseFeed([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 1 {
+		t.Fatalf("parsed %d items, want 1 (empty entry dropped)", len(items))
+	}
+	if len(items[0].Title) > maxFieldBytes {
+		t.Fatalf("title not truncated: %d bytes", len(items[0].Title))
+	}
+}
+
+func TestRegistryAndSpecs(t *testing.T) {
+	src, err := New("file:testdata/feed.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Name() != "file:testdata/feed.xml" {
+		t.Fatalf("unexpected name %q", src.Name())
+	}
+	items, err := src.Fetch(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 6 {
+		t.Fatalf("file source fetched %d items, want 6", len(items))
+	}
+	if _, err := New("bogus:whatever"); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if _, err := New("no-colon"); err == nil {
+		t.Fatal("spec without colon accepted")
+	}
+	if _, err := New("file:/does/not/exist"); err != nil {
+		t.Fatalf("file factory should defer missing-file errors to Fetch: %v", err)
+	}
+}
+
+func TestFeedSourceHTTP(t *testing.T) {
+	data, err := os.ReadFile("testdata/feed.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(data)
+	}))
+	defer srv.Close()
+	f := NewFeed(srv.URL)
+	f.SetClient(srv.Client())
+	items, err := f.Fetch(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 6 {
+		t.Fatalf("fetched %d items, want 6", len(items))
+	}
+
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusServiceUnavailable)
+	}))
+	defer bad.Close()
+	fb := NewFeed(bad.URL)
+	fb.SetClient(bad.Client())
+	if _, err := fb.Fetch(context.Background()); err == nil {
+		t.Fatal("non-2xx status accepted")
+	}
+}
+
+// stubPublisher records publishes and can fail selectively.
+type stubPublisher struct {
+	items []news.Item
+	fail  func(item news.Item) error
+}
+
+func (s *stubPublisher) Publish(id news.NodeID, item news.Item) error {
+	if s.fail != nil {
+		if err := s.fail(item); err != nil {
+			return err
+		}
+	}
+	s.items = append(s.items, item)
+	return nil
+}
+
+func TestGatewayDedupes(t *testing.T) {
+	pub := &stubPublisher{}
+	g := NewGateway(GatewayConfig{
+		Node:    7,
+		Sources: []Source{NewFile("testdata/feed.xml")},
+	}, pub)
+	n, err := g.PollOnce(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 6 || len(pub.items) != 6 {
+		t.Fatalf("first poll published %d (%d recorded), want 6", n, len(pub.items))
+	}
+	for _, it := range pub.items {
+		if it.Source != 7 {
+			t.Fatalf("published item carries source %d, want gateway node 7", it.Source)
+		}
+	}
+	n, err = g.PollOnce(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 || len(pub.items) != 6 {
+		t.Fatalf("second poll published %d, want 0 (dedupe)", n)
+	}
+	if g.Catalog().Len() != 6 || g.Published() != 6 {
+		t.Fatalf("catalog=%d published=%d, want 6/6", g.Catalog().Len(), g.Published())
+	}
+	if _, ok := g.Catalog().Get(pub.items[0].ID); !ok {
+		t.Fatal("published item missing from catalog")
+	}
+}
+
+func TestGatewayRetriesFailedPublishes(t *testing.T) {
+	bounce := errors.New("node mid-churn")
+	calls := 0
+	pub := &stubPublisher{fail: func(item news.Item) error {
+		calls++
+		if calls <= 2 {
+			return bounce
+		}
+		return nil
+	}}
+	g := NewGateway(GatewayConfig{
+		Node:    0,
+		Sources: []Source{NewFile("testdata/feed.xml")},
+	}, pub)
+	n, err := g.PollOnce(context.Background())
+	if !errors.Is(err, bounce) {
+		t.Fatalf("poll error %v does not wrap the publish failure", err)
+	}
+	if n != 4 {
+		t.Fatalf("first poll published %d, want 4 (2 bounced)", n)
+	}
+	// The bounced items were not cataloged, so the next poll retries exactly
+	// those two.
+	n, err = g.PollOnce(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || g.Catalog().Len() != 6 {
+		t.Fatalf("retry poll published %d (catalog %d), want 2 (6)", n, g.Catalog().Len())
+	}
+}
+
+func TestGatewayRunStopsOnCancel(t *testing.T) {
+	pub := &stubPublisher{}
+	g := NewGateway(GatewayConfig{
+		Node:     0,
+		Sources:  []Source{NewFile("testdata/feed.xml")},
+		Interval: time.Millisecond,
+	}, pub)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- g.Run(ctx) }()
+	deadline := time.After(5 * time.Second)
+	for g.Published() < 6 {
+		select {
+		case <-deadline:
+			t.Fatal("gateway never published the fixture")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Run returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not stop on cancel")
+	}
+}

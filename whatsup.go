@@ -12,16 +12,23 @@
 //   - the three evaluation workloads of the paper (synthetic
 //     Arxiv-community, Digg-like, survey-like) and all competitor systems;
 //   - experiment drivers regenerating every table and figure of the paper's
-//     evaluation (see internal/experiments and cmd/whatsup-bench).
+//     evaluation (see internal/experiments and cmd/whatsup-bench);
+//   - a serving stack in the shape of the paper's PlanetLab prototype: an
+//     ingestion gateway polling RSS/Atom or fixture sources into the gossip
+//     mesh, and a JSON HTTP API exposing per-node feeds, feedback and fleet
+//     stats (see cmd/whatsup-serve).
 //
 // The root package is a thin façade over the internal packages for
-// programmatic use; see examples/ for runnable entry points.
+// programmatic use, organized in sections: news items and nodes, workloads,
+// the deterministic simulation, churn schedules, the live runtime, and
+// serving. See examples/ for runnable entry points.
 package whatsup
 
 import (
 	"math/rand"
 	"time"
 
+	"whatsup/internal/api"
 	"whatsup/internal/core"
 	"whatsup/internal/dataset"
 	"whatsup/internal/live"
@@ -29,10 +36,14 @@ import (
 	"whatsup/internal/news"
 	"whatsup/internal/profile"
 	"whatsup/internal/sim"
+	"whatsup/internal/source"
 )
 
-// Re-exported identifiers so applications can use the library without
-// touching internal packages.
+// ── News items and nodes ────────────────────────────────────────────────
+//
+// The protocol vocabulary: identifiers, items, the WhatsUp node itself and
+// the interfaces it consumes.
+
 type (
 	// NodeID identifies a peer.
 	NodeID = news.NodeID
@@ -50,44 +61,8 @@ type (
 	OpinionFunc = core.OpinionFunc
 	// Delivery reports one item reception.
 	Delivery = core.Delivery
-	// Collector accumulates evaluation metrics.
-	Collector = metrics.Collector
-	// Dataset is an evaluation workload.
-	Dataset = dataset.Dataset
 	// Profile is an interest profile.
 	Profile = profile.Profile
-	// ChurnSchedule declares membership events (joins, leaves, crashes,
-	// rejoins) by cycle; see NewSimulation and sim.ChurnSchedule.
-	ChurnSchedule = sim.ChurnSchedule
-	// ChurnEvent is one scheduled membership transition.
-	ChurnEvent = sim.ChurnEvent
-	// MemberState is a peer's lifecycle state (Online, Offline, Departed).
-	MemberState = sim.MemberState
-)
-
-// Churn event kinds and lifecycle states, re-exported for schedule building.
-const (
-	ChurnJoin   = sim.ChurnJoin
-	ChurnLeave  = sim.ChurnLeave
-	ChurnCrash  = sim.ChurnCrash
-	ChurnRejoin = sim.ChurnRejoin
-
-	Online   = sim.Online
-	Offline  = sim.Offline
-	Departed = sim.Departed
-)
-
-// FlashCrowd builds a flash-crowd join schedule (see sim.FlashCrowd).
-func FlashCrowd(start int64, firstID NodeID, joiners, perCycle int) ChurnSchedule {
-	return sim.FlashCrowd(start, firstID, joiners, perCycle)
-}
-
-// Metrics for clustering and orientation.
-var (
-	// WUPMetric is the paper's asymmetric similarity metric.
-	WUPMetric profile.Metric = profile.WUP{}
-	// CosineMetric is classical cosine similarity.
-	CosineMetric profile.Metric = profile.Cosine{}
 )
 
 // NewItem builds a news item, deriving its identifier from the content.
@@ -101,7 +76,13 @@ func NewNode(id NodeID, cfg Config, opinions Opinions, seed int64) *Node {
 	return core.NewNode(id, "", cfg, opinions, rand.New(rand.NewSource(seed)))
 }
 
-// Workload constructors at a given scale (1.0 = Table I sizes).
+// ── Workloads ───────────────────────────────────────────────────────────
+//
+// Constructors for the paper's three evaluation traces at a given scale
+// (1.0 = Table I sizes), plus the blank workload of a serving fleet.
+
+// Dataset is an evaluation workload.
+type Dataset = dataset.Dataset
 
 // SyntheticDataset generates the Arxiv-style community workload.
 func SyntheticDataset(seed int64, scale float64) *Dataset {
@@ -117,6 +98,21 @@ func DiggDataset(seed int64, scale float64) *Dataset {
 func SurveyDataset(seed int64, scale float64) *Dataset {
 	return dataset.Survey(dataset.SurveyConfig{Seed: seed, Scale: scale})
 }
+
+// BlankDataset builds a workload with users but no trace items: the shape of
+// a serving fleet, whose items arrive from ingestion sources while it runs.
+// Pair it with LiveRunnerConfig.Opinions for the population's interest model.
+func BlankDataset(users int) *Dataset {
+	return dataset.Blank(users, 0)
+}
+
+// ── Deterministic simulation ────────────────────────────────────────────
+//
+// One WhatsUp node per workload user under the cycle engine; results are
+// bit-identical for any worker count.
+
+// Collector accumulates evaluation metrics.
+type Collector = metrics.Collector
 
 // Simulation couples a workload with a fleet of WhatsUp nodes under the
 // deterministic cycle engine.
@@ -263,6 +259,70 @@ func (s *Simulation) Results() Results {
 	}
 }
 
+// ── Churn schedules ─────────────────────────────────────────────────────
+//
+// Membership dynamics shared by the simulation and the live runtime: typed
+// schedules of joins, leaves, crashes and rejoins, applied at cycle
+// boundaries.
+
+type (
+	// ChurnSchedule declares membership events (joins, leaves, crashes,
+	// rejoins) by cycle; see NewSimulation and sim.ChurnSchedule.
+	ChurnSchedule = sim.ChurnSchedule
+	// ChurnEvent is one scheduled membership transition.
+	ChurnEvent = sim.ChurnEvent
+	// MemberState is a peer's lifecycle state (Online, Offline, Departed).
+	MemberState = sim.MemberState
+)
+
+// Churn event kinds and lifecycle states, re-exported for schedule building.
+const (
+	ChurnJoin   = sim.ChurnJoin
+	ChurnLeave  = sim.ChurnLeave
+	ChurnCrash  = sim.ChurnCrash
+	ChurnRejoin = sim.ChurnRejoin
+
+	Online   = sim.Online
+	Offline  = sim.Offline
+	Departed = sim.Departed
+)
+
+// FlashCrowd builds a flash-crowd join schedule (see sim.FlashCrowd).
+func FlashCrowd(start int64, firstID NodeID, joiners, perCycle int) ChurnSchedule {
+	return sim.FlashCrowd(start, firstID, joiners, perCycle)
+}
+
+// ── Live runtime ────────────────────────────────────────────────────────
+//
+// Concurrent goroutine-per-node fleets over real transports. RunLive is the
+// one-shot batch entry point; NewLiveRunner exposes the runner itself, whose
+// mid-run surface (Feed, Feedback, Publish, Snapshot, Stats) backs the
+// serving stack below.
+
+type (
+	// LiveRunner drives a concurrent fleet of WhatsUp nodes over a
+	// transport. While the fleet runs, its Feed/Feedback/Publish/Snapshot/
+	// Stats methods are safe to call from any goroutine: requests are
+	// serialized onto each node's control channel between gossip steps.
+	LiveRunner = live.Runner
+	// LiveRunnerConfig parameterizes NewLiveRunner (cycles, transports,
+	// churn, runtime opinions, per-node feed retention).
+	LiveRunnerConfig = live.Config
+	// Network is a live transport (NewChannelNet for in-memory emulation,
+	// live.NewTCPNet for loopback sockets).
+	Network = live.Network
+)
+
+// NewLiveRunner builds a live fleet over the workload and transport.
+func NewLiveRunner(cfg LiveRunnerConfig, ds *Dataset, network Network) *LiveRunner {
+	return live.NewRunner(cfg, ds, network)
+}
+
+// NewChannelNet builds the in-memory lossy transport (ModelNet-style).
+func NewChannelNet(seed int64, lossRate float64, latency time.Duration) Network {
+	return live.NewChannelNet(seed, lossRate, latency)
+}
+
 // LiveConfig parameterizes a concurrent goroutine-per-node run.
 type LiveConfig struct {
 	// Node holds the per-node protocol parameters.
@@ -314,4 +374,70 @@ func RunLive(ds *Dataset, cfg LiveConfig) *Collector {
 	}, ds, network)
 	r.Run()
 	return r.Collector()
+}
+
+// ── Serving: ingestion sources and the HTTP API ─────────────────────────
+//
+// The deployable shape of the system (cmd/whatsup-serve): Sources feed a
+// Gateway, the Gateway publishes into a LiveRunner's gossip mesh, and the
+// APIServer exposes per-node feeds, feedback and fleet stats over JSON HTTP.
+
+type (
+	// Source is one news provider (NewFeedSource for RSS/Atom over HTTP,
+	// NewFileSource for fixture files, NewSource for "kind:arg" specs).
+	Source = source.Source
+	// Catalog records every item a gateway has published, for /v1/items.
+	Catalog = source.Catalog
+	// CatalogEntry is one ingested item with its provenance.
+	CatalogEntry = source.CatalogEntry
+	// Gateway polls Sources and publishes deduplicated items into the mesh.
+	Gateway = source.Gateway
+	// GatewayConfig parameterizes NewGateway.
+	GatewayConfig = source.GatewayConfig
+	// APIServer is the JSON HTTP handler over a running fleet.
+	APIServer = api.Server
+
+	// FeedEntry is one ranked feed recommendation (GET /v1/nodes/{id}/feed).
+	FeedEntry = live.FeedEntry
+	// NodeSnapshot is one node's point-in-time state (GET /v1/nodes/{id}).
+	NodeSnapshot = live.NodeSnapshot
+	// FleetStats is the fleet-wide metrics snapshot (GET /v1/stats).
+	FleetStats = live.FleetStats
+	// Member is one fleet member with its lifecycle state.
+	Member = live.Member
+)
+
+// Sentinel errors of the live serving surface.
+var (
+	// ErrUnknownNode reports an id outside the fleet.
+	ErrUnknownNode = live.ErrUnknownNode
+	// ErrNodeOffline reports a node currently crashed or departed.
+	ErrNodeOffline = live.ErrNodeOffline
+	// ErrNotRunning reports an operation that needs the fleet clock live.
+	ErrNotRunning = live.ErrNotRunning
+)
+
+// NewSource builds a source from a "kind:argument" spec ("rss:URL" or
+// "file:PATH").
+func NewSource(spec string) (Source, error) { return source.New(spec) }
+
+// NewFeedSource builds an RSS/Atom source polling the given URL.
+func NewFeedSource(url string) Source { return source.NewFeed(url) }
+
+// NewFileSource builds a fixture source reading an RSS/Atom file from disk.
+func NewFileSource(path string) Source { return source.NewFile(path) }
+
+// NewGateway builds an ingestion gateway publishing through the given fleet
+// node of the runner.
+func NewGateway(cfg GatewayConfig, fleet *LiveRunner) *Gateway {
+	return source.NewGateway(cfg, fleet)
+}
+
+// NewAPIServer builds the JSON HTTP handler over a running fleet. The
+// catalog resolves /v1/items/{id}; nil serves the fleet routes only.
+func NewAPIServer(fleet *LiveRunner, catalog *Catalog) *APIServer {
+	if catalog == nil {
+		return api.NewServer(fleet, nil)
+	}
+	return api.NewServer(fleet, catalog)
 }
