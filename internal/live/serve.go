@@ -2,6 +2,7 @@ package live
 
 import (
 	"errors"
+	"runtime"
 	"sort"
 
 	"whatsup/internal/news"
@@ -15,8 +16,9 @@ import (
 // the control channel — the request runs on the node's own goroutine,
 // serialized with its protocol handling, so no locks touch the gossip hot
 // path. Offline (and post-Run) nodes are owned by the controller, which
-// publishes every mutation under the membership lock; reads then go direct
-// under its read side.
+// publishes every mutation under the membership lock; serving reads then go
+// direct under its read side, and serving mutations (Feedback) under its
+// write side.
 
 var (
 	// ErrUnknownNode reports an id the runner has never registered.
@@ -87,30 +89,63 @@ type FleetStats struct {
 // withNode runs fn against the node's protocol state with the appropriate
 // serialization: on the node's own goroutine through the control channel
 // while it is live, directly under the membership lock once the controller
-// owns the node (offline, departed, or after Run). fn must not call back
-// into the runner's locked accessors.
-func (r *Runner) withNode(id news.NodeID, fn func(ln *liveNode, cycle int64)) error {
-	r.mu.RLock()
-	ln := r.fleet[id]
-	st := r.states[id]
-	running := r.running
-	r.mu.RUnlock()
-	if ln == nil {
-		return ErrUnknownNode
-	}
-	if running && st == sim.Online {
-		if ln.exec(fn) {
-			return nil
+// owns the node (offline, departed, or after Run) — the read side for pure
+// reads, the write side when mutate is set, so two direct mutations (two
+// Feedback calls on an offline node, say) serialize against each other as
+// well as against the controller. fn must not call back into the runner's
+// locked accessors.
+func (r *Runner) withNode(id news.NodeID, mutate bool, fn func(ln *liveNode, cycle int64)) error {
+	for {
+		r.mu.RLock()
+		ln := r.fleet[id]
+		st := r.states[id]
+		running := r.running
+		r.mu.RUnlock()
+		if ln == nil {
+			return ErrUnknownNode
 		}
-		// The goroutine exited between the state read and the send (the
-		// controller is mid-stop). Fall through to the direct path: the
-		// membership lock serializes it against the controller's teardown.
+		if running && st == sim.Online {
+			if ln.exec(fn) {
+				return nil
+			}
+			// The goroutine exited between the state read and the send: the
+			// controller is mid-teardown and still owns the node lock-free
+			// (departure notices run before the state wipe publishes under
+			// mu), so touching the node now would race it. Yield until the
+			// lifecycle transition lands — the state stops reading Online —
+			// or a rejoin revives the goroutine and exec succeeds.
+			runtime.Gosched()
+			continue
+		}
+		// Controller-owned path: the node's goroutine is not running, and the
+		// membership lock serializes fn against the controller's lifecycle
+		// writes (Leave/Crash wipe, Rejoin re-seed) and, on the write side,
+		// against other direct mutations.
+		if mutate {
+			r.mu.Lock()
+		} else {
+			r.mu.RLock()
+		}
+		// Re-check under the lock: a rejoin may have brought the node online
+		// between the two acquisitions, in which case its goroutine owns the
+		// protocol state again and fn must go through the control channel.
+		if r.running && r.states[id] == sim.Online {
+			if mutate {
+				r.mu.Unlock()
+			} else {
+				r.mu.RUnlock()
+			}
+			continue
+		}
+		// Re-fetch: a past rejoin may have swapped the liveNode.
+		fn(r.fleet[id], r.cycle.Load())
+		if mutate {
+			r.mu.Unlock()
+		} else {
+			r.mu.RUnlock()
+		}
+		return nil
 	}
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	// Re-fetch under the lock: a rejoin may have swapped the liveNode.
-	fn(r.fleet[id], r.cycle.Load())
-	return nil
 }
 
 // Feed returns the node's current feed, ranked best-first: descending
@@ -119,7 +154,7 @@ func (r *Runner) withNode(id news.NodeID, fn func(ln *liveNode, cycle int64)) er
 // retained, like a disconnected client rendering its cache).
 func (r *Runner) Feed(id news.NodeID) ([]FeedEntry, error) {
 	var out []FeedEntry
-	err := r.withNode(id, func(ln *liveNode, cycle int64) {
+	err := r.withNode(id, false, func(ln *liveNode, cycle int64) {
 		out = ln.feedEntries()
 	})
 	return out, err
@@ -172,7 +207,7 @@ func (ln *liveNode) feedEntries() []FeedEntry {
 // Works in every lifecycle state; an offline node's feedback lands in its
 // retained profile, surviving into a rejoin.
 func (r *Runner) Feedback(id news.NodeID, item news.ID, liked bool) error {
-	return r.withNode(id, func(ln *liveNode, cycle int64) {
+	return r.withNode(id, true, func(ln *liveNode, cycle int64) {
 		score := 0.0
 		if liked {
 			score = 1
@@ -225,7 +260,7 @@ func (r *Runner) Publish(id news.NodeID, item news.Item) error {
 // controller-owned nodes it is read under the membership lock.
 func (r *Runner) Snapshot(id news.NodeID) (NodeSnapshot, error) {
 	var snap NodeSnapshot
-	err := r.withNode(id, func(ln *liveNode, cycle int64) {
+	err := r.withNode(id, false, func(ln *liveNode, cycle int64) {
 		n := ln.node
 		snap = NodeSnapshot{
 			ID:          n.ID(),

@@ -1,0 +1,79 @@
+package live
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"whatsup/internal/core"
+	"whatsup/internal/dataset"
+	"whatsup/internal/news"
+	"whatsup/internal/sim"
+)
+
+// TestServeOfflineConcurrency hammers the serving surface of a node that
+// flaps between online and offline while the fleet runs: concurrent
+// goroutines post feedback and read the feed and snapshot throughout every
+// lifecycle transition, then again after Run returns. Under -race this pins
+// withNode's controller-owned path — direct mutations must hold the write
+// lock (two concurrent Feedbacks on an offline node share its opinion map
+// and profile), and the rejoin TOCTOU re-check must route fn back through
+// the control channel once the node's goroutine owns the state again.
+func TestServeOfflineConcurrency(t *testing.T) {
+	const target = news.NodeID(2)
+	var schedule sim.ChurnSchedule
+	for c := int64(3); c < 33; c += 6 {
+		schedule.Add(c, sim.ChurnCrash, target)
+		schedule.Add(c+3, sim.ChurnRejoin, target)
+	}
+	r := NewRunner(Config{
+		Seed:         1,
+		Cycles:       36,
+		CycleLength:  3 * time.Millisecond,
+		NodeConfig:   core.Config{FLike: 4, RPSViewSize: 10, ProfileWindow: 25},
+		Churn:        schedule,
+		FeedCapacity: 8,
+	}, dataset.Blank(8, 36), NewChannelNet(7, 0, 0))
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		r.Run()
+	}()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if err := r.Feedback(target, news.ID(i), g%2 == 0); err != nil {
+					t.Errorf("feedback: %v", err)
+					return
+				}
+				if _, err := r.Feed(target); err != nil {
+					t.Errorf("feed: %v", err)
+					return
+				}
+				if _, err := r.Snapshot(target); err != nil {
+					t.Errorf("snapshot: %v", err)
+					return
+				}
+				runtime.Gosched()
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Post-Run the controller owns every node; the direct path still serves.
+	if err := r.Feedback(target, news.ID(1), true); err != nil {
+		t.Fatalf("post-run feedback: %v", err)
+	}
+	if _, err := r.Feed(target); err != nil {
+		t.Fatalf("post-run feed: %v", err)
+	}
+}

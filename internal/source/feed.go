@@ -126,10 +126,23 @@ func cleanField(s string) string {
 		return s
 	}
 	s = s[:maxFieldBytes]
-	for len(s) > 0 && !utf8.ValidString(s) {
-		s = s[:len(s)-1]
+	// The cut may have split a multi-byte rune; repair only the boundary.
+	// Invalid bytes deeper in the field pass through untouched, consistent
+	// with fields under the cap, which are never re-validated. Back up to
+	// the last rune start within one rune's width of the end; keep the tail
+	// only if it decodes as one complete rune.
+	start := len(s)
+	for start > 0 && len(s)-start < utf8.UTFMax && !utf8.RuneStart(s[start-1]) {
+		start--
 	}
-	return s
+	if start > 0 {
+		start--
+		r, size := utf8.DecodeRuneInString(s[start:])
+		if size == len(s)-start && (r != utf8.RuneError || size > 1) {
+			return s
+		}
+	}
+	return s[:start]
 }
 
 // atomHref picks the entry's alternate link (or the first link at all).

@@ -71,7 +71,9 @@ func (g *Gateway) PollOnce(ctx context.Context) (int, error) {
 	var errs []error
 	fail := func(err error) {
 		errs = append(errs, err)
-		if g.cfg.OnError != nil {
+		// A cancelled run makes every in-flight fetch fail with ctx's error;
+		// those are shutdown, not ingestion trouble, so spare the observer.
+		if g.cfg.OnError != nil && ctx.Err() == nil {
 			g.cfg.OnError(err)
 		}
 	}

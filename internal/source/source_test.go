@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 	"time"
+	"unicode/utf8"
 
 	"whatsup/internal/news"
 )
@@ -260,6 +261,75 @@ func TestGatewayRetriesFailedPublishes(t *testing.T) {
 	}
 	if n != 2 || g.Catalog().Len() != 6 {
 		t.Fatalf("retry poll published %d (catalog %d), want 2 (6)", n, g.Catalog().Len())
+	}
+}
+
+// TestCleanFieldTruncationBoundary pins cleanField's repair to the cut
+// point: a rune the cap splits is dropped, a rune ending exactly at the cap
+// survives, and invalid bytes elsewhere pass through on capped and
+// under-cap fields alike (a stray byte must not erase the whole field).
+func TestCleanFieldTruncationBoundary(t *testing.T) {
+	ascii := strings.Repeat("a", 2*maxFieldBytes)
+	if got := cleanField(ascii); len(got) != maxFieldBytes {
+		t.Fatalf("ascii truncated to %d bytes, want %d", len(got), maxFieldBytes)
+	}
+	// Invalid byte far from the cut: the field is truncated, not erased.
+	dirty := "\xff" + ascii
+	if got := cleanField(dirty); len(got) != maxFieldBytes || got[0] != 0xff {
+		t.Fatalf("dirty field mangled: len=%d first=%#x", len(got), got[0])
+	}
+	if got := cleanField("\xffabc"); got != "\xffabc" {
+		t.Fatalf("under-cap field rewritten to %q", got)
+	}
+	// A 2-byte rune split by the cap loses its dangling lead byte...
+	split2 := strings.Repeat("a", maxFieldBytes-1) + "é" + "tail"
+	if got := cleanField(split2); len(got) != maxFieldBytes-1 || !utf8.ValidString(got) {
+		t.Fatalf("split 2-byte rune: len=%d valid=%v", len(got), utf8.ValidString(got))
+	}
+	// ...as does a 3-byte rune cut after two of its bytes...
+	split3 := strings.Repeat("a", maxFieldBytes-2) + "€" + "tail"
+	if got := cleanField(split3); len(got) != maxFieldBytes-2 || !utf8.ValidString(got) {
+		t.Fatalf("split 3-byte rune: len=%d valid=%v", len(got), utf8.ValidString(got))
+	}
+	// ...but a rune ending exactly at the cap is kept whole.
+	exact := strings.Repeat("a", maxFieldBytes-2) + "é" + "tail"
+	if got := cleanField(exact); len(got) != maxFieldBytes || !strings.HasSuffix(got, "é") {
+		t.Fatalf("exact-fit rune dropped: len=%d", len(got))
+	}
+}
+
+// TestGatewayCancelledPollSkipsOnError pins the shutdown path: once the run
+// context is cancelled, poll failures still surface through PollOnce's error
+// but are not routed to OnError — cancelling whatsup-serve must not spray
+// spurious gateway errors.
+func TestGatewayCancelledPollSkipsOnError(t *testing.T) {
+	var observed []error
+	onErr := func(err error) { observed = append(observed, err) }
+	g := NewGateway(GatewayConfig{
+		Node:    0,
+		Sources: []Source{NewFile("testdata/feed.xml")},
+		OnError: onErr,
+	}, &stubPublisher{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	n, err := g.PollOnce(ctx)
+	if n != 0 || !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled poll: n=%d err=%v", n, err)
+	}
+	if len(observed) != 0 {
+		t.Fatalf("OnError observed %v during shutdown", observed)
+	}
+	// A live context still reports real trouble.
+	g = NewGateway(GatewayConfig{
+		Node:    0,
+		Sources: []Source{NewFile("testdata/does-not-exist.xml")},
+		OnError: onErr,
+	}, &stubPublisher{})
+	if _, err := g.PollOnce(context.Background()); err == nil {
+		t.Fatal("missing fixture must error")
+	}
+	if len(observed) != 1 {
+		t.Fatalf("OnError calls = %d, want 1", len(observed))
 	}
 }
 
