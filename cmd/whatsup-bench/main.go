@@ -33,7 +33,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("whatsup-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		runList       = fs.String("run", "all", "comma-separated experiments: table1,table2,table3,table4,table5,table6,fig3,fig4,fig5,fig6,fig7,fig8,fig9,fig10,fig11,ablations,live or 'all'; plus hotpath and churn (machine benchmarks + BENCH trajectories, never part of 'all')")
+		runList       = fs.String("run", "all", "comma-separated experiments: table1,table2,table3,table4,table5,table6,fig3,fig4,fig5,fig6,fig7,fig8,fig9,fig10,fig11,ablations,live or 'all'; plus hotpath, churn and adversarial (machine benchmarks + BENCH trajectories, never part of 'all')")
 		scale         = fs.Float64("scale", 0.5, "dataset scale (1.0 = paper sizes)")
 		seed          = fs.Int64("seed", 1, "experiment seed")
 		workers       = fs.Int("workers", 0, "parallel sweep points (0 = NumCPU)")
@@ -50,6 +50,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		churnRate     = fs.Float64("churn-rate", 0.20, "population fraction churning in the 'churn' scenario")
 		churnDepart   = fs.Bool("churn-departures", true, "enable graceful-departure notices in the 'churn' and 'live' scenarios")
 		churnRefill   = fs.Float64("churn-refill", 0.5, "anti-entropy view-refill watermark for the 'churn' and 'live' scenarios (0 = off)")
+		advOut        = fs.String("adversarial-out", "BENCH_adversarial.json", "trajectory file the 'adversarial' scenario appends its measurements to")
+		advPeers      = fs.Int("adversarial-peers", 600, "population of the 'adversarial' scenario")
+		advCycles     = fs.Int("adversarial-cycles", 40, "cycles of the 'adversarial' scenario")
+		advSpam       = fs.Float64("adversarial-spam", 0.10, "population fraction acting as spam publishers in the 'adversarial' scenario")
+		advPoison     = fs.Bool("adversarial-poison", true, "attackers also advertise poisoned profiles (sybil mode) in the 'adversarial' scenario")
+		advPartitionK = fs.Int("adversarial-partition-k", 2, "k-way network partition opening mid-run in the 'adversarial' scenario (0 = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -174,6 +180,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 		})
 	}
 
+	// The adversarial scenario runs only when explicitly selected: the
+	// four-cell WhatsUp-vs-Gossip resilience comparison (clean and attacked
+	// runs of each) under a hostile cohort and an optional mid-run partition,
+	// appended to its own trajectory.
+	var adversarialErr error
+	if selected["adversarial"] {
+		runExp("adversarial", func() fmt.Stringer {
+			r := experiments.AdversarialRun(experiments.AdversarialConfig{
+				Peers:         *advPeers,
+				Cycles:        *advCycles,
+				SpamFraction:  *advSpam,
+				Poison:        *advPoison,
+				PartitionK:    *advPartitionK,
+				EngineWorkers: *engineWorkers,
+			})
+			r.Label = *benchLabel
+			if err := appendTrajectoryEntry(*advOut, "whatsup-bench/adversarial/v1", r); err != nil {
+				adversarialErr = err
+				return stringer(r.String() + "\n  [trajectory write failed: " + err.Error() + "]")
+			}
+			return stringer(r.String() + "\n  [appended to " + *advOut + "]")
+		})
+	}
+
 	if ran == 0 {
 		fmt.Fprintf(stderr, "no experiment matched -run=%s\n", *runList)
 		return 2
@@ -188,6 +218,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if churnErr != nil {
 		fmt.Fprintf(stderr, "churn scenario failed: %v\n", churnErr)
+		return 2
+	}
+	if adversarialErr != nil {
+		fmt.Fprintf(stderr, "adversarial scenario failed: %v\n", adversarialErr)
 		return 2
 	}
 	return 0

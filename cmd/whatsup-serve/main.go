@@ -153,7 +153,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "whatsup-serve: %v\n", err)
 		return 1
 	}
-	httpSrv := &http.Server{Handler: api.NewServer(runner, gw.Catalog())}
+	httpSrv := &http.Server{
+		Handler: api.NewServer(runner, gw.Catalog()),
+		// The API faces the open network in a soak run: bound how long a
+		// client may dribble headers (slowloris) and how long one response
+		// may occupy a connection. Every payload is a small JSON document,
+		// so generous caps only cut off pathological peers.
+		ReadHeaderTimeout: 10 * time.Second,
+		WriteTimeout:      30 * time.Second,
+	}
 
 	fmt.Fprintf(stdout, "whatsup-serve: %d nodes, gossip every %v, %d source(s), API on http://%s\n",
 		*nodes, *cycleLength, len(sources), ln.Addr())

@@ -1,0 +1,52 @@
+package adversary
+
+import (
+	"testing"
+
+	"whatsup/internal/news"
+)
+
+func TestSpammerReactsOnlyToCohortItems(t *testing.T) {
+	s := &Spammer{Cohort: map[news.NodeID]bool{3: true}}
+	spam := news.Item{ID: 1, Source: 3}
+	ham := news.Item{ID: 2, Source: 7}
+	if !s.React(spam, false) {
+		t.Fatal("spammer must claim to like a fellow attacker's item")
+	}
+	if s.React(ham, false) {
+		t.Fatal("spammer must not inflate honest items")
+	}
+	if !s.React(ham, true) {
+		t.Fatal("spammer keeps the honest opinion on honest items")
+	}
+}
+
+func TestPoisonerAdvertisesClaims(t *testing.T) {
+	p := &Poisoner{ClaimLiked: []news.ID{10, 11, 12}}
+	// The fabricated profile carries every claim; the honest profile the
+	// node actually holds is never consulted.
+	prof := p.AdvertisedProfile(nil, 5)
+	if prof == nil || prof.Len() != 3 {
+		t.Fatalf("advertised profile has %v entries, want 3", prof)
+	}
+	for _, id := range p.ClaimLiked {
+		e, ok := prof.Get(id)
+		if !ok || e.Score != 1 {
+			t.Fatalf("claim %d missing or unliked in advertised profile", id)
+		}
+	}
+}
+
+func TestCohortTakesLeadingFraction(t *testing.T) {
+	ids := []news.NodeID{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	c := Cohort(ids, 0.25)
+	if len(c) != 2 {
+		t.Fatalf("cohort size %d, want 2", len(c))
+	}
+	if !c[0] || !c[1] {
+		t.Fatalf("cohort must be the leading ids, got %v", c)
+	}
+	if len(Cohort(ids, 0)) != 0 {
+		t.Fatal("zero fraction must yield an empty cohort")
+	}
+}

@@ -162,11 +162,19 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 	writeJSON(w, code, errorJSON{Error: msg})
 }
 
+// degradedRetryAfter is the Retry-After hint sent with 503s for a degraded
+// fleet: one gossip period of the paper's prototype — the soonest the mesh
+// could plausibly look different.
+const degradedRetryAfter = "30"
+
 // fleetError maps serving-surface sentinels onto HTTP statuses.
 func fleetError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, live.ErrUnknownNode):
 		writeError(w, http.StatusNotFound, err.Error())
+	case errors.Is(err, live.ErrDegraded):
+		w.Header().Set("Retry-After", degradedRetryAfter)
+		writeError(w, http.StatusServiceUnavailable, err.Error())
 	case errors.Is(err, live.ErrNodeOffline), errors.Is(err, live.ErrNotRunning):
 		writeError(w, http.StatusServiceUnavailable, err.Error())
 	default:

@@ -24,6 +24,7 @@ type stubFleet struct {
 		liked bool
 	}
 	feedbackErr error
+	feedErr     error
 }
 
 func (s *stubFleet) known(id news.NodeID) bool {
@@ -38,6 +39,9 @@ func (s *stubFleet) known(id news.NodeID) bool {
 func (s *stubFleet) Feed(id news.NodeID) ([]live.FeedEntry, error) {
 	if !s.known(id) {
 		return nil, live.ErrUnknownNode
+	}
+	if s.feedErr != nil {
+		return nil, s.feedErr
 	}
 	return s.feeds[id], nil
 }

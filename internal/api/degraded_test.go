@@ -1,0 +1,28 @@
+package api
+
+import (
+	"net/http"
+	"testing"
+
+	"whatsup/internal/live"
+)
+
+// TestFeedDegradedFleetIs503WithRetryAfter pins the degraded-mode contract:
+// when the fleet has lost its online majority, the feed route answers 503
+// with a Retry-After hint so clients back off for a gossip period instead of
+// hammering a mesh that cannot refresh their feeds.
+func TestFeedDegradedFleetIs503WithRetryAfter(t *testing.T) {
+	srv, fleet, _ := newTestServer(t)
+	fleet.feedErr = live.ErrDegraded
+	resp, err := http.Get(srv.URL + "/v1/nodes/1/feed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded feed: status %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != degradedRetryAfter {
+		t.Fatalf("degraded feed: Retry-After %q, want %q", got, degradedRetryAfter)
+	}
+}

@@ -29,6 +29,7 @@ type CF struct {
 	opinions core.Opinions
 	seen     map[news.ID]struct{}
 	window   int64
+	behavior core.Behavior // adversarial seam; nil = honest
 }
 
 // NewCF builds a decentralized CF peer keeping the k most similar
@@ -53,6 +54,19 @@ func NewCF(id news.NodeID, k, rpsViewSize int, window int64, metric profile.Metr
 		seen:     make(map[news.ID]struct{}),
 		window:   window,
 	}
+}
+
+// SetBehavior attaches (or, with nil, detaches) an adversarial behavior, so
+// attack scenarios run against the same baseline peers as against WhatsUp.
+func (c *CF) SetBehavior(b core.Behavior) { c.behavior = b }
+
+// AdvertisedProfile implements sim.ProfileAdvertiser: the profile gossiped
+// in this peer's overlay descriptors (poisoned when a behavior says so).
+func (c *CF) AdvertisedProfile(now int64) *profile.Profile {
+	if c.behavior != nil {
+		return c.behavior.AdvertisedProfile(c.user, now)
+	}
+	return c.user
 }
 
 // ID implements sim.Peer.
@@ -99,6 +113,9 @@ func (c *CF) Receive(msg core.ItemMessage, now int64) (core.Delivery, []core.Sen
 	}
 	c.seen[msg.Item.ID] = struct{}{}
 	liked := c.opinions.Likes(c.id, msg.Item.ID)
+	if c.behavior != nil {
+		liked = c.behavior.React(msg.Item, liked)
+	}
 	d.Liked = liked
 	if !liked {
 		c.user.Set(msg.Item.ID, msg.Item.Created, 0)

@@ -33,6 +33,7 @@ type Gossip struct {
 	opinions core.Opinions
 	rng      *rand.Rand
 	seen     map[news.ID]struct{}
+	behavior core.Behavior // adversarial seam; nil = honest
 }
 
 // NewGossip builds a homogeneous gossip peer with the given fanout and RPS
@@ -50,6 +51,19 @@ func NewGossip(id news.NodeID, fanout, rpsViewSize int, opinions core.Opinions, 
 		rng:      rng,
 		seen:     make(map[news.ID]struct{}),
 	}
+}
+
+// SetBehavior attaches (or, with nil, detaches) an adversarial behavior, so
+// attack scenarios run against the same baseline peers as against WhatsUp.
+func (g *Gossip) SetBehavior(b core.Behavior) { g.behavior = b }
+
+// AdvertisedProfile implements sim.ProfileAdvertiser: the profile gossiped
+// in this peer's overlay descriptors (poisoned when a behavior says so).
+func (g *Gossip) AdvertisedProfile(now int64) *profile.Profile {
+	if g.behavior != nil {
+		return g.behavior.AdvertisedProfile(g.user, now)
+	}
+	return g.user
 }
 
 // ID implements sim.Peer.
@@ -91,6 +105,9 @@ func (g *Gossip) Receive(msg core.ItemMessage, now int64) (core.Delivery, []core
 	}
 	g.seen[msg.Item.ID] = struct{}{}
 	liked := g.opinions.Likes(g.id, msg.Item.ID)
+	if g.behavior != nil {
+		liked = g.behavior.React(msg.Item, liked)
+	}
 	d.Liked = liked
 	score := 0.0
 	if liked {

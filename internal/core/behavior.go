@@ -1,0 +1,52 @@
+package core
+
+import (
+	"whatsup/internal/news"
+	"whatsup/internal/profile"
+)
+
+// Behavior is the adversarial seam of a node: three hooks placed exactly
+// where a node's actions reach the rest of the mesh, so hostile
+// implementations (internal/adversary: spam publishers, profile poisoners,
+// sybil cohorts) plug into the sim engine, the live runtime and the
+// baselines without forking any of them. A node without a behavior (the
+// default) is honest, and the hooks cost a single nil check on the hot
+// path — zero allocations, pinned by TestReceiveLikedAllocsPinned.
+//
+// Behaviors are consulted from the node's own goroutine/worker only; they
+// need no internal synchronization unless instances are shared across nodes
+// (the sybil attack shares one, so shared state must be read-only).
+type Behavior interface {
+	// AdvertisedProfile returns the profile the node gossips in its overlay
+	// descriptors in place of the honest user profile — the profile-poisoning
+	// hook. user is the node's real profile; honest implementations return it
+	// unchanged. Implementations must not mutate user.
+	AdvertisedProfile(user *profile.Profile, now int64) *profile.Profile
+	// React returns the node's reaction to an item it publishes or receives,
+	// given the honest opinion from the trace. Spam amplifiers return true
+	// for their cohort's items so BEEP fans them out at full fLIKE fanout.
+	React(item news.Item, honest bool) bool
+	// OutgoingItem rewrites an item message the moment before BEEP forwards
+	// it — the item-profile-poisoning hook. Honest implementations return msg
+	// unchanged.
+	OutgoingItem(msg ItemMessage) ItemMessage
+}
+
+// SetBehavior attaches (or, with nil, detaches) the node's behavior. Call
+// before the node starts participating; engines never synchronize this.
+func (n *Node) SetBehavior(b Behavior) { n.behavior = b }
+
+// Behavior returns the attached behavior (nil for an honest node).
+func (n *Node) Behavior() Behavior { return n.behavior }
+
+// AdvertisedProfile returns the profile this node advertises in gossip
+// descriptors: the user profile for honest nodes, the behavior's fabrication
+// otherwise. Engines build every outgoing descriptor from this instead of
+// UserProfile, which is what makes profile poisoning possible without
+// forking them.
+func (n *Node) AdvertisedProfile(now int64) *profile.Profile {
+	if n.behavior != nil {
+		return n.behavior.AdvertisedProfile(n.user, now)
+	}
+	return n.user
+}

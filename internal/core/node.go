@@ -23,6 +23,7 @@ type Node struct {
 	grave    overlay.Graveyard // departure tombstones shared by both layers
 	opinions Opinions
 	seen     map[news.ID]struct{} // SIR "infected or removed" set
+	behavior Behavior             // adversarial seam; nil = honest
 }
 
 // NewNode builds a WhatsUp node. addr is the transport address used by live
@@ -175,6 +176,9 @@ func (n *Node) Receive(msg ItemMessage, now int64) (Delivery, []Send) {
 	n.seen[msg.Item.ID] = struct{}{}
 
 	liked := n.opinions.Likes(n.id, msg.Item.ID)
+	if n.behavior != nil {
+		liked = n.behavior.React(msg.Item, liked)
+	}
 	d.Liked = liked
 	if liked {
 		// Lines 3-4: aggregate the user profile as it was *before* rating
@@ -200,6 +204,9 @@ func (n *Node) Receive(msg ItemMessage, now int64) (Delivery, []Send) {
 // similar to the *item profile*, while the dislike counter is below the TTL
 // (orientation towards potential likers, serendipity with fanout 1).
 func (n *Node) forward(msg ItemMessage, liked bool, now int64) []Send {
+	if n.behavior != nil {
+		msg = n.behavior.OutgoingItem(msg)
+	}
 	var targets []overlay.Descriptor
 	if !liked {
 		if msg.Dislikes >= n.cfg.DislikeTTL {

@@ -1,0 +1,418 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"whatsup/internal/adversary"
+	"whatsup/internal/baselines"
+	"whatsup/internal/core"
+	"whatsup/internal/faultnet"
+	"whatsup/internal/metrics"
+	"whatsup/internal/news"
+	"whatsup/internal/overlay"
+	"whatsup/internal/sim"
+)
+
+// The adversarial bench measures resilience: the same 4-community world is
+// run clean and under attack — a spam cohort amplifying its own
+// publications (optionally poisoning its advertised profiles too) while a
+// k-way network partition severs the fleet mid-run and heals — for WhatsUp
+// and for the homogeneous gossip baseline. The exhibit is the F1 *drop*
+// each protocol suffers under the identical attack: BEEP's opinion-driven
+// forwarding quarantines spam to single-copy dislike routing, while plain
+// gossip re-amplifies every item at full fanout, so its feeds flood.
+// `whatsup-bench -run adversarial` appends the measurement to the
+// BENCH_adversarial.json trajectory.
+
+// adversarialSpamBase is the item-id floor for spam publications, keeping
+// them disjoint from the honest schedule: ids at or above it interest
+// nobody per the ground truth.
+const adversarialSpamBase news.ID = 1 << 20
+
+// AdversarialConfig sizes the adversarial bench world.
+type AdversarialConfig struct {
+	// Peers is the population, attackers included (default 600).
+	Peers int
+	// Cycles is the run length (default 40).
+	Cycles int
+	// SpamFraction is the attacker share of the population (default 0.10).
+	SpamFraction float64
+	// SpamPerCycle is the spam publication rate, on top of the 6 honest
+	// items per cycle (default 6: a flood matching the honest rate).
+	SpamPerCycle int
+	// Poison makes the cohort sybils: besides amplifying spam they advertise
+	// fabricated profiles claiming every honest item, pulling honest WUP
+	// views towards the cohort (measured as PoisoningDrift).
+	Poison bool
+	// PartitionK, when ≥ 2, splits the fleet into k groups with all
+	// cross-group links cut from PartitionStart until PartitionHeal
+	// (defaults: cycles/4 and cycles/2), exercising partition-and-heal
+	// under attack.
+	PartitionK     int
+	PartitionStart int64
+	PartitionHeal  int64
+	// EngineWorkers is the per-engine worker pool (0 = serial). Results are
+	// bit-identical for any value.
+	EngineWorkers int
+}
+
+func (c AdversarialConfig) withDefaults() AdversarialConfig {
+	if c.Peers <= 0 {
+		c.Peers = 600
+	}
+	if c.Cycles <= 0 {
+		c.Cycles = 40
+	}
+	if c.SpamFraction <= 0 {
+		c.SpamFraction = 0.10
+	}
+	if c.SpamPerCycle <= 0 {
+		c.SpamPerCycle = 6
+	}
+	if c.PartitionK >= 2 {
+		if c.PartitionStart <= 0 {
+			c.PartitionStart = int64(c.Cycles / 4)
+		}
+		if c.PartitionHeal <= c.PartitionStart {
+			c.PartitionHeal = int64(c.Cycles / 2)
+		}
+	}
+	return c
+}
+
+// adversarialPoint is one protocol×scenario cell of the comparison.
+type adversarialPoint struct {
+	col      *metrics.Collector
+	adv      metrics.AdversaryStats
+	timeline []metrics.ChurnSample
+	spam     int     // spam items published
+	honest   int     // honest node count
+	honestF1 float64 // delivery-weighted F1 over honest feeds
+}
+
+// honestMicroF1 is the score the damage comparison uses: precision and
+// recall weighted by deliveries into honest (non-attacker) feeds, so every
+// spam copy that lands costs precision in proportion to the attention it
+// wastes. The per-item macro F1 would weight a spam item that trickled to
+// five nodes the same as one that flooded the fleet, flattering the flooded
+// protocol.
+func honestMicroF1(col *metrics.Collector) float64 {
+	var received, liked, interested int
+	for _, id := range col.NodeIDs() {
+		if col.CohortOf(id) == metrics.CohortAttacker {
+			continue
+		}
+		ns := col.Node(id)
+		received += ns.Received
+		liked += ns.ReceivedLiked
+		interested += ns.Interested
+	}
+	if received == 0 || interested == 0 {
+		return 0
+	}
+	p := float64(liked) / float64(received)
+	r := float64(liked) / float64(interested)
+	return metrics.F1Of(p, r)
+}
+
+// runAdversarialPoint builds and runs the world once. The honest workload,
+// seeds and cohort membership are identical across cells, so the clean and
+// attacked runs of each protocol differ only by the attack itself.
+func runAdversarialPoint(cfg AdversarialConfig, alg Algorithm, attacked bool) adversarialPoint {
+	const itemsPerCycle = 6
+	ids := make([]news.NodeID, cfg.Peers)
+	for i := range ids {
+		ids[i] = news.NodeID(i)
+	}
+	attackers := adversary.Cohort(ids, cfg.SpamFraction)
+	attackerIDs := ids[:len(attackers)]
+	honestIDs := ids[len(attackers):]
+
+	opinions := core.OpinionFunc(func(node news.NodeID, item news.ID) bool {
+		if item >= adversarialSpamBase {
+			return false // ground truth: spam interests nobody
+		}
+		return int(node)%4 == int(item)%4
+	})
+
+	// One shared behavior instance for the whole cohort (the sybil pattern);
+	// read-only after construction.
+	var hostile core.Behavior
+	if attacked {
+		spammer := adversary.Spammer{Cohort: attackers}
+		if cfg.Poison {
+			claim := make([]news.ID, 0, cfg.Cycles*itemsPerCycle)
+			for c := 1; c <= cfg.Cycles; c++ {
+				for k := 0; k < itemsPerCycle; k++ {
+					claim = append(claim, news.ID(c*itemsPerCycle+k))
+				}
+			}
+			hostile = &adversary.Sybil{Spammer: spammer, Poison: adversary.Poisoner{ClaimLiked: claim}}
+		} else {
+			hostile = &spammer
+		}
+	}
+
+	nodeCfg := core.Config{FLike: 6, RPSViewSize: 20}
+	peers := make([]sim.Peer, cfg.Peers)
+	for i := range peers {
+		id := ids[i]
+		rng := nodeRNG(1, i)
+		if alg == PlainGossip {
+			g := baselines.NewGossip(id, 6, 20, opinions, rng)
+			if hostile != nil && attackers[id] {
+				g.SetBehavior(hostile)
+			}
+			peers[i] = g
+		} else {
+			n := core.NewNode(id, "", nodeCfg, opinions, rng)
+			if hostile != nil && attackers[id] {
+				n.SetBehavior(hostile)
+			}
+			peers[i] = n
+		}
+	}
+
+	col := metrics.NewCollector()
+	pubs := make([]sim.Publication, 0, cfg.Cycles*(itemsPerCycle+cfg.SpamPerCycle))
+	for c := 1; c <= cfg.Cycles; c++ {
+		for k := 0; k < itemsPerCycle; k++ {
+			src := honestIDs[(c*itemsPerCycle+k)%len(honestIDs)]
+			it := news.New(fmt.Sprintf("ham-%d-%d", c, k), "d", "l", int64(c), src)
+			it.ID = news.ID(c*itemsPerCycle + k)
+			pubs = append(pubs, sim.Publication{Cycle: int64(c), Source: src, Item: it})
+			col.RegisterItem(it.ID, cfg.Peers/4)
+		}
+	}
+	spamCount := 0
+	if attacked {
+		for c := 1; c <= cfg.Cycles; c++ {
+			for k := 0; k < cfg.SpamPerCycle; k++ {
+				src := attackerIDs[(c*cfg.SpamPerCycle+k)%len(attackerIDs)]
+				it := news.New(fmt.Sprintf("spam-%d-%d", c, k), "d", "l", int64(c), src)
+				it.ID = adversarialSpamBase + news.ID(spamCount)
+				pubs = append(pubs, sim.Publication{Cycle: int64(c), Source: src, Item: it})
+				col.RegisterItem(it.ID, 0)
+				spamCount++
+			}
+		}
+	}
+	for _, id := range ids {
+		col.RegisterNode(id, cfg.Cycles*itemsPerCycle/4)
+	}
+	// Cohort labels are identical in both cells so the per-cohort summaries
+	// stay comparable: attacker beats victim beats the churn labels.
+	for _, id := range attackerIDs {
+		col.SetCohort(id, metrics.CohortAttacker)
+	}
+	if cfg.PartitionK >= 2 {
+		for _, id := range honestIDs {
+			if int(id)%cfg.PartitionK != 0 {
+				col.SetCohort(id, metrics.CohortVictim)
+			}
+		}
+	}
+
+	var links *faultnet.Policy
+	if attacked && cfg.PartitionK >= 2 {
+		links = faultnet.KWayPartition(ids, cfg.PartitionK, cfg.PartitionStart, cfg.PartitionHeal)
+	}
+
+	pt := adversarialPoint{spam: spamCount, honest: len(honestIDs)}
+	e := sim.New(sim.Config{
+		Seed: 1, Cycles: cfg.Cycles, Workers: cfg.EngineWorkers,
+		BootstrapDegree: 5, Publications: pubs, Links: links,
+		OnDelivery: func(d core.Delivery, now int64) {
+			if attackers[d.Node] {
+				return
+			}
+			if d.Item >= adversarialSpamBase {
+				pt.adv.SpamToHonest++
+			} else {
+				pt.adv.HamToHonest++
+			}
+		},
+		OnCycleEnd: func(e *sim.Engine, now int64) {
+			pt.timeline = append(pt.timeline, churnSample(e, now))
+		},
+	}, peers, col)
+	e.Bootstrap()
+	e.Run()
+
+	// Poisoning drift: how much of the honest WUP neighbourhood the cohort
+	// captured (plain gossip has no clustering layer — always 0).
+	for _, p := range e.Peers() {
+		if attackers[p.ID()] || p.WUP() == nil {
+			continue
+		}
+		p.WUP().View().ForEach(func(d overlay.Descriptor) {
+			if attackers[d.Node] {
+				pt.adv.AttackerSlots++
+			} else {
+				pt.adv.HonestSlots++
+			}
+		})
+	}
+	pt.col = col
+	pt.honestF1 = honestMicroF1(col)
+	return pt
+}
+
+// AdversarialSideResult is one protocol's column of the comparison. The
+// headline scores are delivery-weighted (honestMicroF1); Damage normalizes
+// the drop by the clean score, because the protocols operate at very
+// different baselines and an absolute delta would flatter whichever starts
+// lower.
+type AdversarialSideResult struct {
+	Protocol   string  `json:"protocol"`
+	CleanF1    float64 `json:"clean_f1"`
+	AttackedF1 float64 `json:"attacked_f1"`
+	// DeltaF1 is the drop: clean minus attacked honest-feed F1.
+	DeltaF1 float64 `json:"delta_f1"`
+	// Damage is the fraction of the clean F1 the attack destroyed.
+	Damage float64 `json:"damage"`
+	// MacroCleanF1/MacroAttackedF1 are the per-item macro population F1
+	// (the repo's standard Collector.F1), recorded for reference.
+	MacroCleanF1    float64 `json:"macro_clean_f1"`
+	MacroAttackedF1 float64 `json:"macro_attacked_f1"`
+	// SpamPrecision is the legitimate fraction of items delivered to honest
+	// nodes under attack (1 = spam fully contained).
+	SpamPrecision float64 `json:"spam_precision"`
+	// SpamReach is the mean fraction of the honest population each spam
+	// item reached.
+	SpamReach float64 `json:"spam_reach"`
+	// PoisoningDrift is the attacker share of honest WUP view slots at the
+	// end of the attacked run (0 for protocols without a clustering layer).
+	PoisoningDrift float64 `json:"poisoning_drift"`
+	// VictimF1 is the attacked-run F1 of the honest nodes cut off by the
+	// partition (0 when no partition is configured).
+	VictimF1 float64 `json:"victim_f1,omitempty"`
+}
+
+// AdversarialResult is one BENCH_adversarial.json trajectory entry.
+type AdversarialResult struct {
+	Label     string `json:"label,omitempty"`
+	GoVersion string `json:"go"`
+	MaxProcs  int    `json:"maxprocs"`
+
+	Peers          int     `json:"peers"`
+	Cycles         int     `json:"cycles"`
+	Attackers      int     `json:"attackers"`
+	SpamFraction   float64 `json:"spam_fraction"`
+	SpamPerCycle   int     `json:"spam_per_cycle"`
+	Poison         bool    `json:"poison"`
+	PartitionK     int     `json:"partition_k,omitempty"`
+	PartitionStart int64   `json:"partition_start,omitempty"`
+	PartitionHeal  int64   `json:"partition_heal,omitempty"`
+	WallMs         float64 `json:"wall_ms"`
+
+	WUP    AdversarialSideResult `json:"wup"`
+	Gossip AdversarialSideResult `json:"gossip"`
+	// ResilienceGap is Gossip's normalized damage minus WhatsUp's: positive
+	// means WhatsUp weathered the identical attack better.
+	ResilienceGap float64 `json:"resilience_gap"`
+
+	// Partition-heal evidence from WhatsUp's attacked timeline: how many
+	// cycles links were severed, the WUP view fill floor while cut, and the
+	// fill at the end of the run (recovered ≈ pre-partition levels).
+	PartitionCycles     int     `json:"partition_cycles,omitempty"`
+	WUPFillPartitionMin float64 `json:"wup_fill_partition_min,omitempty"`
+	WUPFillEnd          float64 `json:"wup_fill_end,omitempty"`
+}
+
+// AdversarialRun executes the four cells (WhatsUp/Gossip × clean/attacked)
+// and folds them into one trajectory entry.
+func AdversarialRun(cfg AdversarialConfig) AdversarialResult {
+	cfg = cfg.withDefaults()
+	start := time.Now()
+	cells := parallel(4, []func() adversarialPoint{
+		func() adversarialPoint { return runAdversarialPoint(cfg, WhatsUp, false) },
+		func() adversarialPoint { return runAdversarialPoint(cfg, WhatsUp, true) },
+		func() adversarialPoint { return runAdversarialPoint(cfg, PlainGossip, false) },
+		func() adversarialPoint { return runAdversarialPoint(cfg, PlainGossip, true) },
+	})
+	wall := time.Since(start)
+	wupClean, wupAtk, gosClean, gosAtk := cells[0], cells[1], cells[2], cells[3]
+
+	side := func(proto string, clean, atk adversarialPoint) AdversarialSideResult {
+		s := AdversarialSideResult{
+			Protocol:        proto,
+			CleanF1:         clean.honestF1,
+			AttackedF1:      atk.honestF1,
+			MacroCleanF1:    clean.col.F1(),
+			MacroAttackedF1: atk.col.F1(),
+			SpamPrecision:   atk.adv.SpamPrecision(),
+			PoisoningDrift:  atk.adv.PoisoningDrift(),
+		}
+		s.DeltaF1 = s.CleanF1 - s.AttackedF1
+		if s.CleanF1 > 0 {
+			s.Damage = s.DeltaF1 / s.CleanF1
+		}
+		if atk.spam > 0 && atk.honest > 0 {
+			s.SpamReach = float64(atk.adv.SpamToHonest) / float64(atk.spam*atk.honest)
+		}
+		if cfg.PartitionK >= 2 {
+			s.VictimF1 = atk.col.CohortSummary(metrics.CohortVictim).F1()
+		}
+		return s
+	}
+
+	r := AdversarialResult{
+		GoVersion:      runtime.Version(),
+		MaxProcs:       runtime.GOMAXPROCS(0),
+		Peers:          cfg.Peers,
+		Cycles:         cfg.Cycles,
+		Attackers:      int(cfg.SpamFraction * float64(cfg.Peers)),
+		SpamFraction:   cfg.SpamFraction,
+		SpamPerCycle:   cfg.SpamPerCycle,
+		Poison:         cfg.Poison,
+		PartitionK:     cfg.PartitionK,
+		PartitionStart: cfg.PartitionStart,
+		PartitionHeal:  cfg.PartitionHeal,
+		WallMs:         float64(wall.Nanoseconds()) / 1e6,
+		WUP:            side("whatsup", wupClean, wupAtk),
+		Gossip:         side("gossip", gosClean, gosAtk),
+	}
+	r.ResilienceGap = r.Gossip.Damage - r.WUP.Damage
+	for _, s := range wupAtk.timeline {
+		if s.PartitionsActive > 0 {
+			r.PartitionCycles++
+			if r.WUPFillPartitionMin == 0 || s.WUPFill < r.WUPFillPartitionMin {
+				r.WUPFillPartitionMin = s.WUPFill
+			}
+		}
+	}
+	if n := len(wupAtk.timeline); n > 0 {
+		r.WUPFillEnd = wupAtk.timeline[n-1].WUPFill
+	}
+	return r
+}
+
+// String renders the trajectory entry.
+func (r AdversarialResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Adversarial bench (%s, GOMAXPROCS=%d): %d peers, %d attackers (%.0f%%), %d spam/cycle, poison=%v",
+		r.GoVersion, r.MaxProcs, r.Peers, r.Attackers, r.SpamFraction*100, r.SpamPerCycle, r.Poison)
+	if r.PartitionK >= 2 {
+		fmt.Fprintf(&b, ", %d-way partition cycles %d-%d", r.PartitionK, r.PartitionStart, r.PartitionHeal)
+	}
+	fmt.Fprintf(&b, "  [wall %.0f ms]\n", r.WallMs)
+	row := func(s AdversarialSideResult) {
+		fmt.Fprintf(&b, "  %-8s feed-F1 %.3f -> %.3f (damage %.1f%%)  spam-precision %.3f  spam-reach %.3f  drift %.3f",
+			s.Protocol, s.CleanF1, s.AttackedF1, s.Damage*100, s.SpamPrecision, s.SpamReach, s.PoisoningDrift)
+		if s.VictimF1 > 0 {
+			fmt.Fprintf(&b, "  victim-F1 %.3f", s.VictimF1)
+		}
+		b.WriteString("\n")
+	}
+	row(r.WUP)
+	row(r.Gossip)
+	fmt.Fprintf(&b, "  resilience gap (gossip damage - whatsup damage): %+.3f", r.ResilienceGap)
+	if r.PartitionCycles > 0 {
+		fmt.Fprintf(&b, "\n  partition: %d cycles cut, WUP fill floor %.2f, end %.2f", r.PartitionCycles, r.WUPFillPartitionMin, r.WUPFillEnd)
+	}
+	return b.String()
+}

@@ -1,0 +1,37 @@
+package experiments
+
+import "testing"
+
+// TestAdversarialSpamResilience is the headline robustness regression: a 10%
+// spam-publishing cohort must degrade WhatsUp's honest-cohort feed quality
+// strictly less (relative to its own clean baseline) than it degrades the
+// gossip baseline's — the paper's implicit-quarantine claim, measured. The
+// run is the same four-cell comparison whatsup-bench -run adversarial
+// records, at a reduced population.
+func TestAdversarialSpamResilience(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four full simulations; skipped in -short")
+	}
+	r := AdversarialRun(AdversarialConfig{Peers: 400, Cycles: 30, SpamFraction: 0.10})
+
+	// Sanity: the attack must actually hurt both protocols.
+	if r.WUP.AttackedF1 >= r.WUP.CleanF1 {
+		t.Fatalf("spam did not degrade WhatsUp: clean %.3f, attacked %.3f", r.WUP.CleanF1, r.WUP.AttackedF1)
+	}
+	if r.Gossip.AttackedF1 >= r.Gossip.CleanF1 {
+		t.Fatalf("spam did not degrade gossip: clean %.3f, attacked %.3f", r.Gossip.CleanF1, r.Gossip.AttackedF1)
+	}
+	// The regression: relative damage must order strictly WUP < Gossip.
+	if r.WUP.Damage >= r.Gossip.Damage {
+		t.Fatalf("WhatsUp damage %.3f not strictly below gossip damage %.3f (gap %.3f)",
+			r.WUP.Damage, r.Gossip.Damage, r.ResilienceGap)
+	}
+	if r.ResilienceGap <= 0 {
+		t.Fatalf("resilience gap %.3f, want > 0", r.ResilienceGap)
+	}
+	// The mechanism: interest-clustered dissemination quarantines spam —
+	// it reaches a much smaller honest audience than blind gossip gives it.
+	if r.WUP.SpamReach >= r.Gossip.SpamReach {
+		t.Fatalf("spam reach: WhatsUp %.3f not below gossip %.3f", r.WUP.SpamReach, r.Gossip.SpamReach)
+	}
+}

@@ -364,6 +364,9 @@ func ghostFraction(e *sim.Engine) float64 {
 // across the online fleet, and per-cohort online counts.
 func churnSample(e *sim.Engine, now int64) metrics.ChurnSample {
 	s := metrics.ChurnSample{Cycle: now, Online: e.OnlineCount(), Members: e.MemberCount()}
+	if links := e.Links(); links != nil {
+		s.PartitionsActive = links.ActivePartitions(now)
+	}
 	total, ghosts := 0, 0
 	var rpsLen, rpsCap, wupLen, wupCap int
 	count := func(d overlay.Descriptor) {

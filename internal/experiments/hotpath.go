@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"whatsup/internal/core"
+	"whatsup/internal/faultnet"
 	"whatsup/internal/metrics"
 	"whatsup/internal/news"
 	"whatsup/internal/overlay"
@@ -116,7 +117,7 @@ func hotPathView() (v *overlay.View, descs []overlay.Descriptor, self *profile.P
 // measured steady-state cycle exercises the whole membership path: event
 // application, view wipes, bootstrap-from-online-sample and per-cycle
 // eviction scans.
-func hotPathWorld(cfg HotPathConfig, churn bool) *sim.Engine {
+func hotPathWorld(cfg HotPathConfig, churn bool, links *faultnet.Policy) *sim.Engine {
 	const scheduledCycles = 2000
 	opinions := core.OpinionFunc(func(node news.NodeID, item news.ID) bool {
 		return int(node)%4 == int(item)%4
@@ -156,9 +157,28 @@ func hotPathWorld(cfg HotPathConfig, churn bool) *sim.Engine {
 	e := sim.New(sim.Config{
 		Seed: 1, Cycles: scheduledCycles, Workers: cfg.EngineWorkers,
 		BootstrapDegree: 5, Publications: pubs, Churn: schedule,
+		Links: links,
 	}, peers, col)
 	e.Bootstrap()
 	return e
+}
+
+// hotPathLinks builds the faultnet-cycle policy: a straggler cohort with
+// lossy slow links plus a long-lived 2-way partition, so the measured cycle
+// pays the policy lookup and the stateless drop draw on every message leg.
+func hotPathLinks(cfg HotPathConfig) *faultnet.Policy {
+	ids := make([]news.NodeID, cfg.CyclePeers)
+	for i := range ids {
+		ids[i] = news.NodeID(i)
+	}
+	p := faultnet.Stragglers(ids, 0.2, 7, faultnet.Rule{Loss: 0.05})
+	groups := make(map[news.NodeID]int, len(ids))
+	for i, id := range ids {
+		groups[id] = i % 2
+	}
+	// The window heals early: steady-state cycles still pay the schedule
+	// check on every link, which is the cost being measured.
+	return p.AddPartition(faultnet.Partition{Groups: groups, Start: 100, Heal: 110})
 }
 
 // HotPathBenchmarks returns the scenario list. The full-cycle world is built
@@ -166,7 +186,7 @@ func hotPathWorld(cfg HotPathConfig, churn bool) *sim.Engine {
 // successive steady-state cycles.
 func HotPathBenchmarks(cfg HotPathConfig) []NamedBench {
 	cfg = cfg.withDefaults()
-	var engine, churnEngine *sim.Engine
+	var engine, churnEngine, faultEngine *sim.Engine
 	return []NamedBench{
 		{Name: "merge", Bench: func(b *testing.B) {
 			item, user := hotPathProfiles()
@@ -216,7 +236,7 @@ func HotPathBenchmarks(cfg HotPathConfig) []NamedBench {
 		}},
 		{Name: fmt.Sprintf("cycle-%dpeers", cfg.CyclePeers), Bench: func(b *testing.B) {
 			if engine == nil {
-				engine = hotPathWorld(cfg, false)
+				engine = hotPathWorld(cfg, false, nil)
 				engine.Step() // warm caches and scratch before measuring
 				b.ResetTimer()
 			}
@@ -227,13 +247,24 @@ func HotPathBenchmarks(cfg HotPathConfig) []NamedBench {
 		}},
 		{Name: fmt.Sprintf("churn-cycle-%dpeers", cfg.CyclePeers), Bench: func(b *testing.B) {
 			if churnEngine == nil {
-				churnEngine = hotPathWorld(cfg, true)
+				churnEngine = hotPathWorld(cfg, true, nil)
 				churnEngine.Step()
 				b.ResetTimer()
 			}
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				churnEngine.Step()
+			}
+		}},
+		{Name: "faultnet-cycle", Bench: func(b *testing.B) {
+			if faultEngine == nil {
+				faultEngine = hotPathWorld(cfg, false, hotPathLinks(cfg))
+				faultEngine.Step()
+				b.ResetTimer()
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				faultEngine.Step()
 			}
 		}},
 	}

@@ -36,6 +36,7 @@ import (
 
 	"whatsup/internal/core"
 	"whatsup/internal/dataset"
+	"whatsup/internal/faultnet"
 	"whatsup/internal/metrics"
 	"whatsup/internal/news"
 	"whatsup/internal/overlay"
@@ -183,6 +184,11 @@ type Config struct {
 	// disables retention — the historical behaviour, and the right setting
 	// for measurement runs that never read feeds.
 	FeedCapacity int
+	// Links is the per-link fault policy installed on the transport (via its
+	// SetPolicy, keyed to Runner.Cycle). The runner itself only reads it to
+	// annotate Timeline samples with the active partition count; injection
+	// happens inside the transport.
+	Links *faultnet.Policy
 }
 
 func (c Config) withDefaults() Config {
@@ -422,7 +428,7 @@ func NewRunner(cfg Config, ds *dataset.Dataset, net Network) *Runner {
 			descs = append(descs, overlay.Descriptor{
 				Node:    news.NodeID(j),
 				Stamp:   0,
-				Profile: initial[j].node.UserProfile().Clone(),
+				Profile: initial[j].node.AdvertisedProfile(0).Clone(),
 			})
 			if len(descs) == cfg.BootstrapDegree {
 				break
@@ -623,6 +629,11 @@ func (r *Runner) applyChurn(now int64) {
 	}
 }
 
+// Cycle returns the fleet's current gossip cycle (an atomic load). It is the
+// clock to hand a transport's SetPolicy so scheduled partitions start and
+// heal on fleet cycles rather than wall-clock time.
+func (r *Runner) Cycle() int64 { return r.cycle.Load() }
+
 // Timeline returns the per-cycle fleet health samples recorded so far when
 // Config.Timeline is set. Safe to call at any time; the returned slice must
 // not be appended to by the caller.
@@ -640,6 +651,9 @@ func (r *Runner) sampleTimeline(now int64) {
 	nodeCfg := r.cfg.NodeConfig.WithDefaults()
 	views := r.onlineViews()
 	s := metrics.ChurnSample{Cycle: now, Members: len(r.fleet), Online: len(views)}
+	if r.cfg.Links != nil {
+		s.PartitionsActive = r.cfg.Links.ActivePartitions(now)
+	}
 	total, ghosts := 0, 0
 	count := func(descs []overlay.Descriptor) {
 		for _, d := range descs {
@@ -696,7 +710,7 @@ func (ln *liveNode) snapshot() (ctlSnapshot, bool) {
 	ok := ln.exec(func(ln *liveNode, cycle int64) {
 		n := ln.node
 		snap = ctlSnapshot{
-			desc: overlay.Descriptor{Node: n.ID(), Stamp: cycle, Profile: n.UserProfile().Clone()},
+			desc: overlay.Descriptor{Node: n.ID(), Stamp: cycle, Profile: n.AdvertisedProfile(cycle).Clone()},
 			rps:  n.RPS().View().Entries(),
 			wup:  n.WUP().View().Entries(),
 		}
@@ -950,12 +964,12 @@ func (ln *liveNode) onCycle(cycle int64) {
 
 	tombs := n.AppendTombstones(nil)
 	if target, ok := n.RPS().SelectPeer(); ok {
-		push := n.RPS().MakePush(n.RPS().Descriptor(cycle, n.UserProfile()))
+		push := n.RPS().MakePush(n.RPS().Descriptor(cycle, n.AdvertisedProfile(cycle)))
 		ln.runner.send(envelope{Kind: wireRPSRequest, From: n.ID(), To: target.Node, Descs: push, Tombs: tombs})
 	}
 	n.InjectRPSCandidates()
 	if target, ok := n.WUP().SelectPeer(); ok {
-		push := n.WUP().MakePush(n.WUP().Descriptor(cycle, n.UserProfile()))
+		push := n.WUP().MakePush(n.WUP().Descriptor(cycle, n.AdvertisedProfile(cycle)))
 		ln.runner.send(envelope{Kind: wireWUPRequest, From: n.ID(), To: target.Node, Descs: push, Tombs: tombs})
 	}
 
@@ -996,7 +1010,7 @@ func (ln *liveNode) maybeRefill(cycle int64) {
 	if !found {
 		return // fully isolated; nothing to pull from
 	}
-	req := []overlay.Descriptor{n.RPS().Descriptor(cycle, n.UserProfile())}
+	req := []overlay.Descriptor{n.RPS().Descriptor(cycle, n.AdvertisedProfile(cycle))}
 	ln.runner.send(envelope{Kind: wireRefillRequest, From: n.ID(), To: best.Node, Descs: req, Tombs: n.AppendTombstones(nil)})
 }
 
@@ -1034,14 +1048,16 @@ func (ln *liveNode) onMessage(env envelope, cycle int64) {
 	}
 	switch env.Kind {
 	case wireRPSRequest:
-		reply := n.RPS().AcceptPush(env.Descs, n.RPS().Descriptor(cycle, n.UserProfile()))
+		reply := n.RPS().AcceptPush(env.Descs, n.RPS().Descriptor(cycle, n.AdvertisedProfile(cycle)))
 		ln.evictStale(cycle)
 		ln.runner.send(envelope{Kind: wireRPSReply, From: n.ID(), To: env.From, Descs: reply, Tombs: n.AppendTombstones(nil)})
 	case wireRPSReply:
 		n.RPS().AcceptReply(env.Descs)
 		ln.evictStale(cycle)
 	case wireWUPRequest:
-		reply := n.WUP().AcceptPush(env.Descs, n.WUP().Descriptor(cycle, n.UserProfile()), n.UserProfile())
+		// The wire descriptor carries the advertised profile; similarity
+		// ranking keeps the real one (private state, not a wire payload).
+		reply := n.WUP().AcceptPush(env.Descs, n.WUP().Descriptor(cycle, n.AdvertisedProfile(cycle)), n.UserProfile())
 		ln.evictStale(cycle)
 		ln.runner.send(envelope{Kind: wireWUPReply, From: n.ID(), To: env.From, Descs: reply, Tombs: n.AppendTombstones(nil)})
 	case wireWUPReply:
@@ -1052,7 +1068,7 @@ func (ln *liveNode) onMessage(env envelope, cycle int64) {
 	case wireRefillRequest:
 		// Anti-entropy pull: answer with an RPS-style exchange (own fresh
 		// descriptor plus half the view), merging the puller's descriptor.
-		reply := n.RPS().AcceptPush(env.Descs, n.RPS().Descriptor(cycle, n.UserProfile()))
+		reply := n.RPS().AcceptPush(env.Descs, n.RPS().Descriptor(cycle, n.AdvertisedProfile(cycle)))
 		ln.evictStale(cycle)
 		ln.runner.send(envelope{Kind: wireRefillReply, From: n.ID(), To: env.From, Descs: reply, Tombs: n.AppendTombstones(nil)})
 	case wireRefillReply:

@@ -29,6 +29,10 @@ var (
 	// ErrNotRunning reports an operation that needs the fleet's controller
 	// (publishing) outside a Run.
 	ErrNotRunning = errors.New("live: fleet not running")
+	// ErrDegraded reports a fleet serving in degraded mode: a majority of
+	// its non-departed members are offline, so feeds are going stale and
+	// clients should back off and retry rather than trust the answer.
+	ErrDegraded = errors.New("live: fleet degraded")
 )
 
 // FeedEntry is one ranked recommendation in a node's feed: a BEEP-delivered
@@ -151,13 +155,38 @@ func (r *Runner) withNode(id news.NodeID, mutate bool, fn func(ln *liveNode, cyc
 // Feed returns the node's current feed, ranked best-first: descending
 // score, then most recent arrival, then item id. The slice is the caller's.
 // Works in every lifecycle state (an offline node serves the feed it
-// retained, like a disconnected client rendering its cache).
+// retained, like a disconnected client rendering its cache) — unless the
+// fleet as a whole is Degraded, in which case Feed refuses with ErrDegraded
+// so clients back off instead of reading feeds the mesh can no longer keep
+// fresh.
 func (r *Runner) Feed(id news.NodeID) ([]FeedEntry, error) {
+	if r.Degraded() {
+		return nil, ErrDegraded
+	}
 	var out []FeedEntry
 	err := r.withNode(id, false, func(ln *liveNode, cycle int64) {
 		out = ln.feedEntries()
 	})
 	return out, err
+}
+
+// Degraded reports whether a majority of the fleet's non-departed members
+// are offline — the mesh has lost quorum for dissemination, so feeds stop
+// improving until nodes come back. Safe to call at any time.
+func (r *Runner) Degraded() bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	online, members := 0, 0
+	for _, st := range r.states {
+		if st == sim.Departed {
+			continue
+		}
+		members++
+		if st == sim.Online {
+			online++
+		}
+	}
+	return members > 0 && online*2 < members
 }
 
 // feedEntries builds the ranked feed from the node's ring. Runs serialized

@@ -2,10 +2,12 @@ package live
 
 import (
 	"bufio"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
 
+	"whatsup/internal/faultnet"
 	"whatsup/internal/news"
 )
 
@@ -37,6 +39,10 @@ type TCPNet struct {
 	batch      time.Duration
 	maxPending int
 	registered int
+	seed       int64
+	policy     *faultnet.Policy
+	clock      func() int64 // fleet cycle, for partition schedules
+	links      map[uint64]*rand.Rand
 	closed     bool
 	wg         sync.WaitGroup
 }
@@ -85,6 +91,10 @@ type TCPNetConfig struct {
 	// single frame larger than the bound is still accepted on an empty
 	// buffer so oversized envelopes cannot wedge a connection.
 	MaxPendingBytes int
+	// Seed keys the per-link RNG streams a SetPolicy overlay draws loss and
+	// jitter from (faultnet.LinkSeed), so two runs with the same seed inject
+	// the same per-link fault decisions even over real sockets.
+	Seed int64
 }
 
 // NewTCPNet builds a loopback TCP network.
@@ -112,7 +122,36 @@ func NewTCPNet(cfg TCPNetConfig) *TCPNet {
 		slowEvery:  cfg.SlowEvery,
 		batch:      cfg.BatchWindow,
 		maxPending: cfg.MaxPendingBytes,
+		seed:       cfg.Seed,
 	}
+}
+
+// SetPolicy overlays per-link network conditions on the real-socket
+// transport: cuts and losses drop at the sender boundary, base latency,
+// jitter and bandwidth-cap serialization delay are injected as a wall-clock
+// sleep before the frame joins the destination's write batch. clock supplies
+// the fleet cycle for partition schedules (wire it to Runner.Cycle; it runs
+// under the net's lock, so it must not call back into the net — an atomic
+// load is fine). Call before the first Send; the policy must not be mutated
+// afterwards.
+func (t *TCPNet) SetPolicy(p *faultnet.Policy, clock func() int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.policy = p
+	t.clock = clock
+	t.links = make(map[uint64]*rand.Rand)
+}
+
+// linkRNG returns the per-link RNG stream, creating it on first use. Caller
+// holds t.mu.
+func (t *TCPNet) linkRNG(from, to news.NodeID) *rand.Rand {
+	k := linkKey(from, to)
+	r := t.links[k]
+	if r == nil {
+		r = rand.New(rand.NewSource(faultnet.LinkSeed(t.seed, from, to)))
+		t.links[k] = r
+	}
+	return r
 }
 
 // Register implements Network: open a loopback listener for the node and
@@ -254,19 +293,84 @@ func (t *TCPNet) Disconnect(id news.NodeID, graceful bool) {
 
 // Send implements Network: append the encoded frame to the destination's
 // persistent connection and wake its writer. Send never blocks on the
-// network; a dead or unknown destination drops the envelope.
+// network; a dead or unknown destination drops the envelope. A SetPolicy
+// overlay is applied here, at the writer boundary: cut or lost links drop
+// the envelope outright, and link latency (base + jitter + bandwidth-cap
+// serialization) defers the enqueue by a real sleep on a tracked goroutine,
+// so Close never abandons a delayed frame mid-flight.
 func (t *TCPNet) Send(env envelope) {
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
 		return
 	}
+	var delay time.Duration
+	if t.policy != nil {
+		var cycle int64
+		if t.clock != nil {
+			cycle = t.clock()
+		}
+		ls := t.policy.Link(env.From, env.To, cycle)
+		if ls.Cut {
+			t.mu.Unlock()
+			return
+		}
+		if ls.Loss > 0 || ls.Jitter > 0 {
+			lr := t.linkRNG(env.From, env.To)
+			if ls.Loss > 0 && lr.Float64() < ls.Loss {
+				t.mu.Unlock()
+				return
+			}
+			delay = ls.Delay(len(env.frame), lr.Float64())
+		} else {
+			delay = ls.Delay(len(env.frame), 0)
+		}
+	}
 	addr, ok := t.addrs[env.To]
 	sc := t.conns[addr] // steady state: one global lock hold per send
+	delayed := ok && delay > 0
+	if delayed {
+		// Registered under the lock, next to the closed check: Close sets
+		// closed before it waits, so wg.Add can never race wg.Wait.
+		t.wg.Add(1)
+	}
 	t.mu.Unlock()
 	if !ok {
 		return
 	}
+	if !delayed {
+		t.enqueue(addr, sc, env)
+		return
+	}
+	if env.frame != nil {
+		// The caller reuses its frame buffer once Send returns; a delayed
+		// envelope needs its own copy.
+		frame := make([]byte, len(env.frame))
+		copy(frame, env.frame)
+		env.frame = frame
+	}
+	go func() {
+		defer t.wg.Done()
+		time.Sleep(delay)
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			return
+		}
+		// Re-resolve: the destination may have departed or rejoined on a new
+		// address while the frame was in flight.
+		addr, ok := t.addrs[env.To]
+		sc := t.conns[addr]
+		t.mu.Unlock()
+		if ok {
+			t.enqueue(addr, sc, env)
+		}
+	}()
+}
+
+// enqueue appends the envelope to the destination connection's pending batch
+// and wakes its writer, dialing on first use. sc may be nil (not yet dialed).
+func (t *TCPNet) enqueue(addr string, sc *outConn, env envelope) {
 	if sc == nil {
 		if sc = t.conn(addr); sc == nil {
 			return

@@ -70,6 +70,14 @@ const (
 	CohortJoiner
 	CohortRejoiner
 	CohortDeparted
+	// CohortVictim labels honest nodes singled out by an adversarial
+	// scenario (e.g. the targets of a poisoning attack), so their outcomes
+	// are reported separately from the untargeted honest population.
+	CohortVictim
+	// CohortAttacker labels hostile nodes (spammers, poisoners, sybils).
+	// Highest precedence: a node that is both churned and hostile reports
+	// as an attacker in every merge order.
+	CohortAttacker
 	NumCohorts
 )
 
@@ -84,6 +92,10 @@ func (c Cohort) String() string {
 		return "rejoiner"
 	case CohortDeparted:
 		return "departed"
+	case CohortVictim:
+		return "victim"
+	case CohortAttacker:
+		return "attacker"
 	default:
 		return fmt.Sprintf("cohort(%d)", int(c))
 	}
@@ -407,6 +419,10 @@ type ChurnSample struct {
 	RPSFill, WUPFill float64
 	// OnlineByCohort counts the online population per churn cohort.
 	OnlineByCohort [NumCohorts]int
+	// PartitionsActive counts the faultnet partitions severing links at this
+	// cycle (0 when no policy is installed), so a timeline shows the view
+	// metrics dip while a partition holds and recover after it heals.
+	PartitionsActive int
 }
 
 // sortedItems returns item ids in ascending order so floating-point

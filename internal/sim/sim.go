@@ -44,6 +44,7 @@ import (
 
 	"whatsup/internal/cluster"
 	"whatsup/internal/core"
+	"whatsup/internal/faultnet"
 	"whatsup/internal/graph"
 	"whatsup/internal/metrics"
 	"whatsup/internal/news"
@@ -85,6 +86,16 @@ type Config struct {
 	// LossRate drops each message (BEEP, RPS and WUP legs independently)
 	// with this probability (Table VI).
 	LossRate float64
+	// Links, when set, overlays per-link network conditions on top of the
+	// uniform loss model: a faultnet.Policy assigning loss rates and
+	// scheduled partitions to individual directed links (latency and
+	// bandwidth rules only apply under the live transports — the sim
+	// delivers within the cycle either way). Link decisions are stateless
+	// hashes keyed off Seed, the link and the event, so they never perturb
+	// the per-peer streams: a run with a nil (or empty) policy is
+	// bit-identical with history, and any policy preserves the worker-count
+	// determinism contract. The policy must not be mutated during the run.
+	Links *faultnet.Policy
 	// BootstrapDegree is the number of random descriptors each peer's views
 	// are seeded with before the run (defaults to 5).
 	BootstrapDegree int
@@ -366,7 +377,7 @@ func (e *Engine) sendDepartureNotices(p Peer) {
 			continue
 		}
 		e.col.RecordMessage(metrics.MsgDeparture, t.WireSize())
-		if e.lost(p.ID()) {
+		if e.lost(p.ID()) || e.linkDropped(p.ID(), id, e.now, metrics.MsgDeparture, 0) {
 			continue
 		}
 		dn.NoteDeparture(t, e.now)
@@ -554,9 +565,11 @@ func (e *Engine) mergeShards() {
 	}
 }
 
-// descriptorOf builds a fresh descriptor for a peer at the given time.
+// descriptorOf builds a fresh descriptor for a peer at the given time. The
+// profile is the peer's advertised one, so a poisoning behavior reaches
+// bootstrap and refill descriptors too.
 func descriptorOf(p Peer, now int64) overlay.Descriptor {
-	return overlay.Descriptor{Node: p.ID(), Stamp: now, Profile: p.UserProfile().Clone()}
+	return overlay.Descriptor{Node: p.ID(), Stamp: now, Profile: gossipProfile(p, now).Clone()}
 }
 
 // Bootstrap seeds every online peer's views with BootstrapDegree random
@@ -591,6 +604,40 @@ func (e *Engine) Bootstrap() {
 			p.WUP().Seed(descs, p.UserProfile())
 		}
 	})
+}
+
+// Links returns the per-link fault policy the engine was configured with
+// (nil when none), for timeline samplers that report partition schedules.
+func (e *Engine) Links() *faultnet.Policy { return e.cfg.Links }
+
+// linkDropped reports whether the per-link fault policy (Config.Links)
+// drops a message on the directed link this cycle: partition cuts always
+// drop, lossy links drop by a stateless faultnet draw keyed off the engine
+// seed and the event identity (salt = the message kind, extra = the item for
+// BEEP). No peer stream is touched, so fault injection composes with the
+// uniform loss model without disturbing its draws, and any worker can
+// evaluate the check in any order. Nil policy: one comparison, no work.
+func (e *Engine) linkDropped(from, to news.NodeID, now int64, kind metrics.MessageKind, extra uint64) bool {
+	if e.cfg.Links == nil {
+		return false
+	}
+	return e.cfg.Links.Drop(e.cfg.Seed, from, to, now, uint64(kind)+1, extra)
+}
+
+// ProfileAdvertiser is the adversarial profile seam: a peer implementing it
+// substitutes the profile carried by its outgoing gossip descriptors.
+// core.Node routes this through its Behavior (honest nodes return the user
+// profile itself); peers without the interface always gossip honestly.
+type ProfileAdvertiser interface {
+	AdvertisedProfile(now int64) *profile.Profile
+}
+
+// gossipProfile returns the profile a peer advertises in descriptors.
+func gossipProfile(p Peer, now int64) *profile.Profile {
+	if a, ok := p.(ProfileAdvertiser); ok {
+		return a.AdvertisedProfile(now)
+	}
+	return p.UserProfile()
 }
 
 // lost draws one loss decision from the given peer's engine stream. Every
@@ -708,12 +755,12 @@ func (e *Engine) refillViews(now int64) {
 		}
 		req := descriptorOf(p, now)
 		e.col.RecordMessage(metrics.MsgRefillRequest, req.WireSize())
-		if e.lost(p.ID()) {
+		if e.lost(p.ID()) || e.linkDropped(p.ID(), best.Node, now, metrics.MsgRefillRequest, 0) {
 			continue
 		}
 		reply := target.RPS().AcceptPush([]overlay.Descriptor{req}, descriptorOf(target, now))
 		e.col.RecordMessage(metrics.MsgRefillReply, descriptorsWireSize(reply))
-		if e.lost(p.ID()) {
+		if e.lost(p.ID()) || e.linkDropped(best.Node, p.ID(), now, metrics.MsgRefillReply, 0) {
 			continue
 		}
 		p.RPS().AcceptReply(reply)
@@ -816,7 +863,7 @@ func (e *Engine) gossipRound(now int64, reqKind, repKind metrics.MessageKind,
 			}
 		}
 		e.shards[w].RecordMessage(reqKind, descriptorsWireSize(push)+overlay.TombstonesWireSize(ex.pushTombs))
-		ex.lost = e.lost(p.ID())
+		ex.lost = e.lost(p.ID()) || e.linkDropped(p.ID(), target, now, reqKind, 0)
 		exs[i] = ex
 	})
 
@@ -837,7 +884,7 @@ func (e *Engine) gossipRound(now int64, reqKind, repKind metrics.MessageKind,
 				replyTombs = noticer.AppendTombstones(nil)
 			}
 			e.shards[w].RecordMessage(repKind, descriptorsWireSize(reply)+overlay.TombstonesWireSize(replyTombs))
-			if !e.lost(respID) {
+			if !e.lost(respID) && !e.linkDropped(respID, e.members[i].peer.ID(), now, repKind, 0) {
 				exs[i].reply = reply
 				exs[i].replyTombs = replyTombs
 			}
@@ -868,11 +915,11 @@ func (e *Engine) gossipRPS(now int64) {
 			if !ok {
 				return 0, nil, false
 			}
-			return target.Node, proto.MakePush(proto.Descriptor(now, p.UserProfile())), true
+			return target.Node, proto.MakePush(proto.Descriptor(now, gossipProfile(p, now))), true
 		},
 		func(r Peer, push []overlay.Descriptor) []overlay.Descriptor {
 			proto := r.RPS()
-			return proto.AcceptPush(push, proto.Descriptor(now, r.UserProfile()))
+			return proto.AcceptPush(push, proto.Descriptor(now, gossipProfile(r, now)))
 		},
 		func(p Peer, reply []overlay.Descriptor) { p.RPS().AcceptReply(reply) },
 	)
@@ -891,11 +938,14 @@ func (e *Engine) gossipWUP(now int64) {
 			if !ok {
 				return 0, nil, false
 			}
-			return target.Node, proto.MakePush(proto.Descriptor(now, p.UserProfile())), true
+			return target.Node, proto.MakePush(proto.Descriptor(now, gossipProfile(p, now))), true
 		},
 		func(r Peer, push []overlay.Descriptor) []overlay.Descriptor {
 			proto := r.WUP()
-			return proto.AcceptPush(push, proto.Descriptor(now, r.UserProfile()), r.UserProfile())
+			// The pushed-back descriptor carries the advertised profile; the
+			// similarity ranking of the merge still uses the real one (it is
+			// the responder's private state, not wire payload).
+			return proto.AcceptPush(push, proto.Descriptor(now, gossipProfile(r, now)), r.UserProfile())
 		},
 		func(p Peer, reply []overlay.Descriptor) { p.WUP().AcceptReply(reply, p.UserProfile()) },
 	)
@@ -971,7 +1021,7 @@ func (e *Engine) deliverRound(now int64) {
 		for k := seg.lo; k < seg.hi; k++ {
 			env := &batch[k]
 			col.RecordMessage(metrics.MsgBeep, env.msg.WireSize())
-			if e.lost(env.to) {
+			if e.lost(env.to) || e.linkDropped(env.from, env.to, now, metrics.MsgBeep, uint64(env.msg.Item.ID)) {
 				continue
 			}
 			if recv == nil {

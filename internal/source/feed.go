@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"sync"
 	"time"
 	"unicode/utf8"
 
@@ -188,9 +189,16 @@ func parseFeedTime(s string) int64 {
 
 // Feed is the RSS/Atom Source: it fetches a URL over HTTP and parses the
 // response with ParseFeed. Spec form: "rss:https://example.org/feed.xml".
+// Successive fetches are conditional: the feed remembers the last ETag and
+// Last-Modified validators and a 304 Not Modified answer yields no items and
+// no error, so an idle feed costs one round-trip and no body.
 type Feed struct {
 	url    string
 	client *http.Client
+
+	mu           sync.Mutex
+	etag         string
+	lastModified string
 }
 
 // NewFeed builds an HTTP feed source. The default client enforces a 30 s
@@ -206,22 +214,40 @@ func (f *Feed) SetClient(c *http.Client) { f.client = c }
 // Name implements Source.
 func (f *Feed) Name() string { return "rss:" + f.url }
 
-// Fetch implements Source: one GET of the feed URL, body capped at
-// maxFeedBytes, non-2xx statuses are errors.
+// Fetch implements Source: one conditional GET of the feed URL, body capped
+// at maxFeedBytes, non-2xx statuses are errors. A 304 against the cached
+// validators returns (nil, nil) — nothing new, nothing wrong.
 func (f *Feed) Fetch(ctx context.Context) ([]news.Item, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.url, nil)
 	if err != nil {
 		return nil, fmt.Errorf("source: %s: %w", f.Name(), err)
 	}
 	req.Header.Set("User-Agent", "whatsup-gateway/1.0")
+	f.mu.Lock()
+	if f.etag != "" {
+		req.Header.Set("If-None-Match", f.etag)
+	}
+	if f.lastModified != "" {
+		req.Header.Set("If-Modified-Since", f.lastModified)
+	}
+	f.mu.Unlock()
 	resp, err := f.client.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("source: %s: %w", f.Name(), err)
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotModified {
+		return nil, nil
+	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		return nil, fmt.Errorf("source: %s: unexpected status %s", f.Name(), resp.Status)
 	}
+	// Adopt the response's validators wholesale: a 200 without them clears
+	// the cache, so we never send validators the server no longer honors.
+	f.mu.Lock()
+	f.etag = resp.Header.Get("ETag")
+	f.lastModified = resp.Header.Get("Last-Modified")
+	f.mu.Unlock()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, maxFeedBytes))
 	if err != nil {
 		return nil, fmt.Errorf("source: %s: reading body: %w", f.Name(), err)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync/atomic"
 	"time"
 
@@ -31,6 +32,19 @@ type GatewayConfig struct {
 	// OnError, if set, observes per-source fetch errors and per-item publish
 	// errors as the poll loop encounters them (Run keeps going either way).
 	OnError func(err error)
+	// RetryBase is the backoff after a source's first consecutive failure;
+	// it doubles per failure up to RetryMax, each delay stretched by up to
+	// +50% jitter so a fleet of gateways does not re-hit a recovering feed
+	// in lockstep. Default: Interval.
+	RetryBase time.Duration
+	// RetryMax caps the exponential backoff. Default: 16×RetryBase.
+	RetryMax time.Duration
+	// BreakerThreshold is the consecutive-failure streak that trips a
+	// source's circuit breaker. Default: 5.
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped source is held out before the
+	// breaker half-opens and allows one probe fetch. Default: 4×RetryMax.
+	BreakerCooldown time.Duration
 }
 
 // Gateway bridges sources into the mesh: each poll fetches every source,
@@ -39,12 +53,37 @@ type GatewayConfig struct {
 // remainder through the configured fleet node, and catalogs what was
 // accepted. Items whose publish failed (the node was mid-churn, say) stay
 // un-cataloged and retry on the next poll.
+//
+// Failing sources are backed off individually: each consecutive fetch
+// failure doubles a per-source hold-off (with jitter), and a failure streak
+// of BreakerThreshold trips that source's circuit breaker — it is skipped
+// for BreakerCooldown, then the breaker half-opens for a single probe fetch
+// whose outcome either closes it or re-trips it. One dead feed never slows
+// the rest of the round.
 type Gateway struct {
 	cfg       GatewayConfig
 	pub       Publisher
 	catalog   *Catalog
 	published atomic.Int64
+
+	// Per-source retry state, indexed like cfg.Sources. PollOnce is never
+	// run concurrently with itself (Run is a single loop), so plain fields
+	// suffice.
+	states []sourceState
+	rng    *rand.Rand
+	now    func() time.Time // test seam; time.Now in production
 }
+
+// sourceState is one source's retry ledger.
+type sourceState struct {
+	failures int       // consecutive fetch failures
+	tripped  bool      // breaker open (or half-open once next has passed)
+	next     time.Time // earliest next fetch attempt; zero = whenever
+}
+
+// ErrBreakerOpen marks the OnError report emitted when a source's failure
+// streak trips its circuit breaker.
+var ErrBreakerOpen = errors.New("source: circuit breaker open")
 
 // NewGateway builds a gateway over the given publisher.
 func NewGateway(cfg GatewayConfig, pub Publisher) *Gateway {
@@ -54,7 +93,24 @@ func NewGateway(cfg GatewayConfig, pub Publisher) *Gateway {
 	if cfg.Catalog == nil {
 		cfg.Catalog = NewCatalog()
 	}
-	return &Gateway{cfg: cfg, pub: pub, catalog: cfg.Catalog}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = cfg.Interval
+	}
+	if cfg.RetryMax <= 0 {
+		cfg.RetryMax = 16 * cfg.RetryBase
+	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = 5
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 4 * cfg.RetryMax
+	}
+	return &Gateway{
+		cfg: cfg, pub: pub, catalog: cfg.Catalog,
+		states: make([]sourceState, len(cfg.Sources)),
+		rng:    rand.New(rand.NewSource(time.Now().UnixNano())),
+		now:    time.Now,
+	}
 }
 
 // Catalog returns the gateway's ingestion ledger.
@@ -78,16 +134,21 @@ func (g *Gateway) PollOnce(ctx context.Context) (int, error) {
 		}
 	}
 	n := 0
-	for _, src := range g.cfg.Sources {
+	for i, src := range g.cfg.Sources {
 		if err := ctx.Err(); err != nil {
 			fail(err)
 			break
 		}
+		st := &g.states[i]
+		if !st.next.IsZero() && g.now().Before(st.next) {
+			continue // backing off or breaker open; not this round
+		}
 		items, err := src.Fetch(ctx)
 		if err != nil {
-			fail(err)
+			fail(g.recordFailure(st, src, err))
 			continue
 		}
+		st.failures, st.tripped, st.next = 0, false, time.Time{}
 		now := time.Now()
 		for _, it := range items {
 			if g.catalog.Has(it.ID) {
@@ -104,6 +165,32 @@ func (g *Gateway) PollOnce(ctx context.Context) (int, error) {
 		}
 	}
 	return n, errors.Join(errs...)
+}
+
+// recordFailure advances a source's retry state after a failed fetch and
+// returns the error to report: the fetch error itself while backing off, or
+// a wrapped ErrBreakerOpen the moment the failure streak trips the breaker.
+func (g *Gateway) recordFailure(st *sourceState, src Source, err error) error {
+	st.failures++
+	now := g.now()
+	if st.failures >= g.cfg.BreakerThreshold {
+		st.next = now.Add(g.cfg.BreakerCooldown)
+		if st.tripped {
+			// A half-open probe failed: re-trip quietly, the observer
+			// already heard about this source.
+			return err
+		}
+		st.tripped = true
+		return fmt.Errorf("%w: %s after %d consecutive failures (cooling %v): %v",
+			ErrBreakerOpen, src.Name(), st.failures, g.cfg.BreakerCooldown, err)
+	}
+	backoff := g.cfg.RetryBase << (st.failures - 1)
+	if backoff > g.cfg.RetryMax || backoff <= 0 {
+		backoff = g.cfg.RetryMax
+	}
+	backoff += time.Duration(g.rng.Float64() * float64(backoff) / 2)
+	st.next = now.Add(backoff)
+	return err
 }
 
 // Run polls immediately and then every Interval until ctx is cancelled.

@@ -1,0 +1,197 @@
+package source
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"whatsup/internal/news"
+)
+
+// flakySource fails until its fuse runs out, then serves one item per fetch.
+type flakySource struct {
+	name     string
+	failures int // remaining fetches that fail
+	calls    int
+}
+
+func (f *flakySource) Name() string { return f.name }
+
+func (f *flakySource) Fetch(ctx context.Context) ([]news.Item, error) {
+	f.calls++
+	if f.failures > 0 {
+		f.failures--
+		return nil, errors.New("boom")
+	}
+	it := news.New(f.name, "d", "l", int64(f.calls), news.NoNode)
+	return []news.Item{it}, nil
+}
+
+// nullPublisher accepts every publish.
+type nullPublisher struct{}
+
+func (nullPublisher) Publish(id news.NodeID, item news.Item) error { return nil }
+
+// retryGateway builds a gateway over the given sources with a controllable
+// clock, second-scale backoff and a threshold-3 breaker.
+func retryGateway(srcs []Source, clock *time.Time) *Gateway {
+	g := NewGateway(GatewayConfig{
+		Node:             0,
+		Sources:          srcs,
+		Interval:         time.Second,
+		RetryBase:        time.Second,
+		RetryMax:         8 * time.Second,
+		BreakerThreshold: 3,
+		BreakerCooldown:  time.Minute,
+	}, nullPublisher{})
+	g.now = func() time.Time { return *clock }
+	return g
+}
+
+// TestGatewayBackoffSkipsFailingSource pins the per-source exponential
+// backoff: after a failure the source is skipped until its hold-off expires
+// (≥ RetryBase, ≤ 1.5×RetryBase with jitter), while healthy sources keep
+// being polled every round.
+func TestGatewayBackoffSkipsFailingSource(t *testing.T) {
+	bad := &flakySource{name: "bad", failures: 1}
+	good := &flakySource{name: "good"}
+	clock := time.Unix(1000, 0)
+	g := retryGateway([]Source{bad, good}, &clock)
+
+	if _, err := g.PollOnce(context.Background()); err == nil {
+		t.Fatal("first poll must surface the fetch failure")
+	}
+	// Within the base hold-off: the bad source must not be re-fetched.
+	clock = clock.Add(500 * time.Millisecond)
+	g.PollOnce(context.Background())
+	if bad.calls != 1 {
+		t.Fatalf("bad source fetched %d times during backoff, want 1", bad.calls)
+	}
+	if good.calls != 2 {
+		t.Fatalf("good source fetched %d times, want 2 (never held back)", good.calls)
+	}
+	// Past the jittered hold-off (≤ 1.5×base): the retry goes through and,
+	// now healthy, the source recovers.
+	clock = clock.Add(2 * time.Second)
+	if _, err := g.PollOnce(context.Background()); err != nil {
+		t.Fatalf("recovered poll failed: %v", err)
+	}
+	if bad.calls != 2 {
+		t.Fatalf("bad source fetched %d times after backoff expiry, want 2", bad.calls)
+	}
+}
+
+// TestGatewayBreakerTripsAndHalfOpens pins the circuit breaker: a failure
+// streak of BreakerThreshold trips it (reported once as ErrBreakerOpen), the
+// source is held out for the cooldown, and the half-open probe after the
+// cooldown closes the breaker again once the source recovers.
+func TestGatewayBreakerTripsAndHalfOpens(t *testing.T) {
+	bad := &flakySource{name: "bad", failures: 4}
+	clock := time.Unix(2000, 0)
+	g := retryGateway([]Source{bad}, &clock)
+	var reported []error
+	g.cfg.OnError = func(err error) { reported = append(reported, err) }
+
+	// Drive three fetch failures, stepping past each backoff.
+	for i := 0; i < 3; i++ {
+		g.PollOnce(context.Background())
+		clock = clock.Add(20 * time.Second)
+	}
+	if bad.calls != 3 {
+		t.Fatalf("streak drove %d fetches, want 3", bad.calls)
+	}
+	trips := 0
+	for _, err := range reported {
+		if errors.Is(err, ErrBreakerOpen) {
+			trips++
+		}
+	}
+	if trips != 1 {
+		t.Fatalf("breaker reported open %d times, want exactly 1", trips)
+	}
+	// Inside the cooldown the source stays untouched even far past any
+	// backoff horizon.
+	g.PollOnce(context.Background())
+	if bad.calls != 3 {
+		t.Fatalf("tripped source fetched %d times inside cooldown, want 3", bad.calls)
+	}
+	// After the cooldown: half-open probe — it fails once more (the fuse
+	// has one failure left), re-trips quietly, then the next probe succeeds.
+	clock = clock.Add(2 * time.Minute)
+	g.PollOnce(context.Background())
+	if bad.calls != 4 {
+		t.Fatalf("half-open probe count %d, want 4", bad.calls)
+	}
+	clock = clock.Add(2 * time.Minute)
+	n, err := g.PollOnce(context.Background())
+	if err != nil || n != 1 {
+		t.Fatalf("recovered probe published %d items (err %v), want 1", n, err)
+	}
+	if trips := countBreakerErrors(reported); trips != 1 {
+		t.Fatalf("re-trip must not re-report: %d open reports, want 1", trips)
+	}
+	// Closed again: fetches resume every round.
+	clock = clock.Add(time.Second)
+	g.PollOnce(context.Background())
+	if bad.calls != 6 {
+		t.Fatalf("post-recovery fetch count %d, want 6", bad.calls)
+	}
+}
+
+func countBreakerErrors(errs []error) int {
+	n := 0
+	for _, err := range errs {
+		if errors.Is(err, ErrBreakerOpen) {
+			n++
+		}
+	}
+	return n
+}
+
+// TestFeedConditionalGet pins the conditional-GET behavior: the second fetch
+// sends the validators the first response carried, and a 304 answer yields
+// no items and no error.
+func TestFeedConditionalGet(t *testing.T) {
+	const body = `<rss><channel><item><title>A</title><link>https://e.org/a</link></item></channel></rss>`
+	var sawINM, sawIMS string
+	hits := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		sawINM = r.Header.Get("If-None-Match")
+		sawIMS = r.Header.Get("If-Modified-Since")
+		if sawINM == `"v1"` {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		w.Header().Set("ETag", `"v1"`)
+		w.Header().Set("Last-Modified", "Mon, 02 Jan 2006 15:04:05 GMT")
+		w.Write([]byte(body))
+	}))
+	defer srv.Close()
+
+	f := NewFeed(srv.URL)
+	f.SetClient(srv.Client())
+	items, err := f.Fetch(context.Background())
+	if err != nil || len(items) != 1 {
+		t.Fatalf("first fetch: %d items, err %v", len(items), err)
+	}
+	if sawINM != "" || sawIMS != "" {
+		t.Fatal("first fetch must not send validators")
+	}
+	items, err = f.Fetch(context.Background())
+	if err != nil {
+		t.Fatalf("304 fetch returned error: %v", err)
+	}
+	if items != nil {
+		t.Fatalf("304 fetch returned %d items, want none", len(items))
+	}
+	if sawINM != `"v1"` || sawIMS != "Mon, 02 Jan 2006 15:04:05 GMT" {
+		t.Fatalf("second fetch validators: INM=%q IMS=%q", sawINM, sawIMS)
+	}
+	if hits != 2 {
+		t.Fatalf("server saw %d requests, want 2", hits)
+	}
+}
