@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -38,6 +40,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed          = fs.Int64("seed", 1, "experiment seed")
 		workers       = fs.Int("workers", 0, "parallel sweep points (0 = NumCPU)")
 		engineWorkers = fs.Int("engine-workers", 0, "per-simulation engine worker pool (0 = serial; sweep points already run in parallel)")
+		engineShards  = fs.Int("shards", 0, "engine membership slabs with codec-routed inter-shard gossip for the 'hotpath', 'churn' and 'adversarial' scenarios (0 = scenario default); results are identical for any value")
+		flashPeers    = fs.Int("flash-crowd-peers", 0, "enable the 'hotpath' large-scale flash-crowd scenario at this total population (e.g. 1000000; needs ~10 GB RAM per 1M peers, so it is off by default)")
+		cpuProfile    = fs.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+		memProfile    = fs.String("memprofile", "", "write an allocation profile to this file at exit")
 		skipLive      = fs.Bool("skip-live", false, "skip the live (ModelNet/PlanetLab) runs in fig8 and the 'live' scenario")
 		transport     = fs.String("transport", "channel", "network for the 'live' scenario: channel (in-memory emulation) or tcp (loopback sockets)")
 		batchWindow   = fs.Duration("batch-window", 0, "TCP write-coalescing window for the 'live' scenario (0 = opportunistic batching)")
@@ -67,6 +73,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *transport != "channel" && *transport != "tcp" {
 		fmt.Fprintf(stderr, "unknown -transport=%s (want channel or tcp)\n", *transport)
 		return 2
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(stderr, "-cpuprofile: %v\n", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(stderr, "-cpuprofile: %v\n", err)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(stderr, "-memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile reflects live objects
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(stderr, "-memprofile: %v\n", err)
+			}
+		}()
 	}
 
 	o := experiments.Options{Seed: *seed, Scale: *scale, Workers: *workers, EngineWorkers: *engineWorkers}
@@ -143,8 +179,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var hotpathErr error
 	runHotpath := func() fmt.Stringer {
 		r := experiments.HotPath(experiments.HotPathConfig{
-			CyclePeers:    *cyclePeers,
-			EngineWorkers: *engineWorkers,
+			CyclePeers:      *cyclePeers,
+			EngineWorkers:   *engineWorkers,
+			EngineShards:    *engineShards,
+			FlashCrowdPeers: *flashPeers,
 		})
 		r.Label = *benchLabel
 		if err := appendTrajectoryEntry(*benchOut, "whatsup-bench/hotpath/v1", r); err != nil {
@@ -170,6 +208,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				},
 				Peers:         *cyclePeers,
 				EngineWorkers: *engineWorkers,
+				EngineShards:  *engineShards,
 			})
 			r.Label = *benchLabel
 			if err := appendTrajectoryEntry(*churnOut, "whatsup-bench/churn/v1", r); err != nil {
@@ -194,6 +233,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				Poison:        *advPoison,
 				PartitionK:    *advPartitionK,
 				EngineWorkers: *engineWorkers,
+				EngineShards:  *engineShards,
 			})
 			r.Label = *benchLabel
 			if err := appendTrajectoryEntry(*advOut, "whatsup-bench/adversarial/v1", r); err != nil {

@@ -44,6 +44,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		loss    = fs.Float64("loss", 0, "uniform message-loss rate")
 		ttl     = fs.Int("ttl", 0, "dislike TTL (0 = default 4, negative = 0)")
 		workers = fs.Int("workers", 0, "engine worker pool (0 = GOMAXPROCS); results are identical for any value")
+		shards  = fs.Int("shards", 0, "engine membership slabs with codec-routed inter-shard gossip (0 = single slab); results are identical for any value")
 
 		churnRate   = fs.Float64("churn", 0, "expected fraction of the population hit by a churn event over the run (enables the churn scenario)")
 		flashCrowd  = fs.Int("flash-crowd", 0, "extra nodes joining as a flash crowd a third into the run (enables the churn scenario)")
@@ -126,6 +127,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			TTL:     *ttl,
 			Loss:    *loss,
 			Workers: engineWorkers,
+			Shards:  *shards,
 		})
 		fmt.Fprintln(stdout, r)
 		return 0
@@ -135,13 +137,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	ds := experiments.DatasetByName(*dsName, o)
 	out := experiments.Run(experiments.RunConfig{
 		Dataset: ds, Alg: a, Fanout: *fanout, Seed: *seed, Loss: *loss, TTL: *ttl,
-		Workers: engineWorkers,
+		Workers: engineWorkers, Shards: *shards,
 	})
 	col := out.Col
 	g := out.Engine.WUPGraph()
 
-	fmt.Fprintf(stdout, "%s on %s (users=%d items=%d cycles=%d fanout=%d loss=%.0f%% workers=%d)\n",
-		a, ds.Name, ds.Users, len(ds.Items), out.Cycles, *fanout, *loss*100, out.Engine.Workers())
+	fmt.Fprintf(stdout, "%s on %s (users=%d items=%d cycles=%d fanout=%d loss=%.0f%% workers=%d shards=%d)\n",
+		a, ds.Name, ds.Users, len(ds.Items), out.Cycles, *fanout, *loss*100, out.Engine.Workers(), out.Engine.Shards())
 	fmt.Fprintf(stdout, "  precision %.3f  recall %.3f  f1 %.3f\n", col.Precision(), col.Recall(), col.F1())
 	fmt.Fprintf(stdout, "  messages: beep=%d gossip=%d total=%d (%.1f/user)\n",
 		col.Messages(metrics.MsgBeep), col.GossipMessages(), col.TotalMessages(),

@@ -26,6 +26,17 @@ const (
 	// churn-free runs bit-identical with historical results); churn drivers
 	// opt in explicitly.
 	DefaultDescriptorTTL = 15
+
+	// LargeScalePopulation is the population at which ForPopulation starts
+	// bounding scale-sensitive knobs. It matches the simulator's large-scale
+	// threshold: everything the paper validated runs far below it.
+	LargeScalePopulation = 100_000
+
+	// LargeScaleNoticeCap is the NoticePiggybackCap ForPopulation applies
+	// above LargeScalePopulation: 64 tombstones comfortably cover one
+	// eviction horizon of departures in any neighbourhood while keeping the
+	// piggyback O(1) per message instead of O(departures).
+	LargeScaleNoticeCap = 64
 )
 
 // Config collects the per-node parameters of Table II.
@@ -98,6 +109,21 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.ColdStartRatings <= 0 {
 		c.ColdStartRatings = 3
+	}
+	return c
+}
+
+// ForPopulation returns a copy of c with scale-sensitive knobs bounded for a
+// deployment of n peers. Today that is one knob: above LargeScalePopulation
+// an unset NoticePiggybackCap defaults to LargeScaleNoticeCap, because
+// uncapped tombstone piggyback grows with the departure volume of the whole
+// horizon — negligible at the paper's 5k scale, the dominant gossip cost in
+// a million-peer flash crowd. At or below the threshold (or with the cap
+// already set) the config is returned unchanged, byte-identical, so every
+// validated small-scale result is unaffected.
+func (c Config) ForPopulation(n int) Config {
+	if n >= LargeScalePopulation && c.NoticePiggybackCap == 0 {
+		c.NoticePiggybackCap = LargeScaleNoticeCap
 	}
 	return c
 }

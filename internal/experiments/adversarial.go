@@ -57,6 +57,9 @@ type AdversarialConfig struct {
 	// EngineWorkers is the per-engine worker pool (0 = serial). Results are
 	// bit-identical for any value.
 	EngineWorkers int
+	// EngineShards is the engine slab count (0 = single slab). Results are
+	// bit-identical for any value.
+	EngineShards int
 }
 
 func (c AdversarialConfig) withDefaults() AdversarialConfig {
@@ -223,7 +226,7 @@ func runAdversarialPoint(cfg AdversarialConfig, alg Algorithm, attacked bool) ad
 
 	pt := adversarialPoint{spam: spamCount, honest: len(honestIDs)}
 	e := sim.New(sim.Config{
-		Seed: 1, Cycles: cfg.Cycles, Workers: cfg.EngineWorkers,
+		Seed: 1, Cycles: cfg.Cycles, Workers: cfg.EngineWorkers, Shards: cfg.EngineShards,
 		BootstrapDegree: 5, Publications: pubs, Links: links,
 		OnDelivery: func(d core.Delivery, now int64) {
 			if attackers[d.Node] {

@@ -43,6 +43,9 @@ type ChurnConfig struct {
 	Loss float64
 	// Workers is the engine worker pool (0 = serial).
 	Workers int
+	// Shards is the engine slab count (0 = single slab); results are
+	// bit-identical for any value.
+	Shards int
 }
 
 func (c ChurnConfig) withDefaults() ChurnConfig {
@@ -300,6 +303,7 @@ func ChurnRun(o Options, cfg ChurnConfig) ChurnResult {
 		Cycles:           cycles,
 		LossRate:         cfg.Loss,
 		Workers:          cfg.Workers,
+		Shards:           cfg.Shards,
 		DepartureNotices: cfg.DepartureNotices,
 		RefillWatermark:  cfg.RefillWatermark,
 		Publications:     publications(ds),

@@ -34,6 +34,8 @@ type ChurnBenchConfig struct {
 	Cycles int
 	// EngineWorkers is the engine pool (0 = serial).
 	EngineWorkers int
+	// EngineShards is the engine slab count (0 = single slab).
+	EngineShards int
 }
 
 func (c ChurnBenchConfig) withDefaults() ChurnBenchConfig {
@@ -120,7 +122,7 @@ func churnBenchWorld(cfg ChurnBenchConfig) (*sim.Engine, sim.ChurnSchedule, *met
 
 	timeline := &[]metrics.ChurnSample{}
 	e := sim.New(sim.Config{
-		Seed: 1, Cycles: cfg.Cycles, Workers: cfg.EngineWorkers,
+		Seed: 1, Cycles: cfg.Cycles, Workers: cfg.EngineWorkers, Shards: cfg.EngineShards,
 		BootstrapDegree: 5, Publications: pubs, Churn: schedule,
 		DepartureNotices: cfg.DepartureNotices,
 		RefillWatermark:  cfg.RefillWatermark,

@@ -36,6 +36,15 @@ type HotPathConfig struct {
 	// EngineWorkers is the engine pool for the full-cycle scenario
 	// (0 = serial, matching the per-point default of the experiment sweeps).
 	EngineWorkers int
+	// EngineShards is the slab count the sharded-cycle scenarios run with
+	// (0 = 4). The plain cycle scenarios always run single-slab, so the
+	// recorded trajectory keeps comparing like with like.
+	EngineShards int
+	// FlashCrowdPeers, when > 0, enables the large-scale flash-crowd
+	// scenario at that total population (the ROADMAP's north star runs it at
+	// 1_000_000). Off by default: the world needs ~10 GB of RAM per 1M peers
+	// and a cycle takes tens of seconds per core, far beyond CI budgets.
+	FlashCrowdPeers int
 }
 
 func (c HotPathConfig) withDefaults() HotPathConfig {
@@ -44,6 +53,9 @@ func (c HotPathConfig) withDefaults() HotPathConfig {
 	}
 	if c.CycleItems <= 0 {
 		c.CycleItems = 6
+	}
+	if c.EngineShards <= 0 {
+		c.EngineShards = 4
 	}
 	return c
 }
@@ -118,11 +130,15 @@ func hotPathView() (v *overlay.View, descs []overlay.Descriptor, self *profile.P
 // application, view wipes, bootstrap-from-online-sample and per-cycle
 // eviction scans.
 func hotPathWorld(cfg HotPathConfig, churn bool, links *faultnet.Policy) *sim.Engine {
+	return hotPathWorldSharded(cfg, churn, links, 0)
+}
+
+func hotPathWorldSharded(cfg HotPathConfig, churn bool, links *faultnet.Policy, shards int) *sim.Engine {
 	const scheduledCycles = 2000
 	opinions := core.OpinionFunc(func(node news.NodeID, item news.ID) bool {
 		return int(node)%4 == int(item)%4
 	})
-	nodeCfg := core.Config{FLike: 6, RPSViewSize: 20}
+	nodeCfg := core.Config{FLike: 6, RPSViewSize: 20}.ForPopulation(cfg.CyclePeers)
 	var schedule sim.ChurnSchedule
 	if churn {
 		nodeCfg.DescriptorTTL = 15
@@ -155,9 +171,60 @@ func hotPathWorld(cfg HotPathConfig, churn bool, links *faultnet.Policy) *sim.En
 		col.RegisterNode(news.NodeID(i), scheduledCycles*cfg.CycleItems/4)
 	}
 	e := sim.New(sim.Config{
-		Seed: 1, Cycles: scheduledCycles, Workers: cfg.EngineWorkers,
+		Seed: 1, Cycles: scheduledCycles, Workers: cfg.EngineWorkers, Shards: shards,
 		BootstrapDegree: 5, Publications: pubs, Churn: schedule,
 		Links: links,
+	}, peers, col)
+	e.Bootstrap()
+	return e
+}
+
+// hotPathFlashWorld builds the large-scale flash-crowd world: a base
+// population of ~15/16 of FlashCrowdPeers with the remaining sixteenth
+// joining in a burst spread over four cycles from cycle 2 — breaking news
+// hitting a million-peer deployment. The world runs on the sharded engine
+// (slab membership, pooled cross-shard batches) with the large-scale config
+// bounds applied (core.Config.ForPopulation), and publishes only two items
+// per cycle so the measured cost is membership and gossip at scale rather
+// than an unbounded BEEP flood.
+func hotPathFlashWorld(cfg HotPathConfig) *sim.Engine {
+	const scheduledCycles = 64
+	const cycleItems = 2
+	total := cfg.FlashCrowdPeers
+	joiners := total / 16
+	base := total - joiners
+	opinions := core.OpinionFunc(func(node news.NodeID, item news.ID) bool {
+		return int(node)%4 == int(item)%4
+	})
+	nodeCfg := core.Config{FLike: 6, RPSViewSize: 20, DescriptorTTL: 15}.ForPopulation(total)
+	schedule := sim.FlashCrowd(2, news.NodeID(base), joiners, joiners/4)
+	newPeer := func(id news.NodeID) sim.Peer {
+		return core.NewNode(id, "", nodeCfg, opinions,
+			rand.New(rand.NewSource(1000+int64(id))))
+	}
+	peers := make([]sim.Peer, base)
+	for i := 0; i < base; i++ {
+		peers[i] = newPeer(news.NodeID(i))
+	}
+	col := metrics.NewCollector()
+	pubs := make([]sim.Publication, 0, scheduledCycles*cycleItems)
+	for c := 1; c <= scheduledCycles; c++ {
+		for k := 0; k < cycleItems; k++ {
+			src := news.NodeID((c*cycleItems + k) % base)
+			it := news.New(fmt.Sprintf("fc-%d-%d", c, k), "d", "l", int64(c), src)
+			it.ID = news.ID(c*cycleItems + k)
+			pubs = append(pubs, sim.Publication{Cycle: int64(c), Source: src, Item: it})
+			col.RegisterItem(it.ID, total/4)
+		}
+	}
+	for i := 0; i < total; i++ {
+		col.RegisterNode(news.NodeID(i), scheduledCycles*cycleItems/4)
+	}
+	e := sim.New(sim.Config{
+		Seed: 1, Cycles: scheduledCycles,
+		Workers: cfg.EngineWorkers, Shards: cfg.EngineShards,
+		BootstrapDegree: 5, Publications: pubs, Churn: schedule,
+		NewPeer: newPeer,
 	}, peers, col)
 	e.Bootstrap()
 	return e
@@ -187,7 +254,8 @@ func hotPathLinks(cfg HotPathConfig) *faultnet.Policy {
 func HotPathBenchmarks(cfg HotPathConfig) []NamedBench {
 	cfg = cfg.withDefaults()
 	var engine, churnEngine, faultEngine *sim.Engine
-	return []NamedBench{
+	var shardEngine, shardChurnEngine, flashEngine *sim.Engine
+	benches := []NamedBench{
 		{Name: "merge", Bench: func(b *testing.B) {
 			item, user := hotPathProfiles()
 			b.ReportAllocs()
@@ -267,7 +335,46 @@ func HotPathBenchmarks(cfg HotPathConfig) []NamedBench {
 				faultEngine.Step()
 			}
 		}},
+		{Name: fmt.Sprintf("sharded-cycle-%dpeers", cfg.CyclePeers), Bench: func(b *testing.B) {
+			if shardEngine == nil {
+				shardEngine = hotPathWorldSharded(cfg, false, nil, cfg.EngineShards)
+				shardEngine.Step()
+				b.ResetTimer()
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				shardEngine.Step()
+			}
+		}},
+		{Name: fmt.Sprintf("sharded-churn-cycle-%dpeers", cfg.CyclePeers), Bench: func(b *testing.B) {
+			if shardChurnEngine == nil {
+				shardChurnEngine = hotPathWorldSharded(cfg, true, nil, cfg.EngineShards)
+				shardChurnEngine.Step()
+				b.ResetTimer()
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				shardChurnEngine.Step()
+			}
+		}},
 	}
+	if cfg.FlashCrowdPeers > 0 {
+		benches = append(benches, NamedBench{
+			Name: fmt.Sprintf("flash-crowd-%dpeers", cfg.FlashCrowdPeers),
+			Bench: func(b *testing.B) {
+				if flashEngine == nil {
+					flashEngine = hotPathFlashWorld(cfg)
+					flashEngine.Step() // cycle 1: steady state before the crowd hits
+					b.ResetTimer()
+				}
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					flashEngine.Step() // cycles 2+: the crowd is arriving
+				}
+			},
+		})
+	}
+	return benches
 }
 
 // HotPathScenario is one measured scenario of the recorded trajectory.
@@ -281,11 +388,15 @@ type HotPathScenario struct {
 
 // HotPathResult is one BENCH_hotpath.json trajectory entry.
 type HotPathResult struct {
-	Label      string            `json:"label,omitempty"`
-	GoVersion  string            `json:"go"`
-	MaxProcs   int               `json:"maxprocs"`
-	CyclePeers int               `json:"cycle_peers"`
-	Scenarios  []HotPathScenario `json:"scenarios"`
+	Label      string `json:"label,omitempty"`
+	GoVersion  string `json:"go"`
+	MaxProcs   int    `json:"maxprocs"`
+	CyclePeers int    `json:"cycle_peers"`
+	// EngineShards is the slab count of the sharded scenarios in this entry.
+	EngineShards int `json:"engine_shards,omitempty"`
+	// FlashCrowdPeers is the flash-crowd population when that scenario ran.
+	FlashCrowdPeers int               `json:"flash_crowd_peers,omitempty"`
+	Scenarios       []HotPathScenario `json:"scenarios"`
 }
 
 // HotPath measures every scenario with the testing harness and returns the
@@ -294,9 +405,11 @@ type HotPathResult struct {
 func HotPath(cfg HotPathConfig) HotPathResult {
 	cfg = cfg.withDefaults()
 	r := HotPathResult{
-		GoVersion:  runtime.Version(),
-		MaxProcs:   runtime.GOMAXPROCS(0),
-		CyclePeers: cfg.CyclePeers,
+		GoVersion:       runtime.Version(),
+		MaxProcs:        runtime.GOMAXPROCS(0),
+		CyclePeers:      cfg.CyclePeers,
+		EngineShards:    cfg.EngineShards,
+		FlashCrowdPeers: cfg.FlashCrowdPeers,
 	}
 	for _, nb := range HotPathBenchmarks(cfg) {
 		br := testing.Benchmark(nb.Bench)

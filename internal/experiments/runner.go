@@ -85,6 +85,9 @@ type RunConfig struct {
 	// 0 runs the engine serially — sweep points usually run many at a time,
 	// so parallelism lives at the sweep level unless asked for explicitly.
 	Workers int
+	// Shards is the engine slab count (sim.Config.Shards, 0 = single slab).
+	// Results are bit-identical for any value.
+	Shards int
 	// OnCycleEnd/OnDelivery are forwarded to the engine.
 	OnCycleEnd func(e *sim.Engine, now int64)
 	OnDelivery func(d core.Delivery, now int64)
@@ -190,6 +193,7 @@ func Run(rc RunConfig) Outcome {
 		Cycles:       cycles,
 		LossRate:     rc.Loss,
 		Workers:      workers,
+		Shards:       rc.Shards,
 		Publications: publications(ds),
 		OnCycleEnd:   rc.OnCycleEnd,
 		OnDelivery:   rc.OnDelivery,

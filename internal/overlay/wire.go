@@ -123,6 +123,35 @@ func DecodeTombstones(data []byte) ([]Tombstone, []byte, error) {
 	return tombs, rest, nil
 }
 
+// AppendDecodeTombstones decodes a uvarint-counted tombstone list by
+// appending onto dst — the arena-pooling counterpart of DecodeTombstones,
+// with the same relocation caveat as AppendDecodeDescriptors.
+func AppendDecodeTombstones(dst []Tombstone, data []byte) ([]Tombstone, []byte, error) {
+	n, rest, err := wire.Uint(data)
+	if err != nil {
+		return dst, data, fmt.Errorf("tombstone count: %w", err)
+	}
+	if n > uint64(len(rest))/2 {
+		return dst, data, fmt.Errorf("%w: %d tombstones declared, %d bytes remain", wire.ErrTruncated, n, len(rest))
+	}
+	for i := uint64(0); i < n; i++ {
+		node, r, err := wire.Int(rest)
+		if err != nil {
+			return dst, data, fmt.Errorf("tombstone %d node: %w", i, err)
+		}
+		if !news.ValidNodeID(node) {
+			return dst, data, fmt.Errorf("%w: tombstone node id %d out of range", wire.ErrMalformed, node)
+		}
+		stamp, r, err := wire.Int(r)
+		if err != nil {
+			return dst, data, fmt.Errorf("tombstone %d stamp: %w", i, err)
+		}
+		dst = append(dst, Tombstone{Node: news.NodeID(node), Stamp: stamp})
+		rest = r
+	}
+	return dst, rest, nil
+}
+
 // TombstonesWireSize sums the wire sizes of a tombstone list, excluding the
 // count prefix (the simulator accounts the prefix as part of the envelope it
 // rides on only when the list is non-empty).
@@ -158,4 +187,75 @@ func DecodeDescriptors(data []byte) ([]Descriptor, []byte, error) {
 		descs = append(descs, d)
 	}
 	return descs, rest, nil
+}
+
+// AppendDecodeDescriptors decodes a uvarint-counted descriptor list by
+// appending onto dst, so batch consumers can pool one arena across many
+// lists instead of allocating a slice per list. It returns the extended
+// arena and the remaining bytes; the caller slices the arena by the lengths
+// before and after the call (the append may relocate the backing array, so
+// subslices must be taken only once all appends into the arena are done).
+func AppendDecodeDescriptors(dst []Descriptor, data []byte) ([]Descriptor, []byte, error) {
+	n, rest, err := wire.Uint(data)
+	if err != nil {
+		return dst, data, fmt.Errorf("descriptor count: %w", err)
+	}
+	if n > uint64(len(rest))/4 {
+		return dst, data, fmt.Errorf("%w: %d descriptors declared, %d bytes remain", wire.ErrTruncated, n, len(rest))
+	}
+	for i := uint64(0); i < n; i++ {
+		var d Descriptor
+		if d, rest, err = DecodeDescriptor(rest); err != nil {
+			return dst, data, fmt.Errorf("descriptor %d: %w", i, err)
+		}
+		dst = append(dst, d)
+	}
+	return dst, rest, nil
+}
+
+// Norm-accumulator sidecar: the packed profile codec recomputes Σ score²
+// from the decoded entries, which is exact in value but not bit-identical to
+// the sender's incrementally maintained accumulator (float addition is not
+// associative). Engines that require decoded descriptors to score
+// bit-identically to the originals (the sharded simulator's inter-shard
+// batches) append this sidecar after a descriptor list: per profile-carrying
+// descriptor, the score-packed Σ score² followed by the uvarint
+// subtractive-edit counter.
+
+// AppendNormAccumulators appends the norm-accumulator sidecar for a
+// descriptor list: one (sumSq, dirty) pair per descriptor with a profile,
+// in list order. Descriptors without a profile contribute nothing.
+func AppendNormAccumulators(buf []byte, descs []Descriptor) []byte {
+	for _, d := range descs {
+		if d.Profile == nil {
+			continue
+		}
+		sumSq, dirty := d.Profile.NormAccumulator()
+		buf = wire.AppendScore(buf, sumSq)
+		buf = wire.AppendUint(buf, uint64(dirty))
+	}
+	return buf
+}
+
+// DecodeNormAccumulators decodes the sidecar written by
+// AppendNormAccumulators and restores each pair onto the corresponding
+// decoded descriptor's profile, returning the remaining bytes.
+func DecodeNormAccumulators(data []byte, descs []Descriptor) ([]byte, error) {
+	rest := data
+	for _, d := range descs {
+		if d.Profile == nil {
+			continue
+		}
+		sumSq, r, err := wire.Score(rest)
+		if err != nil {
+			return data, fmt.Errorf("norm accumulator sumSq: %w", err)
+		}
+		dirty, r, err := wire.Uint(r)
+		if err != nil {
+			return data, fmt.Errorf("norm accumulator dirty: %w", err)
+		}
+		d.Profile.SetNormAccumulator(sumSq, int(dirty))
+		rest = r
+	}
+	return rest, nil
 }

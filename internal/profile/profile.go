@@ -286,6 +286,28 @@ func (p *Profile) noteSubtraction(n int) {
 	p.dirty = 0
 }
 
+// NormAccumulator exposes the cached Σ score² and the subtractive-edit
+// counter behind Norm. The pair is the profile's float-accumulator state:
+// two profiles with equal entries can carry different sumSq bits depending
+// on the mutation history that produced them, and similarity metrics read
+// the cached value, not a recomputation. Serialization boundaries that must
+// preserve bit-identical similarity scores (the sharded engine's inter-shard
+// batches) carry this pair alongside the entries and restore it with
+// SetNormAccumulator.
+func (p *Profile) NormAccumulator() (sumSq float64, dirty int) {
+	return p.sumSq, p.dirty
+}
+
+// SetNormAccumulator overwrites the cached Σ score² and subtractive-edit
+// counter, replacing the recomputed-from-entries values a decode produces
+// with the sender's exact accumulator bits. Content is unchanged, so the
+// version counter is not bumped. The caller owns the invariant that the pair
+// actually belongs to the current entries.
+func (p *Profile) SetNormAccumulator(sumSq float64, dirty int) {
+	p.sumSq = sumSq
+	p.dirty = dirty
+}
+
 // Norm returns the Euclidean norm of the score vector, ‖P‖.
 func (p *Profile) Norm() float64 {
 	if p.sumSq <= 0 {

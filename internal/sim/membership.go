@@ -56,12 +56,6 @@ func (s MemberState) String() string {
 	}
 }
 
-// member is one slot of the engine's membership table.
-type member struct {
-	peer  Peer
-	state MemberState
-}
-
 // ChurnEventKind names one membership transition.
 type ChurnEventKind uint8
 

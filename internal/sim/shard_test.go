@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"whatsup/internal/core"
+	"whatsup/internal/faultnet"
+	"whatsup/internal/metrics"
+	"whatsup/internal/news"
+)
+
+// Golden collector fingerprints of the pre-shard engine (captured at commit
+// 1a0bbbe, before the slab refactor landed). The Shards=1 path must stay
+// bit-identical with that engine forever: these hashes pin it.
+const (
+	// sha256 of fingerprint(runShardedWorld(workers, 1)) for any workers.
+	goldenStaticWorld = "dc49020cf55a4c943f90273eaa71e6ab9886f75a8badede0a8737b5c7f7825a1"
+	// sha256 of fingerprint(heavyChurnWorld(workers, 1)) for any workers.
+	goldenHeavyWorld = "77aefb125d7b3c84ee349af3b1af096bf1ccb2d45e2013c2b8468729607dae92"
+)
+
+func fingerprintHash(c *metrics.Collector) string {
+	h := sha256.Sum256([]byte(fingerprint(c)))
+	return hex.EncodeToString(h[:])
+}
+
+// runShardedWorld is runWorldWorkers' static community world with a shard
+// count: 120 peers, 40 items, 25 cycles at 15% loss.
+func runShardedWorld(workers, shards int) *metrics.Collector {
+	const n, items, cycles, loss, seed = 120, 40, 25, 0.15, 7
+	cfg := core.Config{FLike: 4, RPSViewSize: 8, ProfileWindow: int64(cycles)}
+	peers, pubs, col := communityWorld(n, items, cycles, cfg, seed)
+	e := New(Config{
+		Seed: seed, Cycles: cycles, LossRate: loss, Publications: pubs,
+		BootstrapDegree: 4, Workers: workers, Shards: shards,
+	}, peers, col)
+	e.Bootstrap()
+	e.Run()
+	return col
+}
+
+// heavyChurnWorld runs the kitchen-sink world the golden hashes were
+// captured on: crash/leave/rejoin trace plus a flash crowd, departure
+// notices, watermark refill, straggler links and a scheduled partition — so
+// the pin covers every churn and faultnet seam crossing the shard boundary.
+func heavyChurnWorld(workers, shards int) *metrics.Collector {
+	const n, items, cycles, seed = 120, 40, 25, 7
+	cfg := core.Config{FLike: 4, RPSViewSize: 8, ProfileWindow: int64(cycles), DescriptorTTL: 10}
+	peers, pubs, col := communityWorld(n, items, cycles, cfg, seed)
+	opinions := core.OpinionFunc(func(node news.NodeID, item news.ID) bool {
+		return int(node)%2 == int(item)%2
+	})
+	schedule := ChurnTrace(ChurnTraceConfig{
+		Seed: 11, Nodes: n, From: 2, To: cycles - 2,
+		CrashRate: 0.15, LeaveRate: 0.05, Downtime: 3,
+	})
+	schedule.Merge(FlashCrowd(8, news.NodeID(n), 20, 5))
+	ids := make([]news.NodeID, n)
+	for i := range ids {
+		ids[i] = news.NodeID(i)
+	}
+	links := faultnet.Stragglers(ids, 0.2, 3, faultnet.Rule{Loss: 0.1})
+	groups := make(map[news.NodeID]int, n)
+	for i, id := range ids {
+		groups[id] = i % 2
+	}
+	links = links.AddPartition(faultnet.Partition{Groups: groups, Start: 12, Heal: 16})
+	e := New(Config{
+		Seed: seed, Cycles: cycles, LossRate: 0.15, Publications: pubs,
+		BootstrapDegree: 4, Workers: workers, Shards: shards, Churn: schedule,
+		DepartureNotices: true, RefillWatermark: 0.5, Links: links,
+		NewPeer: func(id news.NodeID) Peer {
+			return core.NewNode(id, "", cfg, opinions, rand.New(rand.NewSource(seed+int64(id))))
+		},
+	}, peers, col)
+	e.Bootstrap()
+	e.Run()
+	return col
+}
+
+// TestShardsIdentityPin asserts the Shards=1 engine is bit-identical with
+// the pre-shard engine, on both a static world and the heavy churn+faultnet
+// world, for serial and parallel worker counts. If this fails, the refactor
+// changed observable behaviour — not just an internal representation.
+func TestShardsIdentityPin(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		if got := fingerprintHash(runShardedWorld(workers, 1)); got != goldenStaticWorld {
+			t.Errorf("static world, workers=%d: fingerprint hash %s, pre-shard golden %s", workers, got, goldenStaticWorld)
+		}
+		if got := fingerprintHash(heavyChurnWorld(workers, 1)); got != goldenHeavyWorld {
+			t.Errorf("heavy churn world, workers=%d: fingerprint hash %s, pre-shard golden %s", workers, got, goldenHeavyWorld)
+		}
+	}
+}
+
+// TestShardMatrixDeterminism asserts collector fingerprints are
+// bit-identical across the Shards × Workers matrix on the heavy
+// churn+faultnet world — the core contract of the sharded engine: sharding
+// (and its codec-routed inter-shard gossip) is a pure execution strategy.
+func TestShardMatrixDeterminism(t *testing.T) {
+	for _, shards := range []int{1, 2, 8} {
+		for _, workers := range []int{1, 4} {
+			shards, workers := shards, workers
+			t.Run(fmt.Sprintf("heavy/shards=%d/workers=%d", shards, workers), func(t *testing.T) {
+				t.Parallel()
+				if got := fingerprintHash(heavyChurnWorld(workers, shards)); got != goldenHeavyWorld {
+					t.Errorf("fingerprint hash %s, golden %s", got, goldenHeavyWorld)
+				}
+			})
+			t.Run(fmt.Sprintf("static/shards=%d/workers=%d", shards, workers), func(t *testing.T) {
+				t.Parallel()
+				if got := fingerprintHash(runShardedWorld(workers, shards)); got != goldenStaticWorld {
+					t.Errorf("fingerprint hash %s, golden %s", got, goldenStaticWorld)
+				}
+			})
+		}
+	}
+}
+
+// TestShardedDeliveryOrder asserts OnDelivery observes the same delivery
+// sequence for any shard count: the per-segment delivery spans must replay
+// in global receiver order no matter which shard's worker buffered them.
+func TestShardedDeliveryOrder(t *testing.T) {
+	trace := func(shards int) []core.Delivery {
+		const n, items, cycles, loss, seed = 80, 24, 15, 0.1, 3
+		cfg := core.Config{FLike: 4, RPSViewSize: 8, ProfileWindow: int64(cycles)}
+		peers, pubs, col := communityWorld(n, items, cycles, cfg, seed)
+		var ds []core.Delivery
+		e := New(Config{
+			Seed: seed, Cycles: cycles, LossRate: loss, Publications: pubs,
+			BootstrapDegree: 4, Workers: 4, Shards: shards,
+			OnDelivery: func(d core.Delivery, now int64) { ds = append(ds, d) },
+		}, peers, col)
+		e.Bootstrap()
+		e.Run()
+		return ds
+	}
+	want := trace(1)
+	if len(want) == 0 {
+		t.Fatal("no deliveries in reference run")
+	}
+	for _, shards := range []int{3, 8} {
+		got := trace(shards)
+		if len(got) != len(want) {
+			t.Fatalf("shards=%d: %d deliveries, want %d", shards, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("shards=%d: delivery %d = %+v, want %+v", shards, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestShardStats asserts cross-shard routing is observable (and only at
+// Shards>1): the engine must actually be exercising the codec path that the
+// determinism matrix relies on, not silently running in-memory hand-offs.
+func TestShardStats(t *testing.T) {
+	const n, items, cycles, loss, seed = 80, 24, 10, 0.1, 3
+	cfg := core.Config{FLike: 4, RPSViewSize: 8, ProfileWindow: int64(cycles)}
+	build := func(shards int) *Engine {
+		peers, pubs, col := communityWorld(n, items, cycles, cfg, seed)
+		e := New(Config{
+			Seed: seed, Cycles: cycles, LossRate: loss, Publications: pubs,
+			BootstrapDegree: 4, Workers: 2, Shards: shards,
+		}, peers, col)
+		e.Bootstrap()
+		e.Run()
+		return e
+	}
+	if st := build(1).ShardStats(); st != (ShardStats{}) {
+		t.Errorf("Shards=1 routed traffic: %+v", st)
+	}
+	st := build(4).ShardStats()
+	if st.Crossings == 0 || st.Batches == 0 || st.BatchBytes == 0 {
+		t.Errorf("Shards=4 routed no traffic: %+v", st)
+	}
+	if e := build(4); e.Shards() != 4 {
+		t.Errorf("Shards() = %d, want 4", e.Shards())
+	}
+}

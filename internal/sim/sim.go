@@ -5,38 +5,49 @@
 // are disseminated to quiescence. A configurable loss model drops BEEP and
 // gossip messages (Table VI).
 //
-// The engine is parallel *and* strictly deterministic: per-cycle phases are
-// sharded across a worker pool (Config.Workers), yet a given seed produces
-// bit-identical results for any worker count. Three mechanisms guarantee
-// this:
+// The engine is parallel *and* strictly deterministic: peer state lives in
+// shard-owned struct-of-arrays slabs (Config.Shards), per-cycle phases run
+// on each shard's own worker slice (Config.Workers), and yet a given seed
+// produces bit-identical results for any Workers×Shards combination. Four
+// mechanisms guarantee this:
 //
 //   - Randomness is never drawn from a shared source. The engine derives one
 //     RNG stream per peer from Config.Seed and the peer ID; loss decisions
 //     and bootstrap sampling consume only the stream of the peer they
 //     concern, in a per-peer order that is fixed by the phase structure.
-//   - Every phase partitions state mutation by owner. Gossip rounds split
-//     into a parallel "compute pushes" phase (each initiator touches only
-//     its own state), an "absorb pushes" phase grouped per responder (each
-//     responder applies its incoming pushes in initiator order), and a
-//     parallel "absorb replies" phase. BEEP dissemination proceeds in hop
-//     rounds: all sends of a hop are ordered by (to, from, item) and then
-//     delivered grouped per receiver.
-//   - Metrics are recorded into per-worker metrics.Collector shards and
+//   - Every phase partitions state mutation by owner, and owners never
+//     migrate between shards. Gossip rounds split into a parallel "compute
+//     pushes" phase (each initiator touches only its own state), an "absorb
+//     pushes" phase grouped per responder (each responder applies its
+//     incoming pushes in initiator order), and a parallel "absorb replies"
+//     phase. BEEP dissemination proceeds in hop rounds: all sends of a hop
+//     are ordered by (to, from, item) and then delivered grouped per
+//     receiver, with receiver-order delivery callbacks.
+//   - Gossip exchanges that cross a shard boundary are routed as batches
+//     encoded through the binary wire codec (see routeCrossShard): the
+//     decoded descriptors carry the sender's exact profile norm-accumulator
+//     bits, so a responder in another shard scores them bit-identically to
+//     the in-memory originals. Shards=1 skips the codec entirely and is
+//     structurally the pre-shard engine.
+//   - Metrics are recorded into per-worker metrics.Collector scratch and
 //     merged into the main collector at the end of every cycle; all merged
 //     quantities are integers, so the merge is order-independent.
 //
 // Membership is dynamic (see membership.go): peers are members with
-// lifecycle states (Online, Offline, Departed) held at stable dense
+// lifecycle states (Online, Offline, Departed) held at stable dense global
 // indices, and a declarative ChurnSchedule drives joins, graceful leaves,
-// crashes and rejoins. The determinism contract extends to churn: a given
-// seed and schedule produce bit-identical results for any worker count,
-// because events are applied serially at the cycle boundary and consume
-// randomness only from the affected peer's stream, while departed members
-// keep their index so the phase sharding never shifts. An empty schedule
-// reproduces the historical fixed-population behaviour bit-identically.
+// crashes and rejoins. A member's global index g fixes its shard (g mod
+// Shards) and its slot in that shard's slab (g div Shards) for the lifetime
+// of the engine, so sharding never shifts under churn. The determinism
+// contract extends to churn: a given seed and schedule produce bit-identical
+// results for any worker and shard count, because events are applied
+// serially at the cycle boundary and consume randomness only from the
+// affected peer's stream. An empty schedule at Shards=1 reproduces the
+// historical fixed-population behaviour bit-identically.
 package sim
 
 import (
+	"fmt"
 	"math/rand"
 	"runtime"
 	"slices"
@@ -51,6 +62,7 @@ import (
 	"whatsup/internal/overlay"
 	"whatsup/internal/profile"
 	"whatsup/internal/rps"
+	"whatsup/internal/wire"
 )
 
 // Peer is the engine-facing contract of a protocol node. core.Node satisfies
@@ -99,10 +111,17 @@ type Config struct {
 	// BootstrapDegree is the number of random descriptors each peer's views
 	// are seeded with before the run (defaults to 5).
 	BootstrapDegree int
-	// Workers is the size of the pool the per-cycle phases are sharded
-	// across (0 = GOMAXPROCS). Results are bit-identical for any value;
+	// Workers is the total worker budget the per-cycle phases are sharded
+	// across (0 = GOMAXPROCS). Each shard runs max(1, Workers/Shards)
+	// workers over its own slab. Results are bit-identical for any value;
 	// see the package documentation for the determinism contract.
 	Workers int
+	// Shards is the number of peer-state slabs the membership table is
+	// split into (0 or 1 = a single slab, the pre-shard engine). A member
+	// at global dense index g is owned by shard g mod Shards. Gossip
+	// exchanges crossing a shard boundary are routed as wire-codec batches
+	// (the inter-shard ABI); results are bit-identical for any shard count.
+	Shards int
 	// Publications is the item schedule; entries outside [1, Cycles] never
 	// fire under Run (Step honours whatever cycle it reaches).
 	Publications []Publication
@@ -135,9 +154,19 @@ type Config struct {
 	// by the dynamics experiments (Figure 7) to sample view similarity.
 	OnCycleEnd func(e *Engine, now int64)
 	// OnDelivery, if set, observes every non-duplicate delivery. Deliveries
-	// are reported in a deterministic order regardless of worker count.
+	// are reported in a deterministic order regardless of worker or shard
+	// count.
 	OnDelivery func(d core.Delivery, now int64)
 }
+
+// largeScaleMembers is the population above which the engine switches its
+// bootstrap and join sampling from O(n) permutation draws to O(k) rejection
+// sampling: at million-peer scale a per-peer rand.Perm over the membership
+// table is quadratic in both time and allocation. Below the threshold the
+// historical draw sequence is reproduced exactly (the determinism pins all
+// run far below it); above it the rejection draws still consume only the
+// sampled peer's own stream, so the Workers×Shards contract is unaffected.
+const largeScaleMembers = 100_000
 
 // envelope is one in-flight BEEP message.
 type envelope struct {
@@ -151,25 +180,87 @@ type segment struct {
 	lo, hi int
 }
 
+// slab is the struct-of-arrays peer state owned by one shard: parallel
+// arrays indexed by slot (global dense index div Shards). Dense storage
+// keeps a shard's lifecycle scans cache-friendly at million-peer scale and
+// gives each shard a self-contained state block — the unit a future
+// multi-process engine would pin to one process.
+type slab struct {
+	peers   []Peer
+	states  []MemberState
+	streams []*rand.Rand // engine-side per-peer randomness
+}
+
+// delivSpan locates one BEEP segment's deliveries inside a worker's buffer,
+// so OnDelivery callbacks can replay them in global receiver order no matter
+// which shard's worker produced them.
+type delivSpan struct {
+	w, lo, hi int
+}
+
+// pendingLeg is one decoded cross-shard exchange leg awaiting fix-up: arena
+// offsets are recorded during decode and resolved to subslices only after
+// the arena stops growing (appends may relocate the backing array).
+type pendingLeg struct {
+	g        int // global dense index of the exchange's initiator
+	dlo, dhi int // descriptor arena span
+	tlo, thi int // tombstone arena span
+}
+
+// shardDecode is one destination shard's pooled decode state for inter-shard
+// batches: descriptor and tombstone arenas plus the pending fix-up list, all
+// reused across rounds so steady-state routing allocates only the decoded
+// profiles themselves (which outlive the round inside receiver views).
+type shardDecode struct {
+	descs   []overlay.Descriptor
+	tombs   []overlay.Tombstone
+	pending []pendingLeg
+}
+
+// ShardStats counts the gossip traffic routed between shards through the
+// wire codec. It is engine-side observability, deliberately separate from
+// the metrics.Collector: collector fingerprints must stay bit-identical
+// across shard counts, while these numbers exist precisely to differ.
+type ShardStats struct {
+	// Crossings is the number of exchange legs (pushes and replies) that
+	// crossed a shard boundary and were codec-routed.
+	Crossings int64
+	// Batches is the number of non-empty (source, destination) batch
+	// buffers flushed.
+	Batches int64
+	// BatchBytes is the total encoded size of those batches — the
+	// inter-shard ABI traffic a multi-process split would put on a pipe.
+	BatchBytes int64
+}
+
+// emptyDescriptors preserves non-nil-but-empty reply semantics across the
+// codec boundary: an exchange whose reply slice is non-nil is absorbed (and
+// its piggybacked tombstones noted) even when it carries no descriptors.
+var emptyDescriptors = make([]overlay.Descriptor, 0)
+
 // Engine drives a set of peers through gossip cycles.
 //
 // The scratch fields at the bottom are reused across hops and cycles so the
-// steady-state per-cycle loop performs no engine-side allocation: the BEEP
-// hop batches, the per-receiver segments, the per-worker send/delivery
-// buffers and the gossip exchange table all keep their capacity between
-// cycles.
+// steady-state per-cycle loop performs no engine-side allocation beyond
+// decoded cross-shard profiles: the BEEP hop batches, the per-receiver
+// segments, the per-worker send/delivery buffers, the gossip exchange table
+// and the inter-shard batch buffers and decode arenas all keep their
+// capacity between cycles.
 type Engine struct {
 	cfg     Config
-	workers int
-	members []member                   // lifecycle-aware membership table, dense stable indices
-	idx     map[news.NodeID]int        // node id -> dense index in members
-	online  int                        // count of members in state Online
-	streams map[news.NodeID]*rand.Rand // engine-side per-peer randomness
+	workers int // total worker budget
+	nshards int // shard count (>= 1)
+	wper    int // workers per shard = max(1, workers/nshards)
+	slabs   []slab
+	count   int                 // total registered members across all slabs
+	idx     map[news.NodeID]int // node id -> global dense index
+	online  int                 // count of members in state Online
 	col     *metrics.Collector
-	shards  []*metrics.Collector // per-worker scratch collectors
+	cols    []*metrics.Collector // per-worker scratch collectors, nshards*wper
 	now     int64
 	pubs    map[int64][]Publication
 	churn   map[int64][]ChurnEvent
+	stats   ShardStats
 
 	batch       []envelope // sends of the current BEEP hop
 	next        []envelope // assembly buffer for the following hop
@@ -178,8 +269,12 @@ type Engine struct {
 	order       []news.NodeID
 	bucketIdx   map[news.NodeID]int
 	bucketLists [][]int
-	sendBufs    [][]envelope      // per-worker BEEP sends, contiguous in segment order
+	sendBufs    [][]envelope      // per-worker BEEP sends
 	delivBufs   [][]core.Delivery // per-worker deliveries for OnDelivery
+	delivSegs   []delivSpan       // per-segment delivery spans, receiver order
+	shardItems  [][]int           // per-shard item bins for irregular phases
+	xbufs       [][]byte          // pooled (src*S+dst) inter-shard batch buffers
+	xdec        []shardDecode     // per destination shard decode arenas
 }
 
 // New builds an engine over the given peers, recording into col.
@@ -191,21 +286,41 @@ func New(cfg Config, peers []Peer, col *metrics.Collector) *Engine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	e := &Engine{
-		cfg:       cfg,
-		workers:   workers,
-		idx:       make(map[news.NodeID]int, len(peers)),
-		streams:   make(map[news.NodeID]*rand.Rand, len(peers)),
-		col:       col,
-		shards:    make([]*metrics.Collector, workers),
-		pubs:      make(map[int64][]Publication),
-		churn:     make(map[int64][]ChurnEvent),
-		bucketIdx: make(map[news.NodeID]int, len(peers)),
-		sendBufs:  make([][]envelope, workers),
-		delivBufs: make([][]core.Delivery, workers),
+	nshards := cfg.Shards
+	if nshards <= 0 {
+		nshards = 1
 	}
-	for w := range e.shards {
-		e.shards[w] = metrics.NewCollector()
+	wper := workers / nshards
+	if wper < 1 {
+		wper = 1
+	}
+	pool := nshards * wper
+	e := &Engine{
+		cfg:        cfg,
+		workers:    workers,
+		nshards:    nshards,
+		wper:       wper,
+		slabs:      make([]slab, nshards),
+		idx:        make(map[news.NodeID]int, len(peers)),
+		col:        col,
+		cols:       make([]*metrics.Collector, pool),
+		pubs:       make(map[int64][]Publication),
+		churn:      make(map[int64][]ChurnEvent),
+		bucketIdx:  make(map[news.NodeID]int, len(peers)),
+		sendBufs:   make([][]envelope, pool),
+		delivBufs:  make([][]core.Delivery, pool),
+		shardItems: make([][]int, nshards),
+		xbufs:      make([][]byte, nshards*nshards),
+		xdec:       make([]shardDecode, nshards),
+	}
+	for w := range e.cols {
+		e.cols[w] = metrics.NewCollector()
+	}
+	for s := range e.slabs {
+		n := len(peers) / nshards
+		e.slabs[s].peers = make([]Peer, 0, n)
+		e.slabs[s].states = make([]MemberState, 0, n)
+		e.slabs[s].streams = make([]*rand.Rand, 0, n)
 	}
 	for _, p := range peers {
 		e.addPeer(p)
@@ -230,15 +345,44 @@ func streamSeed(seed int64, id news.NodeID) int64 {
 	return int64(z)
 }
 
-// addPeer appends a member in state Online at the next dense index. Indices
-// are stable for the lifetime of the engine: departures never compact the
-// table, so worker-span sharding and per-peer RNG streams are unaffected by
-// how much churn preceded the current cycle.
+// shardOf returns the owner shard of a global dense index.
+func (e *Engine) shardOf(g int) int { return g % e.nshards }
+
+// slotOf returns the slab slot of a global dense index.
+func (e *Engine) slotOf(g int) int { return g / e.nshards }
+
+// peerAt returns the peer at a global dense index.
+func (e *Engine) peerAt(g int) Peer { return e.slabs[g%e.nshards].peers[g/e.nshards] }
+
+// stateAt returns the lifecycle state at a global dense index.
+func (e *Engine) stateAt(g int) MemberState { return e.slabs[g%e.nshards].states[g/e.nshards] }
+
+// streamAt returns the engine RNG stream at a global dense index.
+func (e *Engine) streamAt(g int) *rand.Rand { return e.slabs[g%e.nshards].streams[g/e.nshards] }
+
+// streamOf returns a member's engine stream by node id, nil for unknown ids.
+func (e *Engine) streamOf(id news.NodeID) *rand.Rand {
+	if g, ok := e.idx[id]; ok {
+		return e.streamAt(g)
+	}
+	return nil
+}
+
+// addPeer appends a member in state Online at the next global dense index;
+// the index fixes the owner shard (g mod Shards) and slab slot (g div
+// Shards) forever. Indices are stable for the lifetime of the engine:
+// departures never compact the slabs, so shard ownership, worker-span
+// sharding and per-peer RNG streams are unaffected by how much churn
+// preceded the current cycle.
 func (e *Engine) addPeer(p Peer) {
-	e.idx[p.ID()] = len(e.members)
-	e.members = append(e.members, member{peer: p, state: Online})
+	g := e.count
+	e.idx[p.ID()] = g
+	sl := &e.slabs[e.shardOf(g)]
+	sl.peers = append(sl.peers, p)
+	sl.states = append(sl.states, Online)
+	sl.streams = append(sl.streams, rand.New(rand.NewSource(streamSeed(e.cfg.Seed, p.ID()))))
+	e.count++
 	e.online++
-	e.streams[p.ID()] = rand.New(rand.NewSource(streamSeed(e.cfg.Seed, p.ID())))
 }
 
 // AddPeer registers a peer between cycles (the joining-node experiment of
@@ -254,12 +398,12 @@ func (e *Engine) AddPeer(p Peer) {
 
 // Peers returns a copy of the engine's peers in registration order,
 // regardless of lifecycle state. The returned slice is the caller's to keep:
-// mutating it cannot corrupt the engine's membership table or its sharding
-// invariants (the engine's internal slice must stay dense and stable).
+// mutating it cannot corrupt the engine's slabs or their sharding
+// invariants.
 func (e *Engine) Peers() []Peer {
-	out := make([]Peer, len(e.members))
-	for i, m := range e.members {
-		out[i] = m.peer
+	out := make([]Peer, e.count)
+	for g := 0; g < e.count; g++ {
+		out[g] = e.peerAt(g)
 	}
 	return out
 }
@@ -268,9 +412,9 @@ func (e *Engine) Peers() []Peer {
 // order.
 func (e *Engine) OnlinePeers() []Peer {
 	out := make([]Peer, 0, e.online)
-	for _, m := range e.members {
-		if m.state == Online {
-			out = append(out, m.peer)
+	for g := 0; g < e.count; g++ {
+		if e.stateAt(g) == Online {
+			out = append(out, e.peerAt(g))
 		}
 	}
 	return out
@@ -278,8 +422,8 @@ func (e *Engine) OnlinePeers() []Peer {
 
 // Peer returns the peer with the given id in any lifecycle state, or nil.
 func (e *Engine) Peer(id news.NodeID) Peer {
-	if i, ok := e.idx[id]; ok {
-		return e.members[i].peer
+	if g, ok := e.idx[id]; ok {
+		return e.peerAt(g)
 	}
 	return nil
 }
@@ -287,8 +431,8 @@ func (e *Engine) Peer(id news.NodeID) Peer {
 // State returns the lifecycle state of a member; ok is false for ids the
 // engine has never seen.
 func (e *Engine) State(id news.NodeID) (MemberState, bool) {
-	if i, ok := e.idx[id]; ok {
-		return e.members[i].state, true
+	if g, ok := e.idx[id]; ok {
+		return e.stateAt(g), true
 	}
 	return Departed, false
 }
@@ -298,22 +442,24 @@ func (e *Engine) OnlineCount() int { return e.online }
 
 // MemberCount returns the total number of members ever registered,
 // including offline and departed ones.
-func (e *Engine) MemberCount() int { return len(e.members) }
+func (e *Engine) MemberCount() int { return e.count }
 
 // onlinePeer returns the peer for an id only when it is online.
 func (e *Engine) onlinePeer(id news.NodeID) Peer {
-	if i, ok := e.idx[id]; ok && e.members[i].state == Online {
-		return e.members[i].peer
+	if g, ok := e.idx[id]; ok && e.stateAt(g) == Online {
+		return e.peerAt(g)
 	}
 	return nil
 }
 
 // setState transitions one member, maintaining the online count.
-func (e *Engine) setState(i int, s MemberState) {
-	if e.members[i].state == Online {
+func (e *Engine) setState(g int, s MemberState) {
+	sl := &e.slabs[e.shardOf(g)]
+	slot := e.slotOf(g)
+	if sl.states[slot] == Online {
 		e.online--
 	}
-	e.members[i].state = s
+	sl.states[slot] = s
 	if s == Online {
 		e.online++
 	}
@@ -323,13 +469,13 @@ func (e *Engine) setState(i int, s MemberState) {
 // existed and was not already departed. With Config.DepartureNotices the
 // leaver notifies its view neighbours before its state is wiped.
 func (e *Engine) Leave(id news.NodeID) bool {
-	i, ok := e.idx[id]
-	if !ok || e.members[i].state == Departed {
+	g, ok := e.idx[id]
+	if !ok || e.stateAt(g) == Departed {
 		return false
 	}
-	wasOnline := e.members[i].state == Online
-	e.setState(i, Departed)
-	p := e.members[i].peer
+	wasOnline := e.stateAt(g) == Online
+	e.setState(g, Departed)
+	p := e.peerAt(g)
 	if e.cfg.DepartureNotices && wasOnline {
 		e.sendDepartureNotices(p)
 	}
@@ -387,12 +533,12 @@ func (e *Engine) sendDepartureNotices(p Peer) {
 // Crash abruptly takes an online member offline, wiping its volatile state
 // (views) when the peer supports it. Reports whether the member was online.
 func (e *Engine) Crash(id news.NodeID) bool {
-	i, ok := e.idx[id]
-	if !ok || e.members[i].state != Online {
+	g, ok := e.idx[id]
+	if !ok || e.stateAt(g) != Online {
 		return false
 	}
-	e.setState(i, Offline)
-	if c, isCrasher := e.members[i].peer.(Crasher); isCrasher {
+	e.setState(g, Offline)
+	if c, isCrasher := e.peerAt(g).(Crasher); isCrasher {
 		c.Crash()
 	}
 	return true
@@ -403,12 +549,12 @@ func (e *Engine) Crash(id news.NodeID) bool {
 // member's own engine stream, the profile is whatever the peer retained.
 // Reports whether the member was offline.
 func (e *Engine) Rejoin(id news.NodeID) bool {
-	i, ok := e.idx[id]
-	if !ok || e.members[i].state != Offline {
+	g, ok := e.idx[id]
+	if !ok || e.stateAt(g) != Offline {
 		return false
 	}
-	e.setState(i, Online)
-	p := e.members[i].peer
+	e.setState(g, Online)
+	p := e.peerAt(g)
 	if c, isCrasher := p.(Crasher); isCrasher {
 		c.Crash() // ensure stale views are gone even if the crash hook was absent
 	}
@@ -425,7 +571,7 @@ func (e *Engine) Join(p Peer) bool {
 		return false
 	}
 	e.addPeer(p)
-	stream := e.streams[p.ID()]
+	stream := e.streamOf(p.ID())
 	if cs, isCold := p.(ColdStarter); isCold {
 		if host := e.randomOnlineHost(p.ID(), stream); host != nil && host.RPS() != nil && host.WUP() != nil {
 			cs.ColdStart(host.RPS().View().Entries(), host.WUP().View().Entries(), e.now)
@@ -437,13 +583,28 @@ func (e *Engine) Join(p Peer) bool {
 }
 
 // randomOnlineHost picks a uniformly random online member other than self,
-// drawing from the given stream; nil when none exists. Candidates are
-// enumerated in dense-index order, so the draw is independent of the worker
-// count.
+// drawing from the given stream; nil when none exists. Below the large-scale
+// threshold candidates are enumerated in dense-index order (the historical
+// draw); above it a bounded rejection loop draws slots directly, keeping a
+// million-peer flash crowd's joins O(1) instead of O(members) each. Either
+// path consumes only the given stream, so the draw is independent of the
+// worker and shard counts.
 func (e *Engine) randomOnlineHost(self news.NodeID, stream *rand.Rand) Peer {
+	if e.count >= largeScaleMembers {
+		for attempt := 0; attempt < 64; attempt++ {
+			g := stream.Intn(e.count)
+			if e.stateAt(g) != Online {
+				continue
+			}
+			if p := e.peerAt(g); p.ID() != self {
+				return p
+			}
+		}
+		// Pathologically low online fraction: fall through to the exact scan.
+	}
 	candidates := 0
-	for _, m := range e.members {
-		if m.state == Online && m.peer.ID() != self {
+	for g := 0; g < e.count; g++ {
+		if e.stateAt(g) == Online && e.peerAt(g).ID() != self {
 			candidates++
 		}
 	}
@@ -451,10 +612,10 @@ func (e *Engine) randomOnlineHost(self news.NodeID, stream *rand.Rand) Peer {
 		return nil
 	}
 	pick := stream.Intn(candidates)
-	for _, m := range e.members {
-		if m.state == Online && m.peer.ID() != self {
+	for g := 0; g < e.count; g++ {
+		if e.stateAt(g) == Online && e.peerAt(g).ID() != self {
 			if pick == 0 {
-				return m.peer
+				return e.peerAt(g)
 			}
 			pick--
 		}
@@ -462,22 +623,52 @@ func (e *Engine) randomOnlineHost(self news.NodeID, stream *rand.Rand) Peer {
 	return nil
 }
 
+// appendOnlineSample appends up to k fresh descriptors of online members
+// other than self, sampled from the given stream. Below the large-scale
+// threshold it reproduces the historical rand.Perm draw sequence exactly;
+// above it, it rejection-samples O(k) slots (a per-peer Perm over a
+// million-member table would be quadratic in time and allocation across a
+// bootstrap). Both paths consume only the given stream.
+func (e *Engine) appendOnlineSample(descs []overlay.Descriptor, self news.NodeID, stream *rand.Rand, now int64, k int) []overlay.Descriptor {
+	n := e.count
+	if n < largeScaleMembers {
+		for _, g := range stream.Perm(n) {
+			if e.stateAt(g) != Online {
+				continue
+			}
+			p := e.peerAt(g)
+			if p.ID() == self {
+				continue
+			}
+			descs = append(descs, descriptorOf(p, now))
+			if len(descs) == k {
+				break
+			}
+		}
+		return descs
+	}
+	picked := make([]int, 0, k)
+	for attempt := 0; attempt < 8*k+32 && len(picked) < k; attempt++ {
+		g := stream.Intn(n)
+		if e.stateAt(g) != Online {
+			continue
+		}
+		p := e.peerAt(g)
+		if p.ID() == self || slices.Contains(picked, g) {
+			continue
+		}
+		picked = append(picked, g)
+		descs = append(descs, descriptorOf(p, now))
+	}
+	return descs
+}
+
 // seedFromOnline seeds a joining or rejoining peer's views with up to
 // BootstrapDegree fresh descriptors of online members, sampled from the
 // peer's own engine stream (the only randomness the operation consumes).
 func (e *Engine) seedFromOnline(p Peer, now int64) {
 	descs := make([]overlay.Descriptor, 0, e.cfg.BootstrapDegree)
-	stream := e.streams[p.ID()]
-	for _, j := range stream.Perm(len(e.members)) {
-		m := e.members[j]
-		if m.state != Online || m.peer.ID() == p.ID() {
-			continue
-		}
-		descs = append(descs, descriptorOf(m.peer, now))
-		if len(descs) == e.cfg.BootstrapDegree {
-			break
-		}
-	}
+	descs = e.appendOnlineSample(descs, p.ID(), e.streamOf(p.ID()), now, e.cfg.BootstrapDegree)
 	if r, isRejoiner := p.(Rejoiner); isRejoiner {
 		r.Rejoin(descs, now)
 		return
@@ -523,15 +714,22 @@ func (e *Engine) Collector() *metrics.Collector { return e.col }
 // Now returns the current cycle.
 func (e *Engine) Now() int64 { return e.now }
 
-// Workers returns the effective worker-pool size.
+// Workers returns the effective total worker budget.
 func (e *Engine) Workers() int { return e.workers }
 
-// parallelFor runs fn(worker, i) for every i in [0, n), splitting the range
-// into one contiguous span per worker. With a single worker (or a single
-// item) it runs inline. fn must touch only state owned by item i plus the
-// worker'th metrics shard; the span split then only decides which shard a
-// record lands in, and shards merge commutatively.
-func (e *Engine) parallelFor(n int, fn func(worker, i int)) {
+// Shards returns the effective shard count.
+func (e *Engine) Shards() int { return e.nshards }
+
+// ShardStats returns the cumulative cross-shard routing counters. All zeros
+// at Shards=1, where no exchange ever crosses a boundary.
+func (e *Engine) ShardStats() ShardStats { return e.stats }
+
+// parallelSpans is the single-shard work partitioner: fn(worker, i) for
+// every i in [0, n), one contiguous span per worker. With a single worker
+// (or a single item) it runs inline. fn must touch only state owned by item
+// i plus the worker'th metrics scratch; the span split then only decides
+// which collector a record lands in, and collectors merge commutatively.
+func (e *Engine) parallelSpans(n int, fn func(worker, i int)) {
 	w := e.workers
 	if w > n {
 		w = n
@@ -555,11 +753,106 @@ func (e *Engine) parallelFor(n int, fn func(worker, i int)) {
 	wg.Wait()
 }
 
-// mergeShards folds the per-worker shards into the main collector. Called at
-// the end of every cycle (a barrier), so user-visible reads — OnCycleEnd
-// hooks, post-run analysis — always see merged totals.
-func (e *Engine) mergeShards() {
-	for _, s := range e.shards {
+// forEachMember runs fn(worker, g) for every global dense index, each shard
+// processing its own slots on its own worker slice (worker ids s*wper+k, so
+// records land in shard-owned collector scratch). Any assignment of items
+// to workers yields identical results: items touch only their own state and
+// collector merges commute.
+func (e *Engine) forEachMember(fn func(worker, g int)) {
+	n := e.count
+	if e.nshards == 1 {
+		e.parallelSpans(n, fn)
+		return
+	}
+	var wg sync.WaitGroup
+	for s := 0; s < e.nshards; s++ {
+		ns := (n - s + e.nshards - 1) / e.nshards // members owned by shard s
+		if ns == 0 {
+			continue
+		}
+		w := e.wper
+		if w > ns {
+			w = ns
+		}
+		for k := 0; k < w; k++ {
+			wg.Add(1)
+			go func(s, k, w, ns int) {
+				defer wg.Done()
+				worker := s*e.wper + k
+				for slot := k * ns / w; slot < (k+1)*ns/w; slot++ {
+					fn(worker, s+slot*e.nshards)
+				}
+			}(s, k, w, ns)
+		}
+	}
+	wg.Wait()
+}
+
+// forEachSharded runs fn(worker, i) for every i in [0, n), binning items by
+// owner shard (shardOf) and splitting each shard's bin across its worker
+// slice. Used for the irregular phases — gossip absorb buckets and BEEP
+// segments — whose items are keyed by responder/receiver rather than dense
+// index. The bins are engine scratch reused across rounds.
+func (e *Engine) forEachSharded(n int, shardOf func(i int) int, fn func(worker, i int)) {
+	if e.nshards == 1 {
+		e.parallelSpans(n, fn)
+		return
+	}
+	for s := range e.shardItems {
+		e.shardItems[s] = e.shardItems[s][:0]
+	}
+	for i := 0; i < n; i++ {
+		s := shardOf(i)
+		e.shardItems[s] = append(e.shardItems[s], i)
+	}
+	var wg sync.WaitGroup
+	for s := 0; s < e.nshards; s++ {
+		items := e.shardItems[s]
+		if len(items) == 0 {
+			continue
+		}
+		w := e.wper
+		if w > len(items) {
+			w = len(items)
+		}
+		for k := 0; k < w; k++ {
+			wg.Add(1)
+			go func(s, k, w int, items []int) {
+				defer wg.Done()
+				worker := s*e.wper + k
+				for j := k * len(items) / w; j < (k+1)*len(items)/w; j++ {
+					fn(worker, items[j])
+				}
+			}(s, k, w, items)
+		}
+	}
+	wg.Wait()
+}
+
+// forEachShard runs fn(s) once per shard, concurrently when there are
+// several. Used by the inter-shard decode, where shard s writes only
+// exchange slots addressed to it.
+func (e *Engine) forEachShard(fn func(s int)) {
+	if e.nshards == 1 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(e.nshards)
+	for s := 0; s < e.nshards; s++ {
+		go func(s int) {
+			defer wg.Done()
+			fn(s)
+		}(s)
+	}
+	wg.Wait()
+}
+
+// mergeCols folds the per-worker collector scratch into the main collector.
+// Called at the end of every cycle (a barrier), so user-visible reads —
+// OnCycleEnd hooks, post-run analysis — always see merged totals.
+func (e *Engine) mergeCols() {
+	for _, s := range e.cols {
 		e.col.Merge(s)
 		s.Reset()
 	}
@@ -575,28 +868,18 @@ func descriptorOf(p Peer, now int64) overlay.Descriptor {
 // Bootstrap seeds every online peer's views with BootstrapDegree random
 // descriptors of other online peers, forming the initial random graph. Each
 // peer samples its neighbours from its own engine stream, so the graph is
-// independent of the worker count.
+// independent of the worker and shard counts.
 func (e *Engine) Bootstrap() {
-	n := len(e.members)
-	if n < 2 {
+	if e.count < 2 {
 		return
 	}
-	e.parallelFor(n, func(_, i int) {
-		if e.members[i].state != Online {
+	e.forEachMember(func(_, g int) {
+		if e.stateAt(g) != Online {
 			return
 		}
-		p := e.members[i].peer
+		p := e.peerAt(g)
 		descs := make([]overlay.Descriptor, 0, e.cfg.BootstrapDegree)
-		for _, j := range e.streams[p.ID()].Perm(n) {
-			m := e.members[j]
-			if m.state != Online || m.peer.ID() == p.ID() {
-				continue
-			}
-			descs = append(descs, descriptorOf(m.peer, 0))
-			if len(descs) == e.cfg.BootstrapDegree {
-				break
-			}
-		}
+		descs = e.appendOnlineSample(descs, p.ID(), e.streamAt(g), 0, e.cfg.BootstrapDegree)
 		if p.RPS() != nil {
 			p.RPS().Seed(descs)
 		}
@@ -647,7 +930,7 @@ func (e *Engine) lost(id news.NodeID) bool {
 	if e.cfg.LossRate <= 0 {
 		return false
 	}
-	s := e.streams[id]
+	s := e.streamOf(id)
 	if s == nil {
 		return false
 	}
@@ -673,9 +956,9 @@ func (e *Engine) Step() {
 	now := e.now
 
 	e.applyChurn(now)
-	e.parallelFor(len(e.members), func(_, i int) {
-		if e.members[i].state == Online {
-			e.members[i].peer.BeginCycle(now)
+	e.forEachMember(func(_, g int) {
+		if e.stateAt(g) == Online {
+			e.peerAt(g).BeginCycle(now)
 		}
 	})
 	if e.cfg.RefillWatermark > 0 {
@@ -696,7 +979,7 @@ func (e *Engine) Step() {
 		e.enqueue(pub.Source, sends)
 	}
 	e.drain(now)
-	e.mergeShards()
+	e.mergeCols()
 
 	if e.cfg.OnCycleEnd != nil {
 		e.cfg.OnCycleEnd(e, now)
@@ -720,11 +1003,11 @@ func (e *Engine) Run() {
 // engine stream, so results are bit-identical for any worker count.
 func (e *Engine) refillViews(now int64) {
 	wm := e.cfg.RefillWatermark
-	for i := range e.members {
-		if e.members[i].state != Online {
+	for g := 0; g < e.count; g++ {
+		if e.stateAt(g) != Online {
 			continue
 		}
-		p := e.members[i].peer
+		p := e.peerAt(g)
 		if p.RPS() == nil || p.WUP() == nil {
 			continue
 		}
@@ -784,6 +1067,147 @@ type exchange struct {
 	replyTombs []overlay.Tombstone
 }
 
+// encodeCrossShard walks the exchange table in global initiator order and
+// appends every leg that crosses a shard boundary to the pooled
+// (source, destination) batch buffer. One batch entry is
+//
+//	uvarint  initiator global dense index
+//	descriptor list          (overlay.AppendDescriptors)
+//	norm-accumulator sidecar (overlay.AppendNormAccumulators)
+//	tombstone list           (overlay.AppendTombstones)
+//
+// — the inter-shard ABI: a multi-process engine would write exactly these
+// bytes to a pipe. The sidecar is what keeps the contract bit-exact: the
+// packed profile codec recomputes Σ score² from entries, which differs in
+// float bits from the sender's incrementally maintained accumulator, and
+// similarity metrics read the cached value.
+//
+// For the push leg (reply=false) src is the initiator's shard and dst the
+// responder's, and legs the absorb phase would never read (lost pushes,
+// unknown/offline responders, responders without the layer) are skipped.
+// For the reply leg (reply=true) the direction reverses and every non-nil
+// reply crosses back to its initiator.
+func (e *Engine) encodeCrossShard(exs []exchange, reply bool, has func(Peer) bool) {
+	S := e.nshards
+	for i := range e.xbufs {
+		e.xbufs[i] = e.xbufs[i][:0]
+	}
+	for g := range exs {
+		ex := &exs[g]
+		var descs []overlay.Descriptor
+		var tombs []overlay.Tombstone
+		if reply {
+			if ex.reply == nil {
+				continue
+			}
+			descs, tombs = ex.reply, ex.replyTombs
+		} else {
+			if !ex.ok || ex.lost {
+				continue
+			}
+			descs, tombs = ex.push, ex.pushTombs
+		}
+		ti, known := e.idx[ex.target]
+		if !known {
+			continue
+		}
+		src, dst := e.shardOf(g), e.shardOf(ti)
+		if reply {
+			src, dst = dst, src
+		}
+		if src == dst {
+			continue
+		}
+		if !reply {
+			if r := e.onlinePeer(ex.target); r == nil || !has(r) {
+				continue // bucketing would drop it; don't ship dead traffic
+			}
+		}
+		buf := e.xbufs[src*S+dst]
+		buf = wire.AppendUint(buf, uint64(g))
+		buf = overlay.AppendDescriptors(buf, descs)
+		buf = overlay.AppendNormAccumulators(buf, descs)
+		buf = overlay.AppendTombstones(buf, tombs)
+		e.xbufs[src*S+dst] = buf
+		e.stats.Crossings++
+	}
+	for _, buf := range e.xbufs {
+		if len(buf) > 0 {
+			e.stats.Batches++
+			e.stats.BatchBytes += int64(len(buf))
+		}
+	}
+}
+
+// decodeCrossShard drains every destination shard's incoming batches on that
+// shard's own goroutine, replacing the crossing exchanges' in-memory slices
+// with decoded copies before the absorbing phase reads them. Each crossing
+// exchange appears in exactly one batch, so the per-shard writes are
+// disjoint. Decoded descriptors and tombstones land in pooled per-shard
+// arenas; subslices are fixed up only after the arenas stop growing. The
+// batches are engine-produced, so a malformed byte is an invariant
+// violation, not input — it panics.
+func (e *Engine) decodeCrossShard(exs []exchange, reply bool) {
+	S := e.nshards
+	e.forEachShard(func(d int) {
+		sc := &e.xdec[d]
+		sc.descs, sc.tombs, sc.pending = sc.descs[:0], sc.tombs[:0], sc.pending[:0]
+		for src := 0; src < S; src++ {
+			if src == d {
+				continue
+			}
+			data := e.xbufs[src*S+d]
+			for len(data) > 0 {
+				g64, rest, err := wire.Uint(data)
+				if err != nil {
+					panic(fmt.Sprintf("sim: inter-shard batch corrupt (initiator index): %v", err))
+				}
+				pl := pendingLeg{g: int(g64), dlo: len(sc.descs), tlo: len(sc.tombs)}
+				sc.descs, rest, err = overlay.AppendDecodeDescriptors(sc.descs, rest)
+				if err != nil {
+					panic(fmt.Sprintf("sim: inter-shard batch corrupt (descriptors): %v", err))
+				}
+				pl.dhi = len(sc.descs)
+				rest, err = overlay.DecodeNormAccumulators(rest, sc.descs[pl.dlo:pl.dhi])
+				if err != nil {
+					panic(fmt.Sprintf("sim: inter-shard batch corrupt (norm sidecar): %v", err))
+				}
+				sc.tombs, rest, err = overlay.AppendDecodeTombstones(sc.tombs, rest)
+				if err != nil {
+					panic(fmt.Sprintf("sim: inter-shard batch corrupt (tombstones): %v", err))
+				}
+				pl.thi = len(sc.tombs)
+				sc.pending = append(sc.pending, pl)
+				data = rest
+			}
+		}
+		for _, pl := range sc.pending {
+			descs := sc.descs[pl.dlo:pl.dhi:pl.dhi]
+			if pl.dhi == pl.dlo {
+				descs = emptyDescriptors // preserve non-nil reply semantics
+			}
+			tombs := sc.tombs[pl.tlo:pl.thi:pl.thi]
+			if pl.thi == pl.tlo {
+				tombs = nil
+			}
+			if reply {
+				exs[pl.g].reply, exs[pl.g].replyTombs = descs, tombs
+			} else {
+				exs[pl.g].push, exs[pl.g].pushTombs = descs, tombs
+			}
+		}
+	})
+}
+
+// routeCrossShard ships one leg of the round between shards through the
+// wire codec. At Shards=1 it is never called: every exchange stays an
+// in-memory pointer hand-off, structurally identical to the pre-shard
+// engine.
+func (e *Engine) routeCrossShard(exs []exchange, reply bool, has func(Peer) bool) {
+	e.encodeCrossShard(exs, reply, has)
+	e.decodeCrossShard(exs, reply)
+}
+
 // bucketByResponder groups successful pushes by responder, preserving
 // initiator order inside each bucket and first-contact order across buckets.
 // Exchanges whose push was lost or whose responder lacks the layer are
@@ -826,6 +1250,14 @@ func (e *Engine) bucketByResponder(exs []exchange, hasLayer func(Peer) bool) []n
 // Both gossip layers share this skeleton so the determinism-critical
 // ordering — including the loss-draw points — lives in exactly one place.
 //
+// With Shards > 1 a routing step runs between the phases: exchange legs
+// whose initiator and responder live in different shards are encoded into
+// per-shard-pair batches through the wire codec and decoded on the owning
+// shard (routeCrossShard), so the absorbing side only ever reads state its
+// own shard produced or decoded. The wire-byte accounting is recorded from
+// the original descriptors before routing and is therefore bit-identical
+// across shard counts.
+//
 // With Config.DepartureNotices, both legs piggyback the sender's active
 // departure tombstones: the receiver absorbs them *before* merging the
 // descriptors (so a reply is sampled from the post-eviction view and a push
@@ -838,17 +1270,17 @@ func (e *Engine) gossipRound(now int64, reqKind, repKind metrics.MessageKind,
 	absorbPush func(responder Peer, push []overlay.Descriptor) (reply []overlay.Descriptor),
 	absorbReply func(initiator Peer, reply []overlay.Descriptor),
 ) {
-	n := len(e.members)
+	n := e.count
 	if cap(e.exs) < n {
 		e.exs = make([]exchange, n)
 	}
 	exs := e.exs[:n]
 	clear(exs) // also drops the previous round's push/reply refs
-	e.parallelFor(n, func(w, i int) {
-		if e.members[i].state != Online {
+	e.forEachMember(func(w, g int) {
+		if e.stateAt(g) != Online {
 			return
 		}
-		p := e.members[i].peer
+		p := e.peerAt(g)
 		if !has(p) {
 			return
 		}
@@ -862,13 +1294,18 @@ func (e *Engine) gossipRound(now int64, reqKind, repKind metrics.MessageKind,
 				ex.pushTombs = dn.AppendTombstones(nil)
 			}
 		}
-		e.shards[w].RecordMessage(reqKind, descriptorsWireSize(push)+overlay.TombstonesWireSize(ex.pushTombs))
+		e.cols[w].RecordMessage(reqKind, descriptorsWireSize(push)+overlay.TombstonesWireSize(ex.pushTombs))
 		ex.lost = e.lost(p.ID()) || e.linkDropped(p.ID(), target, now, reqKind, 0)
-		exs[i] = ex
+		exs[g] = ex
 	})
 
+	if e.nshards > 1 {
+		e.routeCrossShard(exs, false, has)
+	}
+
 	order := e.bucketByResponder(exs, has)
-	e.parallelFor(len(order), func(w, bi int) {
+	respShard := func(bi int) int { return e.shardOf(e.idx[order[bi]]) }
+	e.forEachSharded(len(order), respShard, func(w, bi int) {
 		respID := order[bi]
 		responder := e.onlinePeer(respID)
 		noticer, isNoticer := responder.(DepartureNoticer)
@@ -883,25 +1320,29 @@ func (e *Engine) gossipRound(now int64, reqKind, repKind metrics.MessageKind,
 			if e.cfg.DepartureNotices && isNoticer {
 				replyTombs = noticer.AppendTombstones(nil)
 			}
-			e.shards[w].RecordMessage(repKind, descriptorsWireSize(reply)+overlay.TombstonesWireSize(replyTombs))
-			if !e.lost(respID) && !e.linkDropped(respID, e.members[i].peer.ID(), now, repKind, 0) {
+			e.cols[w].RecordMessage(repKind, descriptorsWireSize(reply)+overlay.TombstonesWireSize(replyTombs))
+			if !e.lost(respID) && !e.linkDropped(respID, e.peerAt(i).ID(), now, repKind, 0) {
 				exs[i].reply = reply
 				exs[i].replyTombs = replyTombs
 			}
 		}
 	})
 
-	e.parallelFor(n, func(_, i int) {
-		if exs[i].reply == nil {
+	if e.nshards > 1 {
+		e.routeCrossShard(exs, true, has)
+	}
+
+	e.forEachMember(func(_, g int) {
+		if exs[g].reply == nil {
 			return
 		}
-		p := e.members[i].peer
+		p := e.peerAt(g)
 		if dn, noticer := p.(DepartureNoticer); noticer {
-			for _, t := range exs[i].replyTombs {
+			for _, t := range exs[g].replyTombs {
 				dn.NoteDeparture(t, now)
 			}
 		}
-		absorbReply(p, exs[i].reply)
+		absorbReply(p, exs[g].reply)
 	})
 }
 
@@ -963,6 +1404,13 @@ func (e *Engine) enqueue(from news.NodeID, sends []core.Send) {
 // Messages are delivered in hop rounds: all sends of one hop are collected,
 // put in a deterministic total order, and the round is delivered grouped
 // per receiver; the sends it produces form the next round.
+//
+// BEEP envelopes cross shard boundaries as in-memory references rather than
+// codec batches: item messages are engine-internal values whose identity the
+// scenarios control (experiment worlds override item ids), so the hop batch
+// stays a shared value even at Shards > 1. A multi-process split would route
+// the hop through core.ItemMessage's codec the same way gossip legs use
+// routeCrossShard.
 func (e *Engine) drain(now int64) {
 	for len(e.batch) > 0 {
 		e.deliverRound(now)
@@ -974,7 +1422,9 @@ func (e *Engine) drain(now int64) {
 func (e *Engine) deliverRound(now int64) {
 	batch := e.batch
 	// Total order: by receiver, then sender, then item. A node forwards a
-	// given item at most once (SIR), so the triple is unique within a round.
+	// given item at most once (SIR), so the triple is unique within a round
+	// — which also makes the sorted order independent of how the previous
+	// round's workers assembled the batch.
 	slices.SortFunc(batch, func(a, b envelope) int {
 		switch {
 		case a.to != b.to:
@@ -996,8 +1446,8 @@ func (e *Engine) deliverRound(now int64) {
 		}
 	})
 	// Partition into per-receiver segments; each segment is applied by one
-	// worker, so a receiver's state and RNG are touched by one goroutine
-	// and always in the same (from, item) order.
+	// worker of the receiver's shard, so a receiver's state and RNG are
+	// touched by one goroutine and always in the same (from, item) order.
 	e.segs = e.segs[:0]
 	for lo := 0; lo < len(batch); {
 		hi := lo + 1
@@ -1011,13 +1461,25 @@ func (e *Engine) deliverRound(now int64) {
 		e.sendBufs[w] = e.sendBufs[w][:0]
 		e.delivBufs[w] = e.delivBufs[w][:0]
 	}
-	// parallelFor hands each worker a contiguous span of segments, so the
-	// per-worker buffers, concatenated in worker order, reproduce the global
-	// segment (receiver) order exactly.
-	e.parallelFor(len(e.segs), func(w, si int) {
+	observe := e.cfg.OnDelivery != nil
+	if observe {
+		if cap(e.delivSegs) < len(e.segs) {
+			e.delivSegs = make([]delivSpan, len(e.segs))
+		}
+		e.delivSegs = e.delivSegs[:len(e.segs)]
+	}
+	segShard := func(si int) int {
+		g, ok := e.idx[batch[e.segs[si].lo].to]
+		if !ok {
+			return 0 // unknown receiver: the messages drop; any shard may do it
+		}
+		return e.shardOf(g)
+	}
+	e.forEachSharded(len(e.segs), segShard, func(w, si int) {
 		seg := e.segs[si]
 		recv := e.onlinePeer(batch[seg.lo].to)
-		col := e.shards[w]
+		col := e.cols[w]
+		lo := len(e.delivBufs[w])
 		for k := seg.lo; k < seg.hi; k++ {
 			env := &batch[k]
 			col.RecordMessage(metrics.MsgBeep, env.msg.WireSize())
@@ -1032,7 +1494,7 @@ func (e *Engine) deliverRound(now int64) {
 				continue
 			}
 			col.RecordDelivery(d)
-			if e.cfg.OnDelivery != nil {
+			if observe {
 				e.delivBufs[w] = append(e.delivBufs[w], d)
 			}
 			if len(sends) > 0 {
@@ -1042,16 +1504,23 @@ func (e *Engine) deliverRound(now int64) {
 				e.sendBufs[w] = append(e.sendBufs[w], envelope{from: env.to, to: s.To, msg: s.Msg})
 			}
 		}
+		if observe {
+			e.delivSegs[si] = delivSpan{w: w, lo: lo, hi: len(e.delivBufs[w])}
+		}
 	})
-	// Assemble the next hop and fire callbacks in segment (receiver) order,
-	// keeping user-visible side effects deterministic.
-	e.next = e.next[:0]
-	for w := range e.sendBufs {
-		if e.cfg.OnDelivery != nil {
-			for _, d := range e.delivBufs[w] {
+	// Fire callbacks in segment (receiver) order via the per-segment spans —
+	// the user-visible delivery sequence is identical for any worker or
+	// shard partition — then assemble the next hop (whose order the sort
+	// above normalizes).
+	if observe {
+		for _, span := range e.delivSegs {
+			for _, d := range e.delivBufs[span.w][span.lo:span.hi] {
 				e.cfg.OnDelivery(d, now)
 			}
 		}
+	}
+	e.next = e.next[:0]
+	for w := range e.sendBufs {
 		e.next = append(e.next, e.sendBufs[w]...)
 	}
 	e.batch, e.next = e.next, e.batch
@@ -1064,13 +1533,17 @@ func (e *Engine) deliverRound(now int64) {
 // Node ids must be dense in [0, MemberCount) for the returned graph indices
 // to be meaningful; engines built by the experiment harness guarantee this.
 func (e *Engine) WUPGraph() *graph.Directed {
-	g := graph.NewDirected(len(e.members))
-	for _, m := range e.members {
-		if m.state != Online || m.peer.WUP() == nil {
+	g := graph.NewDirected(e.count)
+	for gi := 0; gi < e.count; gi++ {
+		if e.stateAt(gi) != Online {
 			continue
 		}
-		id := int(m.peer.ID())
-		m.peer.WUP().View().ForEach(func(d overlay.Descriptor) {
+		p := e.peerAt(gi)
+		if p.WUP() == nil {
+			continue
+		}
+		id := int(p.ID())
+		p.WUP().View().ForEach(func(d overlay.Descriptor) {
 			g.AddEdge(id, int(d.Node))
 		})
 	}

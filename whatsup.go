@@ -136,6 +136,10 @@ type SimulationConfig struct {
 	// bit-identical for any value; see internal/sim for the determinism
 	// contract.
 	Workers int
+	// Shards splits the engine's membership table into that many
+	// struct-of-arrays slabs with codec-routed inter-shard gossip
+	// (0 or 1 = single slab). Results are bit-identical for any value.
+	Shards int
 	// Churn schedules membership events; an empty schedule keeps the
 	// population static (and results bit-identical with earlier releases).
 	// Scheduled joiners are built as WhatsUp nodes with the workload's
@@ -166,6 +170,9 @@ func NewSimulation(ds *Dataset, cfg SimulationConfig) *Simulation {
 	if cycles == 0 {
 		cycles = ds.Cycles
 	}
+	// At very large populations, bound the scale-sensitive protocol knobs
+	// (no-op at paper scale; see core.Config.ForPopulation).
+	cfg.Node = cfg.Node.ForPopulation(ds.Users)
 	op := ds.Opinions()
 	peers := make([]sim.Peer, ds.Users)
 	for i := 0; i < ds.Users; i++ {
@@ -191,6 +198,7 @@ func NewSimulation(ds *Dataset, cfg SimulationConfig) *Simulation {
 		Cycles:           cycles,
 		LossRate:         cfg.LossRate,
 		Workers:          cfg.Workers,
+		Shards:           cfg.Shards,
 		DepartureNotices: cfg.DepartureNotices,
 		RefillWatermark:  cfg.RefillWatermark,
 		Publications:     pubs,
