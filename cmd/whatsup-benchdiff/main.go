@@ -88,6 +88,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		filter      = fs.String("filter", "^BenchmarkHotPath/", "regexp selecting benchmarks to compare")
 		nsThresh    = fs.Float64("ns-threshold", 0.10, "max allowed relative ns/op growth (negative = skip ns comparison)")
 		allocThresh = fs.Float64("allocs-threshold", 0.10, "max allowed relative allocs/op growth (negative = skip)")
+		superset    = fs.Bool("require-superset", false, "fail when a filter-matching baseline scenario is missing from the candidate (CI uses this so renamed or dropped scenarios cannot vanish silently)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -123,17 +124,41 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	names := make([]string, 0, len(newRes))
+	// Partition filter-matching scenarios: compared (in both), baseline-only
+	// (dropped or renamed in the candidate) and candidate-only (new, with no
+	// baseline to gate against). The one-sided sets used to be silently
+	// ignored, which let new scenarios "stay green" unseen and dropped ones
+	// vanish without a trace; they are always reported, and baseline-only
+	// scenarios fail the run under -require-superset.
+	var names, onlyOld, onlyNew []string
 	for name := range newRes {
+		if !sel.MatchString(name) {
+			continue
+		}
+		if _, ok := oldRes[name]; ok {
+			names = append(names, name)
+		} else {
+			onlyNew = append(onlyNew, name)
+		}
+	}
+	for name := range oldRes {
 		if sel.MatchString(name) {
-			if _, ok := oldRes[name]; ok {
-				names = append(names, name)
+			if _, ok := newRes[name]; !ok {
+				onlyOld = append(onlyOld, name)
 			}
 		}
 	}
 	sort.Strings(names)
-	if len(names) == 0 {
-		fmt.Fprintf(stderr, "no benchmarks matched %q in both files\n", *filter)
+	sort.Strings(onlyOld)
+	sort.Strings(onlyNew)
+	for _, name := range onlyNew {
+		fmt.Fprintf(stdout, "+ %-44s new scenario, no baseline to compare against\n", name)
+	}
+	for _, name := range onlyOld {
+		fmt.Fprintf(stdout, "! %-44s baseline scenario missing from candidate\n", name)
+	}
+	if len(names) == 0 && len(onlyOld) == 0 && len(onlyNew) == 0 {
+		fmt.Fprintf(stderr, "no benchmarks matched %q in either file\n", *filter)
 		return 2
 	}
 
@@ -160,6 +185,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if regressions > 0 {
 		fmt.Fprintf(stderr, "%d hot-path regression(s) beyond threshold\n", regressions)
+		return 1
+	}
+	if *superset && len(onlyOld) > 0 {
+		fmt.Fprintf(stderr, "%d baseline scenario(s) missing from candidate (-require-superset)\n", len(onlyOld))
 		return 1
 	}
 	fmt.Fprintf(stdout, "ok: %d benchmarks within thresholds\n", len(names))

@@ -83,3 +83,58 @@ func TestBenchdiffRejectsMissingInputs(t *testing.T) {
 		t.Fatalf("missing inputs must exit 2, got %d", code)
 	}
 }
+
+func TestBenchdiffReportsOneSidedScenarios(t *testing.T) {
+	// The candidate drops receive-liked and adds a sharded scenario: both
+	// one-sided sets must be printed instead of silently intersected away.
+	dir := t.TempDir()
+	newBench := strings.ReplaceAll(oldBench,
+		"BenchmarkHotPath/receive-liked-1 	  100000	      2300 ns/op	    3400 B/op	       9 allocs/op",
+		"BenchmarkHotPath/sharded-cycle-1 	  100000	      2300 ns/op	    3400 B/op	       9 allocs/op")
+	oldP := write(t, dir, "old.txt", oldBench)
+	newP := write(t, dir, "new.txt", newBench)
+	var out, errOut strings.Builder
+	if code := run([]string{"-old", oldP, "-new", newP}, &out, &errOut); code != 0 {
+		t.Fatalf("one-sided scenarios alone must not fail without -require-superset: exit=%d stderr=%q", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "+ BenchmarkHotPath/sharded-cycle") ||
+		!strings.Contains(out.String(), "new scenario") {
+		t.Fatalf("candidate-only scenario not reported:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "! BenchmarkHotPath/receive-liked") ||
+		!strings.Contains(out.String(), "missing from candidate") {
+		t.Fatalf("baseline-only scenario not reported:\n%s", out.String())
+	}
+}
+
+func TestBenchdiffRequireSupersetFailsOnDroppedScenario(t *testing.T) {
+	dir := t.TempDir()
+	newBench := strings.ReplaceAll(oldBench,
+		"BenchmarkHotPath/receive-liked", "BenchmarkHotPath/receive-renamed")
+	oldP := write(t, dir, "old.txt", oldBench)
+	newP := write(t, dir, "new.txt", newBench)
+	var out, errOut strings.Builder
+	if code := run([]string{"-old", oldP, "-new", newP, "-require-superset"}, &out, &errOut); code != 1 {
+		t.Fatalf("dropped baseline scenario must fail under -require-superset: exit=%d\n%s", code, out.String())
+	}
+	if !strings.Contains(errOut.String(), "missing from candidate") {
+		t.Fatalf("stderr=%q", errOut.String())
+	}
+	// The same pair passes when the superset requirement is off.
+	var out2, errOut2 strings.Builder
+	if code := run([]string{"-old", oldP, "-new", newP}, &out2, &errOut2); code != 0 {
+		t.Fatalf("without -require-superset the run must pass: exit=%d stderr=%q", code, errOut2.String())
+	}
+}
+
+func TestBenchdiffRequireSupersetPassesOnSuperset(t *testing.T) {
+	dir := t.TempDir()
+	newBench := strings.Replace(oldBench, "PASS",
+		"BenchmarkHotPath/extra-1 	  100000	      10 ns/op	       0 B/op	       0 allocs/op\nPASS", 1)
+	oldP := write(t, dir, "old.txt", oldBench)
+	newP := write(t, dir, "new.txt", newBench)
+	var out, errOut strings.Builder
+	if code := run([]string{"-old", oldP, "-new", newP, "-require-superset"}, &out, &errOut); code != 0 {
+		t.Fatalf("a strict superset must pass: exit=%d stderr=%q stdout=%s", code, errOut.String(), out.String())
+	}
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestUsageListsAnalyzers checks the no-args path prints the registry, so
+// `whatsup-lint` is self-documenting.
+func TestUsageListsAnalyzers(t *testing.T) {
+	// run writes usage to our stderr; capture via a pipe would be overkill —
+	// exercise the exit code and rely on the e2e test for output.
+	if got := run(nil); got != 2 {
+		t.Fatalf("run with no args = %d, want 2", got)
+	}
+}
+
+// TestEndToEnd builds the real binary and lints two throwaway modules: one
+// seeding a nondeterm violation in a package named sim (nonzero exit, the
+// finding on stderr) and one clean (exit 0). This covers the standalone
+// re-exec face (`whatsup-lint ./...`) and the unitchecker face `go vet`
+// drives underneath it.
+func TestEndToEnd(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go command not available")
+	}
+	repoRoot, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "whatsup-lint")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/whatsup-lint")
+	build.Dir = repoRoot
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building whatsup-lint: %v\n%s", err, out)
+	}
+
+	lint := func(t *testing.T, src string) (int, string) {
+		t.Helper()
+		mod := t.TempDir()
+		writeFile(t, filepath.Join(mod, "go.mod"), "module viol\n\ngo 1.22\n")
+		writeFile(t, filepath.Join(mod, "sim", "sim.go"), src)
+		cmd := exec.Command(bin, "./...")
+		cmd.Dir = mod
+		var buf bytes.Buffer
+		cmd.Stdout = &buf
+		cmd.Stderr = &buf
+		err := cmd.Run()
+		code := 0
+		if ee, ok := err.(*exec.ExitError); ok {
+			code = ee.ExitCode()
+		} else if err != nil {
+			t.Fatalf("running whatsup-lint: %v\n%s", err, buf.String())
+		}
+		return code, buf.String()
+	}
+
+	t.Run("violation", func(t *testing.T) {
+		code, out := lint(t, "package sim\n\nimport \"time\"\n\nfunc Now() int64 { return time.Now().UnixNano() }\n")
+		if code == 0 {
+			t.Fatalf("expected nonzero exit on a nondeterm violation\noutput:\n%s", out)
+		}
+		if !strings.Contains(out, "nondeterm") || !strings.Contains(out, "time.Now") {
+			t.Fatalf("missing nondeterm finding in output:\n%s", out)
+		}
+	})
+	t.Run("clean", func(t *testing.T) {
+		code, out := lint(t, "package sim\n\nfunc Pure(a, b int) int { return a + b }\n")
+		if code != 0 {
+			t.Fatalf("expected exit 0 on a clean module, got %d\noutput:\n%s", code, out)
+		}
+	})
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

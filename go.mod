@@ -1,3 +1,5 @@
 module whatsup
 
-go 1.21
+go 1.22.0
+
+require golang.org/x/tools v0.28.1-0.20250131145412-98746475647e

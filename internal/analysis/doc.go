@@ -1,0 +1,46 @@
+// Package analysis is whatsup-lint: a suite of golang.org/x/tools/go/analysis
+// analyzers that statically enforce the engine's determinism contract and
+// hot-path allocation budgets, so contract violations are caught at lint time
+// instead of hours later by the runtime golden tests.
+//
+// Analyzers:
+//
+//   - nondeterm: no wall-clock (time.Now/Since/...) or globally-seeded
+//     randomness (top-level math/rand funcs) in the deterministic packages
+//     (sim, core, overlay, profile, rps, cluster, metrics, faultnet). Only
+//     per-peer / per-link seeded *rand.Rand streams are allowed there.
+//   - maporder: no map-iteration order leaking into results — flags
+//     `for range m` over a map whose body appends to an outer slice,
+//     accumulates floating point into an outer variable (the float-op-order
+//     low-bit divergence the PR 9 norm sidecar exists to prevent), or sends
+//     on a channel. Escape hatch: `//whatsup:commutative` on the range.
+//   - hotalloc: in functions annotated `//whatsup:hotpath`, every
+//     statically-visible allocation site (make, new, append growth, composite
+//     literals, closures, []byte/string conversions) must carry an explicit
+//     `//whatsup:alloc` acknowledgement; unmarked sites are flagged. This is
+//     the static guard in front of the runtime 8-allocs/op receive-liked pin.
+//   - leakygo: in internal/live, `go` statements must be visibly tracked by a
+//     WaitGroup (Add before / deferred Done inside) or a done-channel close;
+//     untracked launches are the class of bug the goroutine-leak pins keep
+//     catching at runtime.
+//   - wiresize: every exported AppendWire method must have a sibling WireSize
+//     method on the same receiver type, preserving the exact wire-byte
+//     accounting invariant behind the Fig-8b bandwidth figures.
+//   - nilness: a deliberately small, AST-based reimplementation of the
+//     x/tools nilness check (the SSA-based original is not vendored in
+//     GOROOT, and this module builds offline): flags field accesses, derefs,
+//     calls and slice indexing on a variable inside the `x == nil` branch
+//     that guards it.
+//
+// Plus the vendored vet passes atomic and copylocks.
+//
+// Suppression: a finding from analyzer NAME is suppressed by a
+// `//whatsup:allow:NAME` comment on the flagged line or the line above
+// (maporder additionally honors `//whatsup:commutative`, hotalloc
+// `//whatsup:alloc`). Annotations are directive-style comments (no space
+// after `//`) so gofmt leaves them alone.
+//
+// The suite is driven by cmd/whatsup-lint, which runs standalone
+// (`whatsup-lint ./...` re-execs itself under `go vet -vettool`) or as a
+// unitchecker under an external `go vet -vettool=` invocation.
+package analysis

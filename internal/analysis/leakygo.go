@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// LeakyGo flags `go` statements in internal/live that are not visibly
+// tracked by a shutdown mechanism. The live runtime's contract — enforced at
+// runtime by the goroutine-leak pins around Network.Close and
+// Runner.RunContext — is that every goroutine is joined on teardown. A
+// launch is considered tracked when the goroutine's body defers a
+// (*sync.WaitGroup).Done, closes a channel, or sends on a channel before
+// returning; anything else (including `go named(...)`) must be suppressed
+// with an explicit `//whatsup:allow:leakygo` and a reason.
+var LeakyGo = &analysis.Analyzer{
+	Name: "leakygo",
+	Doc: "in internal/live, flag goroutine launches not visibly tracked by a " +
+		"WaitGroup (deferred Done) or a done-channel close/send",
+	Run: runLeakyGo,
+}
+
+func runLeakyGo(pass *analysis.Pass) (interface{}, error) {
+	if !livePkgRE.MatchString(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	ann := collectAnnotations(pass)
+	// Same-package function declarations, so `go t.writeLoop(...)` can be
+	// vetted through its callee's body.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if ann.allowed(g.Pos(), "leakygo") {
+				return true
+			}
+			var body *ast.BlockStmt
+			if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+				body = lit.Body
+			} else if fn := calleeFunc(pass, g.Call); fn != nil {
+				if fd, ok := decls[fn]; ok {
+					body = fd.Body
+				}
+			}
+			if body == nil {
+				pass.Reportf(g.Pos(), "leakygo: goroutine launches a function declared outside this package; lifecycle is not verifiable at the launch site — wrap it in a func literal with a deferred WaitGroup.Done (or //whatsup:allow:leakygo with a reason)")
+				return true
+			}
+			if !goroutineTracked(pass, body) {
+				pass.Reportf(g.Pos(), "leakygo: goroutine is not tracked by a WaitGroup or done channel; it can outlive Close/Run teardown (the class of leak the runtime goroutine pins catch) — add wg.Add(1) before and defer wg.Done() inside, or //whatsup:allow:leakygo with a reason")
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// goroutineTracked reports whether the goroutine body visibly participates
+// in a shutdown protocol: a deferred WaitGroup.Done, a close(ch), or a
+// channel send.
+func goroutineTracked(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	tracked := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if tracked {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if isWaitGroupDone(pass, n.Call) {
+				tracked = true
+				return false
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					tracked = true
+					return false
+				}
+			}
+		case *ast.SendStmt:
+			tracked = true
+			return false
+		}
+		return true
+	})
+	return tracked
+}
+
+// isWaitGroupDone reports whether the call is (*sync.WaitGroup).Done.
+func isWaitGroupDone(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "sync"
+}

@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Nilness is a deliberately small, AST-based stand-in for the x/tools
+// SSA-based nilness analyzer (which is not vendored in GOROOT, and this
+// module builds fully offline). It catches the unambiguous subset: inside
+// the then-branch of `if x == nil`, before any reassignment of x, a field
+// access, dereference, slice index, or call of x must panic. Method calls
+// are deliberately not flagged — nil-receiver methods are a supported idiom
+// in this codebase (e.g. (*Profile).MergeAverage's nil guard).
+var Nilness = &analysis.Analyzer{
+	Name: "nilness",
+	Doc: "flag uses of a variable inside the `x == nil` branch that guards it " +
+		"(field access, deref, slice index, call of a nil func)",
+	Run: runNilness,
+}
+
+func runNilness(pass *analysis.Pass) (interface{}, error) {
+	ann := collectAnnotations(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok {
+				return true
+			}
+			id := nilComparedIdent(pass, ifs.Cond)
+			if id == nil {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil {
+				return true
+			}
+			checkNilUses(pass, ann, ifs.Body, obj)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// nilComparedIdent returns the identifier x when cond is exactly `x == nil`
+// or `nil == x`.
+func nilComparedIdent(pass *analysis.Pass, cond ast.Expr) *ast.Ident {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || be.Op != token.EQL {
+		return nil
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		_, isNilConst := pass.TypesInfo.Uses[id].(*types.Nil)
+		return isNilConst
+	}
+	if id, ok := ast.Unparen(be.X).(*ast.Ident); ok && isNil(be.Y) {
+		return id
+	}
+	if id, ok := ast.Unparen(be.Y).(*ast.Ident); ok && isNil(be.X) {
+		return id
+	}
+	return nil
+}
+
+// checkNilUses walks the guarded block in statement order and reports
+// panicking uses of obj until it is reassigned.
+func checkNilUses(pass *analysis.Pass, ann *annotations, body *ast.BlockStmt, obj types.Object) {
+	reassigned := false
+	isObj := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && pass.TypesInfo.Uses[id] == obj
+	}
+	report := func(n ast.Node, what string) {
+		if !ann.allowed(n.Pos(), "nilness") {
+			pass.Reportf(n.Pos(), "nilness: %s of %q inside its `== nil` guard must panic", what, obj.Name())
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if reassigned {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if isObj(lhs) {
+					reassigned = true
+				}
+			}
+			// The RHS is evaluated before the assignment takes effect, but
+			// flagging `x = x.f` under an x==nil guard is still correct.
+		case *ast.SelectorExpr:
+			if !isObj(n.X) {
+				return true
+			}
+			// Field access on a nil pointer panics; a method value/call may
+			// be legal on a nil receiver, so only flag struct-pointer fields.
+			if sel, ok := pass.TypesInfo.Selections[n]; ok && sel.Kind() == types.FieldVal {
+				if _, isPtr := obj.Type().Underlying().(*types.Pointer); isPtr {
+					report(n, "field access")
+				}
+			}
+			return false
+		case *ast.StarExpr:
+			if isObj(n.X) {
+				report(n, "dereference")
+				return false
+			}
+		case *ast.IndexExpr:
+			if isObj(n.X) {
+				if _, isSlice := obj.Type().Underlying().(*types.Slice); isSlice {
+					report(n, "index")
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			if isObj(n.Fun) {
+				if _, isFunc := obj.Type().Underlying().(*types.Signature); isFunc {
+					report(n, "call")
+				}
+			}
+		}
+		return true
+	})
+}

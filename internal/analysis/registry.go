@@ -1,0 +1,30 @@
+package analysis
+
+import (
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/atomic"
+	"golang.org/x/tools/go/analysis/passes/copylock"
+)
+
+// Analyzers returns the full whatsup-lint registry: the project-specific
+// contract analyzers plus the vendored vet passes that guard the same
+// failure classes (copylocks: the controller-owned serving path copies no
+// mutexes; atomic: the fleet clock and cycle counters stay correct).
+//
+// nilness is the local AST-based reimplementation (see its doc): the
+// SSA-based x/tools original is not part of GOROOT's vendored vet suite and
+// this module builds without network access.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		// whatsup contract analyzers.
+		NonDeterm,
+		MapOrder,
+		HotAlloc,
+		LeakyGo,
+		WireSize,
+		Nilness,
+		// Vendored vet passes.
+		atomic.Analyzer,
+		copylock.Analyzer,
+	}
+}

@@ -1,0 +1,69 @@
+// Package core is a maporder fixture: its import path ends in /core, so the
+// determinism contract applies.
+package core
+
+func appendLeak(m map[int]string) []string {
+	var out []string
+	for _, v := range m {
+		out = append(out, v) // want `maporder: append to "out"`
+	}
+	return out
+}
+
+func floatLeak(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `maporder: floating-point accumulation into "sum"`
+	}
+	return sum
+}
+
+func sendLeak(m map[int]int, ch chan int) {
+	for _, v := range m {
+		ch <- v // want `maporder: channel send inside`
+	}
+}
+
+// intAccumulate is exact and commutative: integer addition cannot observe
+// iteration order.
+func intAccumulate(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// innerSlice appends only to a slice scoped to one iteration: no leak.
+func innerSlice(m map[int][]int) int {
+	n := 0
+	for _, vs := range m {
+		var tmp []int
+		tmp = append(tmp, vs...)
+		n += len(tmp)
+	}
+	return n
+}
+
+// sortedAfter is the canonical acknowledged pattern: keys collected in map
+// order, then sorted with a total order before use.
+func sortedAfter(m map[int]string) []int {
+	keys := make([]int, 0, len(m))
+	//whatsup:commutative keys collected then sorted by the caller
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// fieldLeak shows the analyzer following selector roots: the accumulator
+// lives on a struct.
+type acc struct {
+	total float64
+}
+
+func (a *acc) fold(m map[int]float64) {
+	for _, v := range m {
+		a.total += v // want `maporder: floating-point accumulation into "a"`
+	}
+}

@@ -1,0 +1,17 @@
+// Package gateway is a negative fixture: its import path matches neither the
+// deterministic packages nor internal/live, so nondeterm, maporder and
+// leakygo must all stay silent — wall-clock reads, map-order appends and
+// untracked goroutines are that package's own business.
+package gateway
+
+import "time"
+
+func Poll(feeds map[string]string) []string {
+	var out []string
+	for _, f := range feeds {
+		out = append(out, f)
+	}
+	go func() { time.Sleep(time.Millisecond) }()
+	_ = time.Now()
+	return out
+}

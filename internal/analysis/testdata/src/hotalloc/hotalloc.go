@@ -1,0 +1,60 @@
+// Package hotalloc is a hotalloc fixture. The analyzer applies to any
+// package: only functions carrying the //whatsup:hotpath directive are
+// audited.
+package hotalloc
+
+type item struct {
+	id    int
+	title string
+}
+
+// cold is not annotated: allocations are free to come and go.
+func cold(n int) []item {
+	out := make([]item, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, item{id: i})
+	}
+	return out
+}
+
+//whatsup:hotpath
+func hotUnacknowledged(n int) []item {
+	out := make([]item, 0, n) // want `hotalloc: make in hot-path function hotUnacknowledged`
+	for i := 0; i < n; i++ {
+		out = append(out, item{id: i}) // want `hotalloc: append \(growth-capable\) in hot-path function hotUnacknowledged`
+	}
+	p := new(item) // want `hotalloc: new in hot-path function hotUnacknowledged`
+	_ = p
+	q := &item{id: 1} // want `hotalloc: &composite literal in hot-path function hotUnacknowledged`
+	_ = q
+	f := func() int { return n } // want `hotalloc: closure \(func literal\) in hot-path function hotUnacknowledged`
+	_ = f
+	b := []byte("x")                           // want `hotalloc: string/\[\]byte conversion in hot-path function hotUnacknowledged`
+	return append(out, item{title: string(b)}) // want `hotalloc: append \(growth-capable\)` `hotalloc: string/\[\]byte conversion`
+}
+
+// hotAcknowledged carries an explicit budget: the make is acknowledged, and
+// appends into the acknowledged buffer are covered by that acknowledgement.
+//
+//whatsup:hotpath
+func hotAcknowledged(n int) []item {
+	out := make([]item, 0, n) //whatsup:alloc one result slice per call, exact capacity
+	for i := 0; i < n; i++ {
+		out = append(out, item{id: i}) // covered by the acknowledged make
+	}
+	return out
+}
+
+// hotSuppressed uses the per-site escape hatch for a site the audit decided
+// is fine (a non-escaping closure the compiler keeps on the stack).
+//
+//whatsup:hotpath
+func hotSuppressed(xs []int) int {
+	total := 0
+	//whatsup:allow:hotalloc non-escaping closure
+	walk := func(x int) { total += x }
+	for _, x := range xs {
+		walk(x)
+	}
+	return total
+}

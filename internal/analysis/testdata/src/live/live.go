@@ -1,0 +1,66 @@
+// Package live is a leakygo fixture: its import path ends in /live, the
+// live-runtime package where every goroutine must be joined on teardown.
+package live
+
+import (
+	"fmt"
+	"sync"
+)
+
+type runner struct {
+	wg   sync.WaitGroup
+	done chan struct{}
+}
+
+func (r *runner) untracked() {
+	go func() { // want `leakygo: goroutine is not tracked`
+		fmt.Println("orphan")
+	}()
+}
+
+func (r *runner) tracked() {
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		fmt.Println("joined")
+	}()
+}
+
+func (r *runner) trackedByClose() {
+	go func() {
+		defer close(r.done)
+		fmt.Println("signals teardown")
+	}()
+}
+
+func (r *runner) trackedBySend(errs chan error) {
+	go func() {
+		errs <- nil
+	}()
+}
+
+// loop defers Done itself, so launching it as a named function is fine: the
+// analyzer follows same-package callees.
+func (r *runner) loop() {
+	defer r.wg.Done()
+}
+
+func (r *runner) namedTracked() {
+	r.wg.Add(1)
+	go r.loop()
+}
+
+func orphanWork() {}
+
+func (r *runner) namedUntracked() {
+	go orphanWork() // want `leakygo: goroutine is not tracked`
+}
+
+func (r *runner) external() {
+	go fmt.Println("external") // want `leakygo: goroutine launches a function declared outside this package`
+}
+
+func (r *runner) suppressed() {
+	//whatsup:allow:leakygo fire-and-forget metric flush, bounded by the process
+	go orphanWork()
+}

@@ -1,0 +1,75 @@
+// Package nilness is a fixture for the AST-based nilness lite analyzer.
+package nilness
+
+type node struct {
+	next  *node
+	value int
+}
+
+func fieldAccess(n *node) int {
+	if n == nil {
+		return n.value // want `nilness: field access of "n" inside its .== nil. guard`
+	}
+	return n.value
+}
+
+func deref(p *int) int {
+	if nil == p {
+		return *p // want `nilness: dereference of "p" inside its .== nil. guard`
+	}
+	return *p
+}
+
+func sliceIndex(xs []int) int {
+	if xs == nil {
+		return xs[0] // want `nilness: index of "xs" inside its .== nil. guard`
+	}
+	return xs[0]
+}
+
+func nilCall(f func() int) int {
+	if f == nil {
+		return f() // want `nilness: call of "f" inside its .== nil. guard`
+	}
+	return f()
+}
+
+// mapIndex is legal: reading a nil map yields the zero value.
+func mapIndex(m map[int]int) int {
+	if m == nil {
+		return m[0]
+	}
+	return m[0]
+}
+
+// methodCall is legal here: nil-receiver methods are a supported idiom.
+func (n *node) Value() int {
+	if n == nil {
+		return 0
+	}
+	return n.value
+}
+
+func methodOnNil(n *node) int {
+	if n == nil {
+		return n.Value()
+	}
+	return n.value
+}
+
+// reassigned is legal: x is replaced before the use.
+func reassigned(n *node) int {
+	if n == nil {
+		n = &node{}
+		return n.value
+	}
+	return n.value
+}
+
+func suppressed(n *node) int {
+	if n == nil {
+		//whatsup:allow:nilness documenting a deliberate panic
+		return n.value
+	}
+	return n.value
+}

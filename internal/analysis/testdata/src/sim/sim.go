@@ -1,0 +1,38 @@
+// Package sim is a nondeterm fixture: its import path ends in /sim, so the
+// determinism contract applies.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() int64 {
+	t := time.Now() // want `nondeterm: time\.Now reads the wall clock`
+	return t.UnixNano()
+}
+
+func wallClockSince() time.Duration {
+	t := time.Unix(0, 0) // pure constructor: legal
+	return time.Since(t) // want `nondeterm: time\.Since reads the wall clock`
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `nondeterm: global rand\.Intn`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `nondeterm: global rand\.Shuffle`
+}
+
+// seededStream is the allowed form: a per-peer stream with an explicit seed.
+func seededStream(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10) // method on a seeded stream: legal
+}
+
+// suppressed shows the escape hatch: an explicit allow annotation.
+func suppressed() int64 {
+	//whatsup:allow:nondeterm boot-time only, never inside a cycle
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,23 @@
+// Package wiresize is a wiresize fixture: AppendWire without a sibling
+// WireSize breaks the exact-byte-accounting invariant.
+package wiresize
+
+type Unbalanced struct{ ID uint64 }
+
+func (u Unbalanced) AppendWire(buf []byte) []byte { // want `wiresize: Unbalanced has AppendWire but no sibling WireSize`
+	return append(buf, byte(u.ID))
+}
+
+type Balanced struct{ ID uint64 }
+
+func (b *Balanced) AppendWire(buf []byte) []byte {
+	return append(buf, byte(b.ID))
+}
+
+func (b *Balanced) WireSize() int { return 1 }
+
+// Suppressed documents a conscious exception.
+type Suppressed struct{}
+
+//whatsup:allow:wiresize streaming encoder, size is unknowable upfront
+func (s Suppressed) AppendWire(buf []byte) []byte { return buf }

@@ -161,6 +161,8 @@ func (n *Node) Publish(item news.Item, now int64) []Send {
 // Receive processes an incoming item (Algorithm 1 lines 1-11 followed by
 // Algorithm 2). It returns the delivery record and the sends BEEP produces.
 // Duplicate receipts are dropped per the SIR model (Section III).
+//
+//whatsup:hotpath
 func (n *Node) Receive(msg ItemMessage, now int64) (Delivery, []Send) {
 	d := Delivery{
 		Node:       n.id,
@@ -203,6 +205,8 @@ func (n *Node) Receive(msg ItemMessage, now int64) (Delivery, []Send) {
 // it forwards a single copy to the RPS neighbour whose profile is most
 // similar to the *item profile*, while the dislike counter is below the TTL
 // (orientation towards potential likers, serendipity with fanout 1).
+//
+//whatsup:hotpath
 func (n *Node) forward(msg ItemMessage, liked bool, now int64) []Send {
 	if n.behavior != nil {
 		msg = n.behavior.OutgoingItem(msg)
@@ -214,7 +218,7 @@ func (n *Node) forward(msg ItemMessage, liked bool, now int64) []Send {
 		}
 		msg.Dislikes++ // line 26
 		if t, ok := n.rps.View().MostSimilar(n.cfg.Metric, msg.Profile); ok {
-			targets = []overlay.Descriptor{t} // line 27
+			targets = []overlay.Descriptor{t} // line 27 //whatsup:alloc single-element dislike target
 		}
 	} else {
 		targets = n.wup.RandomTargets(n.cfg.FLike) // line 31
@@ -222,7 +226,7 @@ func (n *Node) forward(msg ItemMessage, liked bool, now int64) []Send {
 	if len(targets) == 0 {
 		return nil
 	}
-	sends := make([]Send, 0, len(targets))
+	sends := make([]Send, 0, len(targets)) //whatsup:alloc one sends slice per forward, exact capacity
 	for i, t := range targets {
 		p := msg.Profile
 		if i < len(targets)-1 {

@@ -102,6 +102,7 @@ func Sociability(profiles []*profile.Profile, metric profile.Metric, k int) []fl
 // two curves of Figure 11.
 func (c *Collector) F1BySociability(soc map[news.NodeID]float64, buckets int) []Bucket {
 	ids := make([]news.NodeID, 0, len(soc))
+	//whatsup:commutative keys collected then sorted below
 	for id := range soc {
 		ids = append(ids, id)
 	}

@@ -429,6 +429,7 @@ type ChurnSample struct {
 // aggregation is deterministic across runs (map iteration order is not).
 func (c *Collector) sortedItems() []news.ID {
 	ids := make([]news.ID, 0, len(c.items))
+	//whatsup:commutative keys collected then sorted below
 	for id := range c.items {
 		ids = append(ids, id)
 	}
@@ -503,6 +504,7 @@ func (c *Collector) Node(id news.NodeID) *NodeStats { return c.nodes[id] }
 // NodeIDs returns the registered node ids, sorted.
 func (c *Collector) NodeIDs() []news.NodeID {
 	out := make([]news.NodeID, 0, len(c.nodes))
+	//whatsup:commutative keys collected then sorted below
 	for id := range c.nodes {
 		out = append(out, id)
 	}
@@ -522,12 +524,21 @@ func (c *Collector) DislikeFractions(maxD int) []float64 {
 	if total == 0 {
 		return out
 	}
-	for d, n := range c.DislikesAtLikedArrival {
+	// Accumulate in ascending dislike-count order: several d values clamp
+	// into the out[maxD] bucket, and float addition is order-sensitive in
+	// the low bits, so raw map order would leak into the Table IV row.
+	ds := make([]int, 0, len(c.DislikesAtLikedArrival))
+	//whatsup:commutative keys collected then sorted below
+	for d := range c.DislikesAtLikedArrival {
+		ds = append(ds, d)
+	}
+	sort.Ints(ds)
+	for _, d := range ds {
 		i := d
 		if i > maxD {
 			i = maxD
 		}
-		out[i] += float64(n) / float64(total)
+		out[i] += float64(c.DislikesAtLikedArrival[d]) / float64(total)
 	}
 	return out
 }

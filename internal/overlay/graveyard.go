@@ -149,9 +149,12 @@ func (g *Graveyard) AppendFreshest(dst []Tombstone, max int) []Tombstone {
 	return append(dst, g.byFresh[:max]...)
 }
 
-// rebuild refills buf with the active set, unsorted.
+// rebuild refills buf with the active set, unsorted. Both callers
+// immediately sort with a total order (node id is unique), so the map
+// iteration order cannot leak.
 func (g *Graveyard) rebuild(buf []Tombstone) []Tombstone {
 	buf = buf[:0]
+	//whatsup:commutative both callers sort with a total order
 	for id, stamp := range g.stamps {
 		buf = append(buf, Tombstone{Node: id, Stamp: stamp})
 	}

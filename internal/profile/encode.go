@@ -82,6 +82,8 @@ func (p *Profile) UnmarshalBinary(data []byte) error {
 // AppendWire appends the packed wire encoding of the profile to buf and
 // returns the extended slice. The encoding is canonical: Equal profiles
 // produce identical bytes.
+//
+//whatsup:hotpath
 func (p *Profile) AppendWire(buf []byte) []byte {
 	buf = wire.AppendUint(buf, uint64(len(p.entries)))
 	prev := uint64(0)
@@ -103,6 +105,8 @@ func (p *Profile) AppendWire(buf []byte) []byte {
 // profile — the Figure 8b bandwidth accounting and the live transports share
 // the packed codec as their single source of truth. It walks the entries
 // without encoding, so simulation hot paths pay no allocation for it.
+//
+//whatsup:hotpath
 func (p *Profile) WireSize() int {
 	size := wire.UintLen(uint64(len(p.entries)))
 	prev := uint64(0)

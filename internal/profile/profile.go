@@ -102,6 +102,8 @@ func (p *Profile) Has(id news.ID) bool {
 
 // Set inserts or replaces the entry for an item (user-profile update,
 // Algorithm 1 lines 5, 7 and 14).
+//
+//whatsup:hotpath
 func (p *Profile) Set(id news.ID, stamp int64, score float64) {
 	p.version++
 	i, ok := p.search(id)
@@ -113,7 +115,7 @@ func (p *Profile) Set(id news.ID, stamp int64, score float64) {
 		return
 	}
 	p.materialize(1)
-	p.entries = append(p.entries, Entry{})
+	p.entries = append(p.entries, Entry{}) //whatsup:alloc amortized growth; materialize(1) reserves on COW copies
 	copy(p.entries[i+1:], p.entries[i:])
 	p.entries[i] = Entry{Item: id, Stamp: stamp, Score: score}
 	p.sumSq += score * score
@@ -126,6 +128,8 @@ func (p *Profile) Set(id news.ID, stamp int64, score float64) {
 // (addToNewsProfile, Algorithm 1 lines 18-22). The entry keeps the freshest
 // of the two timestamps, so reinforcing an item never makes it look older to
 // the profile window (II-E).
+//
+//whatsup:hotpath
 func (p *Profile) AverageIn(id news.ID, stamp int64, score float64) {
 	p.version++
 	i, ok := p.search(id)
@@ -141,7 +145,7 @@ func (p *Profile) AverageIn(id news.ID, stamp int64, score float64) {
 		return
 	}
 	p.materialize(1)
-	p.entries = append(p.entries, Entry{})
+	p.entries = append(p.entries, Entry{}) //whatsup:alloc amortized growth; materialize(1) reserves on COW copies
 	copy(p.entries[i+1:], p.entries[i:])
 	p.entries[i] = Entry{Item: id, Stamp: stamp, Score: score}
 	p.sumSq += score * score
@@ -156,6 +160,8 @@ func (p *Profile) AverageIn(id news.ID, stamp int64, score float64) {
 // The incremental sumSq updates are applied in ascending id order of other's
 // entries, the exact float-op sequence of the AverageIn loop it replaces, so
 // the cached norm is bit-identical to the legacy path.
+//
+//whatsup:hotpath
 func (p *Profile) MergeAverage(other *Profile) {
 	if other == nil || len(other.entries) == 0 {
 		return
@@ -176,6 +182,7 @@ func (p *Profile) MergeAverage(other *Profile) {
 		p.dirty = 0
 		return
 	}
+	//whatsup:alloc the merge's single allocation; exact capacity, appends below never grow
 	merged := make([]Entry, 0, len(p.entries)+len(other.entries))
 	i, j := 0, 0
 	for i < len(p.entries) && j < len(other.entries) {
@@ -397,6 +404,7 @@ func MostPopular(profiles []*Profile, n int) []news.ID {
 		}
 	}
 	ids := make([]news.ID, 0, len(counts))
+	//whatsup:commutative keys collected then sorted below with a total order
 	for id := range counts {
 		ids = append(ids, id)
 	}

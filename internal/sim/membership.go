@@ -215,6 +215,7 @@ func ChurnTrace(cfg ChurnTraceConfig) ChurnSchedule {
 	}
 	// Flush rejoins scheduled past To, in cycle order for determinism.
 	cycles := make([]int64, 0, len(rejoinAt))
+	//whatsup:commutative keys collected then sorted below
 	for c := range rejoinAt {
 		cycles = append(cycles, c)
 	}

@@ -51,6 +51,7 @@ func fingerprint(c *metrics.Collector) string {
 	for _, hist := range hists {
 		name, h := hist.name, hist.h
 		keys := make([]int, 0, len(h))
+		//whatsup:commutative keys collected then sorted below
 		for k := range h {
 			keys = append(keys, k)
 		}

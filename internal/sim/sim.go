@@ -1419,12 +1419,15 @@ func (e *Engine) drain(now int64) {
 
 // deliverRound delivers one hop of BEEP traffic, consuming e.batch and
 // leaving the next hop in it.
+//
+//whatsup:hotpath
 func (e *Engine) deliverRound(now int64) {
 	batch := e.batch
 	// Total order: by receiver, then sender, then item. A node forwards a
 	// given item at most once (SIR), so the triple is unique within a round
 	// — which also makes the sorted order independent of how the previous
 	// round's workers assembled the batch.
+	//whatsup:allow:hotalloc non-escaping comparator closure
 	slices.SortFunc(batch, func(a, b envelope) int {
 		switch {
 		case a.to != b.to:
@@ -1454,7 +1457,7 @@ func (e *Engine) deliverRound(now int64) {
 		for hi < len(batch) && batch[hi].to == batch[lo].to {
 			hi++
 		}
-		e.segs = append(e.segs, segment{lo: lo, hi: hi})
+		e.segs = append(e.segs, segment{lo: lo, hi: hi}) //whatsup:alloc amortized growth of the cross-cycle segment scratch
 		lo = hi
 	}
 	for w := range e.sendBufs {
@@ -1464,10 +1467,11 @@ func (e *Engine) deliverRound(now int64) {
 	observe := e.cfg.OnDelivery != nil
 	if observe {
 		if cap(e.delivSegs) < len(e.segs) {
-			e.delivSegs = make([]delivSpan, len(e.segs))
+			e.delivSegs = make([]delivSpan, len(e.segs)) //whatsup:alloc observer spans, doubles then reused across rounds
 		}
 		e.delivSegs = e.delivSegs[:len(e.segs)]
 	}
+	//whatsup:alloc segShard closure, one per round
 	segShard := func(si int) int {
 		g, ok := e.idx[batch[e.segs[si].lo].to]
 		if !ok {
@@ -1475,6 +1479,7 @@ func (e *Engine) deliverRound(now int64) {
 		}
 		return e.shardOf(g)
 	}
+	//whatsup:alloc per-round worker closure handed to forEachSharded
 	e.forEachSharded(len(e.segs), segShard, func(w, si int) {
 		seg := e.segs[si]
 		recv := e.onlinePeer(batch[seg.lo].to)
@@ -1495,13 +1500,13 @@ func (e *Engine) deliverRound(now int64) {
 			}
 			col.RecordDelivery(d)
 			if observe {
-				e.delivBufs[w] = append(e.delivBufs[w], d)
+				e.delivBufs[w] = append(e.delivBufs[w], d) //whatsup:alloc amortized growth of the per-worker delivery buffer
 			}
 			if len(sends) > 0 {
 				col.RecordForward(d.Liked, d.Hops)
 			}
 			for _, s := range sends {
-				e.sendBufs[w] = append(e.sendBufs[w], envelope{from: env.to, to: s.To, msg: s.Msg})
+				e.sendBufs[w] = append(e.sendBufs[w], envelope{from: env.to, to: s.To, msg: s.Msg}) //whatsup:alloc amortized growth of the per-worker send buffer
 			}
 		}
 		if observe {
@@ -1521,7 +1526,7 @@ func (e *Engine) deliverRound(now int64) {
 	}
 	e.next = e.next[:0]
 	for w := range e.sendBufs {
-		e.next = append(e.next, e.sendBufs[w]...)
+		e.next = append(e.next, e.sendBufs[w]...) //whatsup:alloc amortized growth of the next-hop batch
 	}
 	e.batch, e.next = e.next, e.batch
 }
